@@ -1,0 +1,56 @@
+// Ablation (beyond the paper): how the number of vertical fragments V
+// shapes FS-Join's cost. DESIGN.md calls out the central trade-off: more
+// fragments mean better parallelism and balance, but shorter segments,
+// weaker per-segment prefixes (the exact local overlap bound degenerates
+// once |seg| < (1-θ)|s| + 1), and more partial-overlap records to
+// aggregate.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace fsjoin::bench {
+namespace {
+
+void Run() {
+  PrintBanner("Ablation — number of vertical fragments (not in the paper)",
+              "more fragments: better balance/parallelism, weaker prefixes, "
+              "more partial overlaps");
+
+  const uint32_t fragment_counts[] = {2, 5, 10, 30, 60};
+  for (Workload& w : AllWorkloads(0.5)) {
+    std::printf("\n[%s] %zu records, theta = 0.8\n", w.name.c_str(),
+                w.corpus.NumRecords());
+    TablePrinter table({"fragments", "wall (ms)", "sim10 (ms)",
+                        "candidates considered", "partials emitted",
+                        "verify shuffle"});
+    for (uint32_t v : fragment_counts) {
+      FsJoinConfig config = DefaultFsConfig(0.8);
+      config.num_vertical_partitions = v;
+      Result<FsJoinOutput> fs = FsJoin(config).Run(w.corpus);
+      if (!fs.ok()) {
+        std::printf("FAIL: %s\n", fs.status().ToString().c_str());
+        continue;
+      }
+      table.AddRow(
+          {std::to_string(v), StrFormat("%.0f", fs->report.total_wall_ms),
+           StrFormat("%.0f",
+                     SimulatedMs(fs->report.JoinJobs(), kDefaultNodes)),
+           WithThousandsSep(fs->report.filters.pairs_considered),
+           WithThousandsSep(fs->report.filters.emitted),
+           HumanBytes(fs->report.verification_job.shuffle_bytes)});
+    }
+    table.Print(std::cout);
+  }
+}
+
+}  // namespace
+}  // namespace fsjoin::bench
+
+int main() {
+  fsjoin::bench::Run();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Extension (paper §VII future work: "other Big Data platforms, like
+// Spark"): FS-Join on the Hadoop-style MR engine vs the Spark-style fused
+// dataflow engine. Expected shape: identical results, but the dataflow run
+// eliminates the verification job's identity-map pass and the between-job
+// materializations, so it is faster and moves fewer bytes — the well-known
+// Spark-over-Hadoop effect for multi-job pipelines.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "flow/fsjoin_flow.h"
+#include "sim/join_result.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace fsjoin::bench {
+namespace {
+
+void Run() {
+  PrintBanner("Extension — Spark-style dataflow vs Hadoop-style MR "
+              "(paper §VII future work)",
+              "same results; fused pipelines cut passes and "
+              "materialization");
+
+  const double theta = 0.8;
+  for (Workload& w : AllWorkloads(0.5)) {
+    std::printf("\n[%s] %zu records, theta = %.2f\n", w.name.c_str(),
+                w.corpus.NumRecords(), theta);
+    TablePrinter table({"engine", "wall (ms)", "shuffle", "materialized",
+                        "results", "same pairs"});
+
+    FsJoinConfig config = DefaultFsConfig(theta);
+    WallTimer timer;
+    Result<FsJoinOutput> mr_out = FsJoin(config).Run(w.corpus);
+    double mr_ms = timer.ElapsedMillis();
+    timer.Restart();
+    Result<flow::FlowJoinOutput> flow_out =
+        flow::RunFsJoinOnFlow(w.corpus, config);
+    double flow_ms = timer.ElapsedMillis();
+    if (!mr_out.ok() || !flow_out.ok()) {
+      std::printf("FAIL\n");
+      continue;
+    }
+
+    // MR materializes every job's input+output through the DFS.
+    uint64_t mr_shuffle = 0, mr_materialized = 0;
+    for (const mr::JobMetrics& j : mr_out->report.AllJobs()) {
+      mr_shuffle += j.shuffle_bytes;
+      mr_materialized += j.map_input_bytes + j.reduce_output_bytes;
+    }
+    uint64_t flow_shuffle = flow_out->report.ordering.shuffle_bytes +
+                            flow_out->report.join.shuffle_bytes;
+    uint64_t flow_materialized =
+        flow_out->report.ordering.materialized_bytes +
+        flow_out->report.join.materialized_bytes;
+
+    const bool same = SamePairs(mr_out->pairs, flow_out->pairs);
+    table.AddRow({"MapReduce (3 jobs)", StrFormat("%.0f", mr_ms),
+                  HumanBytes(mr_shuffle), HumanBytes(mr_materialized),
+                  WithThousandsSep(mr_out->pairs.size()), "-"});
+    table.AddRow({"Dataflow (2 pipelines)", StrFormat("%.0f", flow_ms),
+                  HumanBytes(flow_shuffle), HumanBytes(flow_materialized),
+                  WithThousandsSep(flow_out->pairs.size()),
+                  same ? "yes" : "NO!"});
+    table.Print(std::cout);
+  }
+}
+
+}  // namespace
+}  // namespace fsjoin::bench
+
+int main() {
+  fsjoin::bench::Run();
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 8: FS-Join execution time as the data scales from 4X to 10X
+// (random samples of 40%..100% of each corpus), theta in {0.8, 0.9}.
+// Expected shape: sub-quadratic growth — doubling data raises time well
+// below 4x (the paper reports <33% increase per 2X step for cluster time).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "text/corpus.h"
+#include "util/random.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace fsjoin::bench {
+namespace {
+
+Corpus Sample(const Corpus& corpus, double fraction, uint64_t seed) {
+  std::vector<RecordId> ids(corpus.NumRecords());
+  for (RecordId i = 0; i < ids.size(); ++i) ids[i] = i;
+  Rng rng(seed);
+  Shuffle(ids, rng);
+  ids.resize(static_cast<size_t>(static_cast<double>(ids.size()) * fraction));
+  return SampleCorpus(corpus, ids);
+}
+
+void Run() {
+  PrintBanner("Figure 8 — scalability with data scale (4X/6X/8X/10X)",
+              "2X more data costs well under 4X more time");
+
+  const double fractions[] = {0.4, 0.6, 0.8, 1.0};
+  const char* labels[] = {"4X", "6X", "8X", "10X"};
+  for (Workload& w : AllWorkloads(1.0)) {
+    std::printf("\n[%s] full size %zu records\n", w.name.c_str(),
+                w.corpus.NumRecords());
+    TablePrinter table({"scale", "records", "theta=0.8 sim10 (ms)",
+                        "theta=0.9 sim10 (ms)", "results@0.8"});
+    for (size_t i = 0; i < 4; ++i) {
+      Corpus sample = Sample(w.corpus, fractions[i], 99 + i);
+      std::vector<std::string> row = {labels[i],
+                                      WithThousandsSep(sample.NumRecords())};
+      uint64_t results_08 = 0;
+      for (double theta : {0.8, 0.9}) {
+        Result<FsJoinOutput> fs = FsJoin(DefaultFsConfig(theta)).Run(sample);
+        if (!fs.ok()) {
+          row.push_back("FAIL");
+          continue;
+        }
+        if (theta == 0.8) results_08 = fs->report.result_pairs;
+        row.push_back(StrFormat(
+            "%.0f", SimulatedMs(fs->report.JoinJobs(), kDefaultNodes)));
+      }
+      row.push_back(WithThousandsSep(results_08));
+      table.AddRow(row);
+    }
+    table.Print(std::cout);
+  }
+}
+
+}  // namespace
+}  // namespace fsjoin::bench
+
+int main() {
+  fsjoin::bench::Run();
+  return 0;
+}

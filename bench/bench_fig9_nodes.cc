@@ -1,0 +1,53 @@
+// Figure 9: FS-Join scalability with the number of worker nodes (5, 10,
+// 15), reduce tasks = 3x nodes as in the paper. Expected shape: a 35-48%
+// drop from 5 to 10 nodes and a smaller 10-20% drop from 10 to 15 (shuffle
+// growth and task-grain limits eat the gains).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace fsjoin::bench {
+namespace {
+
+void Run() {
+  PrintBanner("Figure 9 — scalability with cluster size (5/10/15 nodes)",
+              "time drops 35-48% from 5 to 10 nodes, 10-20% from 10 to 15");
+
+  const uint32_t node_counts[] = {5, 10, 15};
+  for (Workload& w : AllWorkloads(1.0)) {
+    std::printf("\n[%s] %zu records, theta = 0.8\n", w.name.c_str(),
+                w.corpus.NumRecords());
+    TablePrinter table(
+        {"nodes", "reduce tasks", "sim (ms)", "drop vs previous"});
+    double prev = 0.0;
+    for (uint32_t nodes : node_counts) {
+      FsJoinConfig config = DefaultFsConfig(0.8);
+      config.num_reduce_tasks = nodes * 3;  // paper: 3 reducers per node
+      Result<FsJoinOutput> fs = FsJoin(config).Run(w.corpus);
+      if (!fs.ok()) {
+        std::printf("FAIL: %s\n", fs.status().ToString().c_str());
+        continue;
+      }
+      double ms = SimulatedMs(fs->report.JoinJobs(), nodes);
+      table.AddRow({std::to_string(nodes), std::to_string(nodes * 3),
+                    StrFormat("%.0f", ms),
+                    prev > 0.0
+                        ? StrFormat("%.0f%%", 100.0 * (prev - ms) / prev)
+                        : "-"});
+      prev = ms;
+    }
+    table.Print(std::cout);
+  }
+}
+
+}  // namespace
+}  // namespace fsjoin::bench
+
+int main() {
+  fsjoin::bench::Run();
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Microbenchmarks (google-benchmark) for the hot kernels under everything:
+// sorted-set operations, serde, Zipf sampling, prefix math, segment
+// splitting and the fragment join.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/fragment_join.h"
+#include "core/pivots.h"
+#include "core/segments.h"
+#include "sim/set_ops.h"
+#include "sim/similarity.h"
+#include "text/generator.h"
+#include "util/random.h"
+#include "util/serde.h"
+
+namespace fsjoin {
+namespace {
+
+std::vector<uint32_t> RandomSortedSet(Rng& rng, size_t n, uint32_t domain) {
+  std::vector<uint32_t> v;
+  v.reserve(n);
+  while (v.size() < n) v.push_back(static_cast<uint32_t>(rng.NextBounded(domain)));
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+void BM_SortedOverlap(benchmark::State& state) {
+  Rng rng(1);
+  auto a = RandomSortedSet(rng, state.range(0), 1 << 20);
+  auto b = RandomSortedSet(rng, state.range(0), 1 << 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SortedOverlap(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * (a.size() + b.size()));
+}
+BENCHMARK(BM_SortedOverlap)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_SortedOverlapAtLeast(benchmark::State& state) {
+  Rng rng(2);
+  auto a = RandomSortedSet(rng, state.range(0), 1 << 20);
+  auto b = a;
+  for (size_t i = 0; i < b.size(); i += 3) b[i] += 1;  // ~2/3 overlap
+  std::sort(b.begin(), b.end());
+  b.erase(std::unique(b.begin(), b.end()), b.end());
+  const uint64_t required = a.size() * 9 / 10;  // unreachable -> early exit
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SortedOverlapAtLeast(a, b, required));
+  }
+}
+BENCHMARK(BM_SortedOverlapAtLeast)->Arg(512)->Arg(4096);
+
+void BM_VarintRoundTrip(benchmark::State& state) {
+  std::vector<uint32_t> values(1024);
+  Rng rng(3);
+  for (auto& v : values) v = static_cast<uint32_t>(rng.Next());
+  for (auto _ : state) {
+    std::string buf;
+    PutUint32Vector(&buf, values);
+    std::vector<uint32_t> out;
+    Decoder dec(buf);
+    benchmark::DoNotOptimize(dec.GetUint32Vector(&out));
+  }
+  state.SetItemsProcessed(state.iterations() * values.size());
+}
+BENCHMARK(BM_VarintRoundTrip);
+
+void BM_ZipfSample(benchmark::State& state) {
+  Rng rng(4);
+  ZipfSampler zipf(static_cast<uint64_t>(state.range(0)), 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample)->Arg(10000)->Arg(1000000);
+
+void BM_MinOverlap(benchmark::State& state) {
+  uint64_t a = 80, b = 95;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        MinOverlap(SimilarityFunction::kJaccard, 0.8, a, b));
+    a = (a % 200) + 1;
+    b = (b % 180) + 1;
+  }
+}
+BENCHMARK(BM_MinOverlap);
+
+void BM_SplitIntoSegments(benchmark::State& state) {
+  Rng rng(5);
+  OrderedRecord rec{0, RandomSortedSet(rng, 256, 1 << 16)};
+  std::vector<TokenRank> pivots;
+  for (int i = 1; i < 30; ++i) pivots.push_back((i << 16) / 30);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SplitIntoSegments(rec, pivots));
+  }
+}
+BENCHMARK(BM_SplitIntoSegments);
+
+void BM_FragmentJoin(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<SegmentRecord> fragment;
+  for (uint32_t i = 0; i < static_cast<uint32_t>(state.range(0)); ++i) {
+    SegmentRecord seg;
+    seg.rid = i;
+    seg.tokens = RandomSortedSet(rng, 12, 4096);
+    seg.head = 30;
+    seg.record_size = 30 + static_cast<uint32_t>(seg.tokens.size()) + 30;
+    fragment.push_back(std::move(seg));
+  }
+  FragmentJoinOptions opts;
+  opts.theta = 0.8;
+  opts.method = static_cast<JoinMethod>(state.range(1));
+  for (auto _ : state) {
+    std::vector<PartialOverlap> out;
+    FilterCounters counters;
+    JoinFragment(fragment, opts, &out, &counters);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_FragmentJoin)
+    ->Args({200, 0})   // loop
+    ->Args({200, 1})   // index
+    ->Args({200, 2})   // prefix
+    ->Args({1000, 2});  // prefix, larger fragment
+
+void BM_CorpusGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    SyntheticCorpusConfig cfg = WikiLikeConfig(0.02);
+    benchmark::DoNotOptimize(GenerateCorpus(cfg));
+  }
+}
+BENCHMARK(BM_CorpusGeneration);
+
+}  // namespace
+}  // namespace fsjoin
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace fsjoin::bench {
+
+double BenchScale() {
+  const char* env = std::getenv("FSJOIN_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  double scale = std::atof(env);
+  return scale > 0.0 ? scale : 1.0;
+}
+
+Workload MakeWorkload(const std::string& name, double fraction) {
+  const double scale = BenchScale() * fraction;
+  SyntheticCorpusConfig config;
+  if (name == "email") {
+    config = EmailLikeConfig(scale);
+  } else if (name == "pubmed") {
+    config = PubMedLikeConfig(scale);
+  } else if (name == "wiki") {
+    config = WikiLikeConfig(scale);
+  } else {
+    FSJOIN_LOG(Fatal) << "unknown workload " << name;
+  }
+  return Workload{name, GenerateCorpus(config)};
+}
+
+std::vector<Workload> AllWorkloads(double fraction) {
+  std::vector<Workload> workloads;
+  workloads.push_back(MakeWorkload("email", fraction));
+  workloads.push_back(MakeWorkload("pubmed", fraction));
+  workloads.push_back(MakeWorkload("wiki", fraction));
+  return workloads;
+}
+
+FsJoinConfig DefaultFsConfig(double theta) {
+  FsJoinConfig config;
+  config.theta = theta;
+  config.num_vertical_partitions = 30;  // paper: 30 fragments
+  config.num_map_tasks = kMapTasks;
+  config.num_reduce_tasks = kReduceTasks;
+  return config;
+}
+
+BaselineConfig DefaultBaselineConfig(double theta) {
+  BaselineConfig config;
+  config.theta = theta;
+  config.num_map_tasks = kMapTasks;
+  config.num_reduce_tasks = kReduceTasks;
+  return config;
+}
+
+double SimulatedMs(const std::vector<mr::JobMetrics>& jobs, uint32_t nodes) {
+  mr::ClusterCostModel model;
+  return SimulatedMs(jobs, nodes, model);
+}
+
+double SimulatedMs(const std::vector<mr::JobMetrics>& jobs, uint32_t nodes,
+                   const mr::ClusterCostModel& model) {
+  return mr::SimulatePipeline(jobs, nodes, model).total_ms;
+}
+
+void PrintBanner(const std::string& experiment, const std::string& claim) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("paper claim: %s\n", claim.c_str());
+  std::printf(
+      "workloads: synthetic Email/PubMed/Wiki analogues (DESIGN.md); "
+      "scale=%.2f\n",
+      BenchScale());
+  std::printf(
+      "sim<N> = replay of measured task costs on N simulated Hadoop "
+      "workers\n");
+  std::printf("================================================================\n");
+}
+
+}  // namespace fsjoin::bench

@@ -1,0 +1,62 @@
+#ifndef FSJOIN_BENCH_BENCH_UTIL_H_
+#define FSJOIN_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/baseline.h"
+#include "core/fsjoin.h"
+#include "mr/cluster_sim.h"
+#include "text/corpus.h"
+#include "text/generator.h"
+
+namespace fsjoin::bench {
+
+/// Scale multiplier for all bench workloads, from the environment variable
+/// FSJOIN_BENCH_SCALE (default 1.0). 0.25 makes the whole suite ~4x
+/// faster; 1.0 is the calibrated single-machine "10X" workload.
+double BenchScale();
+
+/// Number of reduce tasks per configuration, following the paper's rule of
+/// 3 tasks per node on a 10-worker cluster.
+inline constexpr uint32_t kReduceTasks = 30;
+inline constexpr uint32_t kMapTasks = 30;
+inline constexpr uint32_t kDefaultNodes = 10;
+
+/// The three synthetic corpora standing in for Enron Email / PubMed / Wiki
+/// (see DESIGN.md for the substitution argument). `fraction` further scales
+/// the record count (1.0 = full bench workload = the paper's "10X").
+struct Workload {
+  std::string name;
+  Corpus corpus;
+};
+
+Workload MakeWorkload(const std::string& name, double fraction);
+
+/// All three workloads at a fraction.
+std::vector<Workload> AllWorkloads(double fraction);
+
+/// Default FS-Join config used across benches (paper defaults: Even-TF,
+/// prefix join, all filters, 30 vertical partitions).
+FsJoinConfig DefaultFsConfig(double theta);
+
+/// Default baseline config.
+BaselineConfig DefaultBaselineConfig(double theta);
+
+/// Simulated cluster time of a job pipeline on `nodes` workers using the
+/// default Hadoop-era cost model. Excludes the ordering job when the
+/// caller passes report.JoinJobs() (the paper's cost scope).
+double SimulatedMs(const std::vector<mr::JobMetrics>& jobs, uint32_t nodes);
+
+/// Same, with a caller-supplied model (Fig. 13 uses a memory-constrained
+/// one).
+double SimulatedMs(const std::vector<mr::JobMetrics>& jobs, uint32_t nodes,
+                   const mr::ClusterCostModel& model);
+
+/// Prints the standard bench banner: experiment id, paper reference, and
+/// the workload substitution note.
+void PrintBanner(const std::string& experiment, const std::string& claim);
+
+}  // namespace fsjoin::bench
+
+#endif  // FSJOIN_BENCH_BENCH_UTIL_H_

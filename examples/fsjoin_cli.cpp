@@ -1,0 +1,216 @@
+// Command-line set similarity join over text files: one record per line.
+//
+//   fsjoin_cli --input corpus.txt --theta 0.8 [options]
+//
+// Options:
+//   --input PATH        self-join this file (required unless --rs given)
+//   --rs PATH           R-S join: --input is R, --rs is S
+//   --theta X           similarity threshold in (0, 1]        [0.8]
+//   --function NAME     jaccard | dice | cosine               [jaccard]
+//   --tokenizer NAME    word | whitespace | qgramN (e.g. qgram3) [word]
+//   --fragments N       vertical partitions                   [30]
+//   --horizontal N      horizontal length pivots (0 = off)    [0]
+//   --method NAME       loop | index | prefix                 [prefix]
+//   --aggressive        paper-aggressive segment prefixes (faster,
+//                       may miss borderline pairs)
+//   --threads N         engine worker threads                 [0 = inline]
+//   --output PATH       write "idA idB similarity" lines      [stdout]
+//   --report            print the execution report to stderr
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "core/fsjoin.h"
+#include "text/corpus_io.h"
+#include "text/tokenizer.h"
+
+namespace {
+
+struct CliOptions {
+  std::string input;
+  std::string rs;
+  std::string output;
+  std::string tokenizer = "word";
+  std::string method = "prefix";
+  std::string function = "jaccard";
+  double theta = 0.8;
+  uint32_t fragments = 30;
+  uint32_t horizontal = 0;
+  size_t threads = 0;
+  bool aggressive = false;
+  bool report = false;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --input FILE [--rs FILE] [--theta X] "
+               "[--function jaccard|dice|cosine] [--tokenizer "
+               "word|whitespace|qgramN] [--fragments N] [--horizontal N] "
+               "[--method loop|index|prefix] [--aggressive] [--threads N] "
+               "[--output FILE] [--report]\n",
+               argv0);
+  return 2;
+}
+
+fsjoin::Result<std::unique_ptr<fsjoin::Tokenizer>> MakeTokenizer(
+    const std::string& name) {
+  if (name == "word") {
+    return std::unique_ptr<fsjoin::Tokenizer>(new fsjoin::WordTokenizer());
+  }
+  if (name == "whitespace") {
+    return std::unique_ptr<fsjoin::Tokenizer>(
+        new fsjoin::WhitespaceTokenizer());
+  }
+  if (name.rfind("qgram", 0) == 0) {
+    int q = std::atoi(name.c_str() + 5);
+    if (q < 1) return fsjoin::Status::InvalidArgument("bad qgram size");
+    return std::unique_ptr<fsjoin::Tokenizer>(
+        new fsjoin::QGramTokenizer(static_cast<size_t>(q)));
+  }
+  return fsjoin::Status::InvalidArgument("unknown tokenizer: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--input") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      opts.input = v;
+    } else if (arg == "--rs") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      opts.rs = v;
+    } else if (arg == "--output") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      opts.output = v;
+    } else if (arg == "--theta") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      opts.theta = std::atof(v);
+    } else if (arg == "--function") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      opts.function = v;
+    } else if (arg == "--tokenizer") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      opts.tokenizer = v;
+    } else if (arg == "--method") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      opts.method = v;
+    } else if (arg == "--fragments") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      opts.fragments = static_cast<uint32_t>(std::atoi(v));
+    } else if (arg == "--horizontal") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      opts.horizontal = static_cast<uint32_t>(std::atoi(v));
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      opts.threads = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--aggressive") {
+      opts.aggressive = true;
+    } else if (arg == "--report") {
+      opts.report = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return Usage(argv[0]);
+    }
+  }
+  if (opts.input.empty()) return Usage(argv[0]);
+
+  auto tokenizer_result = MakeTokenizer(opts.tokenizer);
+  if (!tokenizer_result.ok()) {
+    std::fprintf(stderr, "%s\n", tokenizer_result.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<fsjoin::Tokenizer> tokenizer =
+      std::move(tokenizer_result).value();
+
+  auto load = [&](const std::string& path) -> fsjoin::Result<fsjoin::Corpus> {
+    auto lines = fsjoin::ReadLines(path);
+    if (!lines.ok()) return lines.status();
+    return fsjoin::BuildCorpus(*lines, *tokenizer);
+  };
+
+  fsjoin::Result<fsjoin::Corpus> r = load(opts.input);
+  if (!r.ok()) {
+    std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+    return 1;
+  }
+
+  fsjoin::FsJoinConfig config;
+  config.theta = opts.theta;
+  config.num_vertical_partitions = opts.fragments;
+  config.num_horizontal_partitions = opts.horizontal;
+  config.num_threads = opts.threads;
+  config.aggressive_segment_prefix = opts.aggressive;
+  {
+    auto fn = fsjoin::SimilarityFunctionFromName(opts.function);
+    if (!fn.ok()) {
+      std::fprintf(stderr, "%s\n", fn.status().ToString().c_str());
+      return 1;
+    }
+    config.function = *fn;
+  }
+  if (opts.method == "loop") {
+    config.join_method = fsjoin::JoinMethod::kLoop;
+  } else if (opts.method == "index") {
+    config.join_method = fsjoin::JoinMethod::kIndex;
+  } else if (opts.method == "prefix") {
+    config.join_method = fsjoin::JoinMethod::kPrefix;
+  } else {
+    std::fprintf(stderr, "unknown join method: %s\n", opts.method.c_str());
+    return 1;
+  }
+
+  fsjoin::Result<fsjoin::FsJoinOutput> out =
+      [&]() -> fsjoin::Result<fsjoin::FsJoinOutput> {
+    if (opts.rs.empty()) return fsjoin::FsJoin(config).Run(*r);
+    fsjoin::Result<fsjoin::Corpus> s = load(opts.rs);
+    if (!s.ok()) return s.status();
+    return fsjoin::FsJoinRS(*r, *s, config);
+  }();
+  if (!out.ok()) {
+    std::fprintf(stderr, "join failed: %s\n", out.status().ToString().c_str());
+    return 1;
+  }
+
+  const fsjoin::RecordId boundary =
+      opts.rs.empty() ? 0 : static_cast<fsjoin::RecordId>(r->NumRecords());
+  std::FILE* sink = stdout;
+  if (!opts.output.empty()) {
+    sink = std::fopen(opts.output.c_str(), "w");
+    if (sink == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", opts.output.c_str());
+      return 1;
+    }
+  }
+  for (const fsjoin::SimilarPair& p : out->pairs) {
+    if (boundary > 0) {
+      std::fprintf(sink, "%u %u %.6f\n", p.a, p.b - boundary, p.similarity);
+    } else {
+      std::fprintf(sink, "%u %u %.6f\n", p.a, p.b, p.similarity);
+    }
+  }
+  if (sink != stdout) std::fclose(sink);
+  if (opts.report) {
+    std::fprintf(stderr, "%s\n", out->report.Summary().c_str());
+  }
+  return 0;
+}

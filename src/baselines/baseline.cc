@@ -1,0 +1,38 @@
+#include "baselines/baseline.h"
+
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace fsjoin {
+
+Status BaselineConfig::Validate() const {
+  if (theta <= 0.0 || theta > 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("theta must be in (0, 1], got %f", theta));
+  }
+  if (num_map_tasks == 0 || num_reduce_tasks == 0) {
+    return Status::InvalidArgument("task counts must be >= 1");
+  }
+  return Status::OK();
+}
+
+double BaselineReport::DuplicationFactor(uint64_t input_records) const {
+  if (input_records == 0 || signature_job >= jobs.size()) return 0.0;
+  return static_cast<double>(jobs[signature_job].map_output_records) /
+         static_cast<double>(input_records);
+}
+
+std::string BaselineReport::Summary() const {
+  std::ostringstream os;
+  os << algorithm << ": " << jobs.size() << " jobs, "
+     << WithThousandsSep(candidate_pairs) << " candidates, "
+     << WithThousandsSep(result_pairs) << " results, "
+     << StrFormat("%.1f ms", total_wall_ms);
+  uint64_t shuffle = 0;
+  for (const mr::JobMetrics& j : jobs) shuffle += j.shuffle_bytes;
+  os << ", shuffle " << HumanBytes(shuffle);
+  return os.str();
+}
+
+}  // namespace fsjoin

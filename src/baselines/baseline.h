@@ -1,0 +1,87 @@
+#ifndef FSJOIN_BASELINES_BASELINE_H_
+#define FSJOIN_BASELINES_BASELINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mr/metrics.h"
+#include "sim/join_result.h"
+#include "sim/similarity.h"
+#include "text/corpus.h"
+#include "util/status.h"
+
+namespace fsjoin {
+
+/// Shared parameters of the competitor algorithms (§VI "Alternative
+/// Techniques"): RIDPairsPPJoin (Vernica et al.), V-Smart-Join
+/// (Online-Aggregation) and MassJoin (Merge / Merge+Light).
+struct BaselineConfig {
+  double theta = 0.8;
+  SimilarityFunction function = SimilarityFunction::kJaccard;
+  uint32_t num_map_tasks = 8;
+  uint32_t num_reduce_tasks = 8;
+  size_t num_threads = 0;
+
+  /// Abort with ResourceExhausted once a single job emits more than this
+  /// many intermediate records (0 = unlimited). Models the paper's
+  /// observation that MassJoin and V-Smart-Join "cannot run successfully"
+  /// on the large datasets: their intermediate data outgrows the cluster.
+  uint64_t emission_limit = 0;
+
+  Status Validate() const;
+};
+
+/// Execution record of one baseline run; same role as FsJoinReport.
+struct BaselineReport {
+  std::string algorithm;
+  std::vector<mr::JobMetrics> jobs;
+  /// Index into `jobs` of the signature/kernel job whose map output holds
+  /// the duplicated records (0 for V-Smart, 1 for the ordering-first
+  /// algorithms).
+  size_t signature_job = 0;
+  uint64_t candidate_pairs = 0;
+  uint64_t result_pairs = 0;
+  double total_wall_ms = 0.0;
+
+  /// Map-output records of the signature job divided by input records —
+  /// the duplication the paper's Table I compares.
+  double DuplicationFactor(uint64_t input_records) const;
+
+  std::string Summary() const;
+};
+
+struct BaselineOutput {
+  JoinResultSet pairs;
+  BaselineReport report;
+};
+
+/// Budget shared across a baseline's mappers/reducers to enforce
+/// BaselineConfig::emission_limit.
+class EmissionBudget {
+ public:
+  explicit EmissionBudget(uint64_t limit) : limit_(limit) {}
+
+  /// Consumes n emissions; ResourceExhausted when the budget is exceeded.
+  Status Consume(uint64_t n) {
+    if (limit_ == 0) return Status::OK();
+    if (used_.fetch_add(n, std::memory_order_relaxed) + n > limit_) {
+      return Status::ResourceExhausted(
+          "intermediate record budget exceeded (" + std::to_string(limit_) +
+          ")");
+    }
+    return Status::OK();
+  }
+
+  uint64_t used() const { return used_.load(std::memory_order_relaxed); }
+
+ private:
+  uint64_t limit_;
+  std::atomic<uint64_t> used_{0};
+};
+
+}  // namespace fsjoin
+
+#endif  // FSJOIN_BASELINES_BASELINE_H_

@@ -1,0 +1,29 @@
+#ifndef FSJOIN_BASELINES_VSMART_JOIN_H_
+#define FSJOIN_BASELINES_VSMART_JOIN_H_
+
+#include "baselines/baseline.h"
+#include "util/status.h"
+
+namespace fsjoin {
+
+/// V-Smart-Join, Online-Aggregation variant (Metwally & Faloutsos, VLDB
+/// 2012) — competitor [13], adapted from multisets to sets.
+///
+/// Pipeline:
+///   1. join phase — map: emit *every* token of every record with the
+///      record's (rid, size); reduce: enumerate every pair in each token's
+///      posting list, emitting a partial overlap of 1 per shared token. No
+///      filtering whatsoever (the paper's critique).
+///   2. similarity phase — aggregate partial overlaps per pair and apply
+///      the threshold (FS-Join's verification job, reused).
+///
+/// Needs no global ordering. Returns the exact result set, but its
+/// intermediate data is quadratic in posting-list sizes; set
+/// config.emission_limit to reproduce the paper's "cannot run completely on
+/// the large datasets" behavior.
+Result<BaselineOutput> RunVSmartJoin(const Corpus& corpus,
+                                     const BaselineConfig& config);
+
+}  // namespace fsjoin
+
+#endif  // FSJOIN_BASELINES_VSMART_JOIN_H_

@@ -1,0 +1,97 @@
+#include "core/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace fsjoin {
+
+std::string CostEstimate::ToString() const {
+  return StrFormat(
+      "cost{map=%.3g shuffle=%.3g reduce=%.3g verify=%.3g total=%.3g}", map,
+      shuffle, reduce, verify, Total());
+}
+
+CostEstimate EstimateFsJoinCost(const CorpusStats& stats,
+                                uint32_t num_fragments,
+                                const CostModelParams& params) {
+  FSJOIN_CHECK(num_fragments >= 1);
+  CostEstimate cost;
+  const double total_tokens = static_cast<double>(stats.total_tokens);
+  const double records = static_cast<double>(stats.num_records);
+  const double n = static_cast<double>(num_fragments);
+
+  // Map and shuffle are linear in the input — the duplicate-free property.
+  cost.map = total_tokens * params.cost_map;
+  cost.shuffle = total_tokens * params.cost_shuffle;
+
+  // Reduce: each fragment loop-joins its expected M·p/N segments; one
+  // segment comparison costs the average segment length.
+  const double segments_per_fragment =
+      records * params.segment_presence / n;
+  const double avg_segment_len = stats.avg_len / n;
+  cost.reduce = n * segments_per_fragment * segments_per_fragment *
+                    avg_segment_len * params.cost_reduce +
+                n * params.cost_per_fragment;
+
+  // Verification: candidates flow through one more map/shuffle/reduce and
+  // results pay the output cost.
+  const double pairs = records * (records - 1.0) / 2.0;
+  const double candidates = pairs * params.candidate_rate;
+  cost.verify = candidates * (params.cost_map + params.cost_shuffle +
+                              params.cost_reduce) +
+                candidates * params.result_rate * params.cost_output;
+  return cost;
+}
+
+uint32_t OptimalFragments(const CorpusStats& stats, uint32_t max_n,
+                          const CostModelParams& params) {
+  FSJOIN_CHECK(max_n >= 1);
+  uint32_t best_n = 1;
+  double best_cost = EstimateFsJoinCost(stats, 1, params).Total();
+  for (uint32_t n = 2; n <= max_n; ++n) {
+    double cost = EstimateFsJoinCost(stats, n, params).Total();
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_n = n;
+    }
+  }
+  return best_n;
+}
+
+FsJoinConfig AutoTuneConfig(const CorpusStats& stats, uint32_t num_workers,
+                            uint64_t worker_memory_bytes, double theta) {
+  FSJOIN_CHECK(num_workers >= 1);
+  FSJOIN_CHECK(worker_memory_bytes >= 1);
+  FsJoinConfig config;
+  config.theta = theta;
+
+  // §IV: at least one fragment per worker, and enough fragments that one
+  // fragment (~data/N) fits in a worker's memory.
+  const uint64_t by_memory = static_cast<uint64_t>(std::ceil(
+      static_cast<double>(std::max<uint64_t>(stats.approx_bytes, 1)) /
+      static_cast<double>(worker_memory_bytes)));
+  uint32_t fragments = std::max<uint32_t>(
+      num_workers, static_cast<uint32_t>(std::min<uint64_t>(by_memory, 1024)));
+  // Refine with the Lemma 5 optimum, never dropping below the floor above.
+  CostModelParams params;
+  fragments = std::max(fragments, OptimalFragments(stats, 256, params));
+  config.num_vertical_partitions = fragments;
+
+  // Horizontal partitioning: slice fragments further when even 1/N of the
+  // data exceeds a worker's memory headroom (§V-A). The scheme caps the
+  // useful pivot count geometrically, so just request a generous number.
+  const uint64_t fragment_bytes =
+      std::max<uint64_t>(stats.approx_bytes / fragments, 1);
+  if (fragment_bytes > worker_memory_bytes / 4) {
+    config.num_horizontal_partitions = 16;
+  }
+
+  config.num_map_tasks = num_workers * 3;  // paper: 3 slots per node
+  config.num_reduce_tasks = num_workers * 3;
+  return config;
+}
+
+}  // namespace fsjoin

@@ -1,0 +1,71 @@
+#include "core/filters.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace fsjoin {
+
+namespace {
+uint64_t AbsDiff(uint32_t x, uint32_t y) {
+  return x > y ? x - y : y - x;
+}
+}  // namespace
+
+bool StrLengthPrunes(SimilarityFunction fn, double theta, uint32_t size_a,
+                     uint32_t size_b) {
+  const uint32_t shorter = std::min(size_a, size_b);
+  const uint32_t longer = std::max(size_a, size_b);
+  return shorter < PartnerSizeLowerBound(fn, theta, longer);
+}
+
+bool SegmentLengthPrunes(SimilarityFunction fn, double theta,
+                         const SegmentRecord& a, const SegmentRecord& b) {
+  const uint64_t required = MinOverlap(fn, theta, a.record_size, b.record_size);
+  const uint64_t best_head = std::min(a.head, b.head);
+  const uint64_t best_tail = std::min(a.Tail(), b.Tail());
+  const uint64_t best_seg = std::min(a.tokens.size(), b.tokens.size());
+  // Even the most optimistic overlap decomposition cannot reach `required`.
+  return best_head + best_seg + best_tail < required;
+}
+
+bool SegmentIntersectionPrunes(SimilarityFunction fn, double theta,
+                               const SegmentRecord& a, const SegmentRecord& b,
+                               uint64_t seg_overlap) {
+  const uint64_t required = MinOverlap(fn, theta, a.record_size, b.record_size);
+  const uint64_t best_head = std::min(a.head, b.head);
+  const uint64_t best_tail = std::min(a.Tail(), b.Tail());
+  return best_head + seg_overlap + best_tail < required;
+}
+
+bool SegmentDifferencePrunes(SimilarityFunction fn, double theta,
+                             const SegmentRecord& a, const SegmentRecord& b,
+                             uint64_t seg_overlap) {
+  const uint64_t required = MinOverlap(fn, theta, a.record_size, b.record_size);
+  const uint64_t total = static_cast<uint64_t>(a.record_size) + b.record_size;
+  // sim >= θ implies |sΔt| = |s|+|t|-2c <= total - 2*required.
+  const uint64_t max_sym_diff =
+      total >= 2 * required ? total - 2 * required : 0;
+  const uint64_t seg_diff =
+      a.tokens.size() + b.tokens.size() - 2 * seg_overlap;
+  const uint64_t min_head_diff = AbsDiff(a.head, b.head);
+  const uint64_t min_tail_diff = AbsDiff(a.Tail(), b.Tail());
+  return seg_diff + min_head_diff + min_tail_diff > max_sym_diff;
+}
+
+uint64_t SegmentMinLocalOverlap(SimilarityFunction fn, double theta,
+                                const SegmentRecord& a) {
+  const uint64_t outside = static_cast<uint64_t>(a.record_size) -
+                           a.tokens.size();  // head + tail
+  const uint64_t required = MinOverlapSelf(fn, theta, a.record_size);
+  const uint64_t local = required > outside ? required - outside : 0;
+  return std::max<uint64_t>(local, 1);
+}
+
+uint64_t SegmentPrefixLength(SimilarityFunction fn, double theta,
+                             const SegmentRecord& a) {
+  const uint64_t o = SegmentMinLocalOverlap(fn, theta, a);
+  if (o > a.tokens.size()) return 0;
+  return a.tokens.size() - o + 1;
+}
+
+}  // namespace fsjoin

@@ -1,0 +1,59 @@
+#ifndef FSJOIN_CORE_FILTERS_H_
+#define FSJOIN_CORE_FILTERS_H_
+
+#include <cstdint>
+
+#include "core/segments.h"
+#include "sim/similarity.h"
+
+namespace fsjoin {
+
+/// The paper's four filtering lemmas, in their *single-fragment* forms: each
+/// reducer sees only its own fragment, so the unseen head/tail overlaps are
+/// replaced by their extreme bounds (min for intersections, |Δsize| for
+/// differences). As the lemma proofs show, the resulting conditions are
+/// individually sufficient for sim < θ, which makes local pruning sound
+/// (see DESIGN.md "Per-fragment filter soundness").
+///
+/// All functions return true when the pair can be *pruned*.
+
+/// Lemma 1 (StrL-Filter): prune when the shorter record is too short to
+/// reach θ with the longer one.
+bool StrLengthPrunes(SimilarityFunction fn, double theta, uint32_t size_a,
+                     uint32_t size_b);
+
+/// Lemma 2 (SegL-Filter): prune when even a full overlap of the shorter
+/// segment, plus the best-case head/tail overlaps, stays below the required
+/// minimum overlap.
+bool SegmentLengthPrunes(SimilarityFunction fn, double theta,
+                         const SegmentRecord& a, const SegmentRecord& b);
+
+/// Lemma 3 (SegI-Filter): as Lemma 2, but with the *actual* segment overlap
+/// `seg_overlap` (strictly stronger; applied after the intersection is
+/// computed).
+bool SegmentIntersectionPrunes(SimilarityFunction fn, double theta,
+                               const SegmentRecord& a, const SegmentRecord& b,
+                               uint64_t seg_overlap);
+
+/// Lemma 4 (SegD-Filter): prune when the segment symmetric difference,
+/// plus the unavoidable head/tail differences, already exceeds the largest
+/// symmetric difference a θ-similar pair may have.
+bool SegmentDifferencePrunes(SimilarityFunction fn, double theta,
+                             const SegmentRecord& a, const SegmentRecord& b,
+                             uint64_t seg_overlap);
+
+/// Minimum overlap this fragment must contribute for record `a` to be part
+/// of any θ-similar pair: max(1, MinOverlapSelf(|a|) − |a^h| − |a^e|).
+/// Drives the per-segment prefix length of the Prefix Join (§V-A "Prefix
+/// Based Index Join"); see DESIGN.md "Prefix Join exactness".
+uint64_t SegmentMinLocalOverlap(SimilarityFunction fn, double theta,
+                                const SegmentRecord& a);
+
+/// Per-segment prefix length: |segment| − SegmentMinLocalOverlap + 1,
+/// clamped to [0, |segment|].
+uint64_t SegmentPrefixLength(SimilarityFunction fn, double theta,
+                             const SegmentRecord& a);
+
+}  // namespace fsjoin
+
+#endif  // FSJOIN_CORE_FILTERS_H_

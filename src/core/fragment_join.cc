@@ -1,0 +1,195 @@
+#include "core/fragment_join.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "core/filters.h"
+#include "sim/set_ops.h"
+
+namespace fsjoin {
+
+void FilterCounters::Add(const FilterCounters& other) {
+  pairs_considered += other.pairs_considered;
+  pruned_role += other.pruned_role;
+  pruned_strl += other.pruned_strl;
+  pruned_segl += other.pruned_segl;
+  pruned_segi += other.pruned_segi;
+  pruned_segd += other.pruned_segd;
+  empty_overlap += other.empty_overlap;
+  emitted += other.emitted;
+}
+
+namespace {
+
+/// Runs the shared filter pipeline on one candidate segment pair and emits
+/// its partial overlap when it survives.
+void ProcessPair(const SegmentRecord& x, const SegmentRecord& y,
+                 const FragmentJoinOptions& opts,
+                 std::vector<PartialOverlap>* out, FilterCounters* counters) {
+  ++counters->pairs_considered;
+  if (opts.pair_allowed && !opts.pair_allowed(x, y)) {
+    ++counters->pruned_role;
+    return;
+  }
+  if (opts.use_length_filter &&
+      StrLengthPrunes(opts.function, opts.theta, x.record_size,
+                      y.record_size)) {
+    ++counters->pruned_strl;
+    return;
+  }
+  if (opts.use_segment_length_filter &&
+      SegmentLengthPrunes(opts.function, opts.theta, x, y)) {
+    ++counters->pruned_segl;
+    return;
+  }
+  const uint64_t overlap = SortedOverlap(x.tokens, y.tokens);
+  if (overlap == 0) {
+    ++counters->empty_overlap;
+    return;
+  }
+  if (opts.use_segment_intersection_filter) {
+    if (SegmentIntersectionPrunes(opts.function, opts.theta, x, y, overlap)) {
+      ++counters->pruned_segi;
+      return;
+    }
+    // Local-overlap gate: any θ-similar pair satisfies
+    // c_i >= SegmentMinLocalOverlap for BOTH segments (the bound behind the
+    // Prefix Join; see DESIGN.md), so partial counts below it belong to
+    // dissimilar pairs and can be dropped without affecting the result.
+    if (overlap < SegmentMinLocalOverlap(opts.function, opts.theta, x) ||
+        overlap < SegmentMinLocalOverlap(opts.function, opts.theta, y)) {
+      ++counters->pruned_segi;
+      return;
+    }
+  }
+  if (opts.use_segment_difference_filter &&
+      SegmentDifferencePrunes(opts.function, opts.theta, x, y, overlap)) {
+    ++counters->pruned_segd;
+    return;
+  }
+  PartialOverlap result;
+  if (x.rid <= y.rid) {
+    result = PartialOverlap{x.rid, y.rid, x.record_size, y.record_size,
+                            overlap};
+  } else {
+    result = PartialOverlap{y.rid, x.rid, y.record_size, x.record_size,
+                            overlap};
+  }
+  out->push_back(result);
+  ++counters->emitted;
+}
+
+void LoopJoin(const std::vector<SegmentRecord>& segments,
+              const FragmentJoinOptions& opts,
+              std::vector<PartialOverlap>* out, FilterCounters* counters) {
+  for (size_t i = 0; i < segments.size(); ++i) {
+    for (size_t j = i + 1; j < segments.size(); ++j) {
+      ProcessPair(segments[i], segments[j], opts, out, counters);
+    }
+  }
+}
+
+/// A posting list whose consumed front is trimmed as the probe size grows
+/// (AllPairs-style index minimization).
+struct PostingList {
+  std::vector<uint32_t> entries;
+  size_t start = 0;
+};
+
+/// Shared core of the index and prefix joins: indexes the first
+/// `prefix_len(seg)` tokens of each segment and probes with the same
+/// prefix. A pair becomes a candidate when probing hits one of its indexed
+/// tokens; ProcessPair then computes the exact overlap.
+///
+/// Segments are processed in ascending record size so the string length
+/// filter can act at *generation* time: postings whose record is too short
+/// to ever again satisfy Lemma 1 are permanently trimmed off the front of
+/// each list (the probe's lower bound only grows).
+template <typename LenFn>
+void IndexedJoin(const std::vector<SegmentRecord>& segments,
+                 const FragmentJoinOptions& opts, LenFn prefix_len,
+                 std::vector<PartialOverlap>* out, FilterCounters* counters) {
+  std::vector<uint32_t> order(segments.size());
+  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    if (segments[a].record_size != segments[b].record_size) {
+      return segments[a].record_size < segments[b].record_size;
+    }
+    return segments[a].rid < segments[b].rid;
+  });
+
+  std::unordered_map<TokenRank, PostingList> index;
+  // Probe-stamp per already-indexed segment to deduplicate candidates.
+  std::vector<uint32_t> last_probe(segments.size(),
+                                   std::numeric_limits<uint32_t>::max());
+  for (uint32_t oi = 0; oi < order.size(); ++oi) {
+    const SegmentRecord& x = segments[order[oi]];
+    const uint64_t px = prefix_len(x);
+    const uint64_t min_partner =
+        opts.use_length_filter
+            ? PartnerSizeLowerBound(opts.function, opts.theta, x.record_size)
+            : 0;
+    for (uint64_t p = 0; p < px; ++p) {
+      auto it = index.find(x.tokens[p]);
+      if (it == index.end()) continue;
+      PostingList& list = it->second;
+      // Trim postings below the length-filter bound; record sizes ascend
+      // along the list, and the bound is monotone in |x|, so the trimmed
+      // front can never match a later probe either.
+      while (list.start < list.entries.size() &&
+             segments[list.entries[list.start]].record_size < min_partner) {
+        ++list.start;
+      }
+      for (size_t e = list.start; e < list.entries.size(); ++e) {
+        const uint32_t j = list.entries[e];
+        if (last_probe[j] == oi) continue;  // already a candidate this probe
+        last_probe[j] = oi;
+        ProcessPair(segments[j], x, opts, out, counters);
+      }
+    }
+    for (uint64_t p = 0; p < px; ++p) {
+      index[x.tokens[p]].entries.push_back(order[oi]);
+    }
+  }
+}
+
+}  // namespace
+
+void JoinFragment(const std::vector<SegmentRecord>& segments,
+                  const FragmentJoinOptions& opts,
+                  std::vector<PartialOverlap>* out, FilterCounters* counters) {
+  switch (opts.method) {
+    case JoinMethod::kLoop:
+      LoopJoin(segments, opts, out, counters);
+      return;
+    case JoinMethod::kIndex:
+      IndexedJoin(
+          segments, opts,
+          [](const SegmentRecord& s) { return s.tokens.size(); }, out,
+          counters);
+      return;
+    case JoinMethod::kPrefix:
+      if (opts.aggressive_segment_prefix) {
+        // Paper §V-A: each segment filtered like an independent mini-join
+        // at threshold θ. Fast but can drop partial counts (see header).
+        IndexedJoin(
+            segments, opts,
+            [&opts](const SegmentRecord& s) {
+              return PrefixLength(opts.function, opts.theta,
+                                  s.tokens.size());
+            },
+            out, counters);
+      } else {
+        IndexedJoin(
+            segments, opts,
+            [&opts](const SegmentRecord& s) {
+              return SegmentPrefixLength(opts.function, opts.theta, s);
+            },
+            out, counters);
+      }
+      return;
+  }
+}
+
+}  // namespace fsjoin

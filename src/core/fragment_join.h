@@ -1,0 +1,62 @@
+#ifndef FSJOIN_CORE_FRAGMENT_JOIN_H_
+#define FSJOIN_CORE_FRAGMENT_JOIN_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/fsjoin_config.h"
+#include "core/segments.h"
+
+namespace fsjoin {
+
+/// Pruning statistics from fragment joins — the raw data behind Table IV.
+struct FilterCounters {
+  uint64_t pairs_considered = 0;  ///< candidate segment pairs examined
+  uint64_t pruned_role = 0;       ///< rejected by band/R-S pairing rules
+  uint64_t pruned_strl = 0;       ///< Lemma 1
+  uint64_t pruned_segl = 0;       ///< Lemma 2
+  uint64_t pruned_segi = 0;       ///< Lemma 3
+  uint64_t pruned_segd = 0;       ///< Lemma 4
+  uint64_t empty_overlap = 0;     ///< candidates with no common token
+  uint64_t emitted = 0;           ///< partial-overlap records produced
+
+  void Add(const FilterCounters& other);
+};
+
+/// One partial result of the filtering phase: a record pair and the number
+/// of common tokens contributed by one fragment.
+struct PartialOverlap {
+  RecordId a = 0;  ///< smaller rid
+  RecordId b = 0;  ///< larger rid
+  uint32_t size_a = 0;
+  uint32_t size_b = 0;
+  uint64_t overlap = 0;
+};
+
+/// Parameters of one fragment-local join.
+struct FragmentJoinOptions {
+  SimilarityFunction function = SimilarityFunction::kJaccard;
+  double theta = 0.8;
+  JoinMethod method = JoinMethod::kPrefix;
+  /// See FsJoinConfig::aggressive_segment_prefix.
+  bool aggressive_segment_prefix = false;
+  bool use_length_filter = true;
+  bool use_segment_length_filter = true;
+  bool use_segment_intersection_filter = true;
+  bool use_segment_difference_filter = true;
+  /// Optional structural pairing rule (horizontal band role, R-S sides).
+  /// When set, pairs for which it returns false are never joined.
+  std::function<bool(const SegmentRecord&, const SegmentRecord&)> pair_allowed;
+};
+
+/// Joins all segment pairs of one fragment (the reducer body of the
+/// filtering job, §V-A "Join Algorithms"), appending surviving partial
+/// overlaps to *out and pruning statistics to *counters.
+void JoinFragment(const std::vector<SegmentRecord>& segments,
+                  const FragmentJoinOptions& options,
+                  std::vector<PartialOverlap>* out, FilterCounters* counters);
+
+}  // namespace fsjoin
+
+#endif  // FSJOIN_CORE_FRAGMENT_JOIN_H_

@@ -1,0 +1,149 @@
+#include "core/fsjoin.h"
+
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "core/jobs.h"
+#include "core/pivots.h"
+#include "mr/engine.h"
+#include "mr/pipeline.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace fsjoin {
+
+std::vector<mr::JobMetrics> FsJoinReport::AllJobs() const {
+  return {ordering_job, filtering_job, verification_job};
+}
+
+std::vector<mr::JobMetrics> FsJoinReport::JoinJobs() const {
+  return {filtering_job, verification_job};
+}
+
+std::string FsJoinReport::Summary() const {
+  std::ostringstream os;
+  os << config.Summary() << "\n";
+  os << StrFormat(
+      "  pivots: %zu vertical, %zu horizontal | candidates: %s | results: "
+      "%s\n",
+      pivots.size(), length_pivots.size(),
+      WithThousandsSep(candidate_pairs).c_str(),
+      WithThousandsSep(result_pairs).c_str());
+  os << StrFormat(
+      "  filters: considered=%s role=%s strl=%s segl=%s segi=%s segd=%s "
+      "empty=%s emitted=%s\n",
+      WithThousandsSep(filters.pairs_considered).c_str(),
+      WithThousandsSep(filters.pruned_role).c_str(),
+      WithThousandsSep(filters.pruned_strl).c_str(),
+      WithThousandsSep(filters.pruned_segl).c_str(),
+      WithThousandsSep(filters.pruned_segi).c_str(),
+      WithThousandsSep(filters.pruned_segd).c_str(),
+      WithThousandsSep(filters.empty_overlap).c_str(),
+      WithThousandsSep(filters.emitted).c_str());
+  os << StrFormat(
+      "  shuffle: filtering %s (dup %.2fx), verification %s | wall %.1f ms",
+      HumanBytes(filtering_job.shuffle_bytes).c_str(),
+      filtering_job.DuplicationFactor(),
+      HumanBytes(verification_job.shuffle_bytes).c_str(), total_wall_ms);
+  return os.str();
+}
+
+Result<FsJoinOutput> FsJoin::Run(const Corpus& corpus) const {
+  FSJOIN_RETURN_NOT_OK(config_.Validate());
+  WallTimer timer;
+
+  mr::Engine engine(config_.num_threads);
+  mr::MiniDfs dfs;
+  mr::Pipeline pipeline(&engine, &dfs);
+
+  FsJoinOutput output;
+  output.report.config = config_;
+
+  // --- Job 1: ordering -------------------------------------------------
+  dfs.Put("input", MakeCorpusDataset(corpus));
+  FSJOIN_RETURN_NOT_OK(
+      pipeline.RunJob(MakeOrderingJobConfig(config_.num_map_tasks,
+                                            config_.num_reduce_tasks),
+                      "input", "frequencies"));
+  FSJOIN_ASSIGN_OR_RETURN(const mr::Dataset* freq_out,
+                          dfs.Get("frequencies"));
+  FSJOIN_ASSIGN_OR_RETURN(
+      GlobalOrder order,
+      BuildGlobalOrderFromJobOutput(*freq_out, corpus.dictionary.size()));
+  auto shared_order = std::make_shared<const GlobalOrder>(std::move(order));
+
+  // --- Pivot selection (driver-side, like the paper's setup() phase) ----
+  auto filtering_ctx = std::make_shared<FilteringContext>();
+  filtering_ctx->config = config_;
+  filtering_ctx->order = shared_order;
+  filtering_ctx->pivots =
+      SelectPivots(*shared_order, config_.pivot_strategy,
+                   config_.num_vertical_partitions > 0
+                       ? config_.num_vertical_partitions - 1
+                       : 0,
+                   config_.seed);
+  if (config_.num_horizontal_partitions > 0) {
+    std::vector<OrderedRecord> ordered =
+        ApplyGlobalOrder(corpus, *shared_order);
+    filtering_ctx->horizontal = HorizontalScheme(
+        SelectLengthPivots(ordered, config_.num_horizontal_partitions,
+                           config_.function, config_.theta),
+        config_.function, config_.theta);
+  }
+  output.report.pivots = filtering_ctx->pivots;
+  output.report.length_pivots = filtering_ctx->horizontal.pivots();
+
+  // --- Job 2: filtering --------------------------------------------------
+  FSJOIN_RETURN_NOT_OK(pipeline.RunJob(MakeFilteringJobConfig(filtering_ctx),
+                                       "input", "partials"));
+
+  // --- Job 3: verification ------------------------------------------------
+  auto verification_ctx = std::make_shared<VerificationContext>();
+  verification_ctx->config = config_;
+  FSJOIN_RETURN_NOT_OK(pipeline.RunJob(
+      MakeVerificationJobConfig(verification_ctx), "partials", "results"));
+
+  FSJOIN_ASSIGN_OR_RETURN(const mr::Dataset* results_out, dfs.Get("results"));
+  FSJOIN_ASSIGN_OR_RETURN(output.pairs, DecodeJoinResults(*results_out));
+
+  const std::vector<mr::JobMetrics>& history = pipeline.history();
+  output.report.ordering_job = history[0];
+  output.report.filtering_job = history[1];
+  output.report.verification_job = history[2];
+  output.report.filters = filtering_ctx->totals;
+  output.report.candidate_pairs = verification_ctx->candidate_pairs;
+  output.report.result_pairs = output.pairs.size();
+  output.report.total_wall_ms = timer.ElapsedMillis();
+  return output;
+}
+
+Result<FsJoinOutput> FsJoinRS(const Corpus& r, const Corpus& s,
+                              FsJoinConfig config) {
+  // Concatenate R and S into one corpus; S's record ids are offset by |R|.
+  Corpus merged;
+  merged.records.reserve(r.records.size() + s.records.size());
+  auto append = [&merged](const Corpus& src) {
+    for (const Record& rec : src.records) {
+      Record copy;
+      copy.id = static_cast<RecordId>(merged.records.size());
+      copy.tokens.reserve(rec.tokens.size());
+      for (TokenId t : rec.tokens) {
+        copy.tokens.push_back(
+            merged.dictionary.Intern(src.dictionary.TokenString(t)));
+      }
+      std::sort(copy.tokens.begin(), copy.tokens.end());
+      copy.tokens.erase(std::unique(copy.tokens.begin(), copy.tokens.end()),
+                        copy.tokens.end());
+      for (TokenId t : copy.tokens) merged.dictionary.AddFrequency(t, 1);
+      merged.records.push_back(std::move(copy));
+    }
+  };
+  append(r);
+  append(s);
+  config.rs_boundary = static_cast<RecordId>(r.records.size());
+  FsJoin join(std::move(config));
+  return join.Run(merged);
+}
+
+}  // namespace fsjoin

@@ -1,0 +1,82 @@
+#ifndef FSJOIN_CORE_FSJOIN_H_
+#define FSJOIN_CORE_FSJOIN_H_
+
+#include <string>
+#include <vector>
+
+#include "core/fragment_join.h"
+#include "core/fsjoin_config.h"
+#include "mr/metrics.h"
+#include "sim/global_order.h"
+#include "sim/join_result.h"
+#include "text/corpus.h"
+#include "util/status.h"
+
+namespace fsjoin {
+
+/// Everything measured during one FS-Join run — the data every reproduced
+/// table and figure is computed from.
+struct FsJoinReport {
+  FsJoinConfig config;
+  std::vector<TokenRank> pivots;
+  std::vector<uint32_t> length_pivots;
+
+  mr::JobMetrics ordering_job;
+  mr::JobMetrics filtering_job;
+  mr::JobMetrics verification_job;
+
+  FilterCounters filters;
+  uint64_t candidate_pairs = 0;  ///< distinct pairs reaching verification
+  uint64_t result_pairs = 0;
+  double total_wall_ms = 0.0;
+
+  /// Jobs in execution order (for the cluster simulator). The ordering job
+  /// is included; the paper's cost analysis excludes it, so benches that
+  /// follow the paper pass JoinJobs() instead.
+  std::vector<mr::JobMetrics> AllJobs() const;
+  /// Filtering + verification jobs only (paper's §V-C scope).
+  std::vector<mr::JobMetrics> JoinJobs() const;
+
+  std::string Summary() const;
+};
+
+/// The result pairs plus the full report.
+struct FsJoinOutput {
+  JoinResultSet pairs;
+  FsJoinReport report;
+};
+
+/// FS-Join (§III–§V): a three-job MapReduce pipeline
+///   1. ordering      — token frequencies -> global ordering
+///   2. filtering     — vertical (+ horizontal) partitioning, fragment joins
+///   3. verification  — partial-overlap aggregation and thresholding
+/// run on the in-process MR engine.
+///
+/// Usage:
+///   FsJoinConfig config;
+///   config.theta = 0.8;
+///   FsJoin join(config);
+///   FSJOIN_ASSIGN_OR_RETURN(FsJoinOutput out, join.Run(corpus));
+class FsJoin {
+ public:
+  explicit FsJoin(FsJoinConfig config) : config_(std::move(config)) {}
+
+  /// Runs the self-join (or R-S join when config.rs_boundary is set) over
+  /// `corpus`. Deterministic for a fixed corpus and config.
+  Result<FsJoinOutput> Run(const Corpus& corpus) const;
+
+  const FsJoinConfig& config() const { return config_; }
+
+ private:
+  FsJoinConfig config_;
+};
+
+/// Convenience wrapper for R-S joins: concatenates R and S (S record ids
+/// offset by |R|), sets rs_boundary = |R| and runs FS-Join. Result pairs
+/// have `a` in R's id space and `b` in S's (b_original = b - |R|).
+Result<FsJoinOutput> FsJoinRS(const Corpus& r, const Corpus& s,
+                              FsJoinConfig config);
+
+}  // namespace fsjoin
+
+#endif  // FSJOIN_CORE_FSJOIN_H_

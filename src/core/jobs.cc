@@ -1,0 +1,341 @@
+#include "core/jobs.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "core/segments.h"
+#include "util/serde.h"
+
+namespace fsjoin {
+
+namespace {
+
+// ---- Ordering job ------------------------------------------------------
+
+class OrderingMapper : public mr::Mapper {
+ public:
+  Status Map(const mr::KeyValue& record, mr::Emitter* out) override {
+    RecordId rid = 0;
+    std::vector<TokenId> tokens;
+    FSJOIN_RETURN_NOT_OK(DecodeCorpusRecord(record, &rid, &tokens));
+    std::string one;
+    PutVarint64(&one, 1);
+    for (TokenId t : tokens) {
+      std::string key;
+      PutFixed32BE(&key, t);
+      out->Emit(std::move(key), one);
+    }
+    return Status::OK();
+  }
+};
+
+class SumReducer : public mr::Reducer {
+ public:
+  Status Reduce(const std::string& key, const std::vector<std::string>& values,
+                mr::Emitter* out) override {
+    uint64_t total = 0;
+    for (const std::string& v : values) {
+      Decoder dec(v);
+      uint64_t x = 0;
+      FSJOIN_RETURN_NOT_OK(dec.GetVarint64(&x));
+      total += x;
+    }
+    std::string value;
+    PutVarint64(&value, total);
+    out->Emit(key, std::move(value));
+    return Status::OK();
+  }
+};
+
+// ---- Filtering job -----------------------------------------------------
+
+class FilteringMapper : public mr::Mapper {
+ public:
+  explicit FilteringMapper(std::shared_ptr<FilteringContext> ctx)
+      : ctx_(std::move(ctx)) {}
+
+  Status Map(const mr::KeyValue& record, mr::Emitter* out) override {
+    RecordId rid = 0;
+    std::vector<TokenId> tokens;
+    FSJOIN_RETURN_NOT_OK(DecodeCorpusRecord(record, &rid, &tokens));
+
+    // Sort the record by the global ordering (paper: mapper-side sort).
+    OrderedRecord ordered;
+    ordered.id = rid;
+    ordered.tokens.reserve(tokens.size());
+    for (TokenId t : tokens) {
+      if (t >= ctx_->order->NumTokens()) {
+        return Status::Internal("token id outside the global ordering");
+      }
+      ordered.tokens.push_back(ctx_->order->RankOf(t));
+    }
+    std::sort(ordered.tokens.begin(), ordered.tokens.end());
+
+    const std::vector<uint32_t> groups =
+        ctx_->horizontal.GroupsOf(static_cast<uint32_t>(ordered.Size()));
+    SegmentSplit split = SplitIntoSegments(ordered, ctx_->pivots);
+    for (uint32_t h : groups) {
+      for (size_t i = 0; i < split.segments.size(); ++i) {
+        std::string key;
+        PutFixed32BE(&key, h);
+        PutFixed32BE(&key, split.fragment_ids[i]);
+        std::string value;
+        EncodeSegment(split.segments[i], &value);
+        out->Emit(std::move(key), std::move(value));
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<FilteringContext> ctx_;
+};
+
+class FilteringReducer : public mr::Reducer {
+ public:
+  explicit FilteringReducer(std::shared_ptr<FilteringContext> ctx)
+      : ctx_(std::move(ctx)) {}
+
+  Status Reduce(const std::string& key, const std::vector<std::string>& values,
+                mr::Emitter* out) override {
+    Decoder key_dec(key);
+    uint32_t group = 0, fragment = 0;
+    FSJOIN_RETURN_NOT_OK(key_dec.GetFixed32BE(&group));
+    FSJOIN_RETURN_NOT_OK(key_dec.GetFixed32BE(&fragment));
+
+    std::vector<SegmentRecord> segments;
+    segments.reserve(values.size());
+    for (const std::string& v : values) {
+      SegmentRecord seg;
+      FSJOIN_RETURN_NOT_OK(DecodeSegment(v, &seg));
+      segments.push_back(std::move(seg));
+    }
+
+    FragmentJoinOptions opts;
+    const FsJoinConfig& cfg = ctx_->config;
+    opts.function = cfg.function;
+    opts.theta = cfg.theta;
+    opts.method = cfg.join_method;
+    opts.aggressive_segment_prefix = cfg.aggressive_segment_prefix;
+    opts.use_length_filter = cfg.use_length_filter;
+    opts.use_segment_length_filter = cfg.use_segment_length_filter;
+    opts.use_segment_intersection_filter = cfg.use_segment_intersection_filter;
+    opts.use_segment_difference_filter = cfg.use_segment_difference_filter;
+
+    const HorizontalScheme* horizontal = &ctx_->horizontal;
+    const std::optional<RecordId> rs_boundary = cfg.rs_boundary;
+    opts.pair_allowed = [group, horizontal, rs_boundary](
+                            const SegmentRecord& a, const SegmentRecord& b) {
+      if (a.rid == b.rid) return false;
+      if (rs_boundary.has_value() &&
+          (a.rid < *rs_boundary) == (b.rid < *rs_boundary)) {
+        return false;  // R-S join: pairs must straddle the boundary
+      }
+      return horizontal->ShouldJoinInGroup(group, a.record_size,
+                                           b.record_size);
+    };
+
+    std::vector<PartialOverlap> partials;
+    FilterCounters counters;
+    JoinFragment(segments, opts, &partials, &counters);
+    {
+      std::lock_guard<std::mutex> lock(ctx_->mu);
+      ctx_->totals.Add(counters);
+    }
+
+    for (const PartialOverlap& p : partials) {
+      std::string out_key, out_value;
+      EncodePartialOverlap(p, &out_key, &out_value);
+      out->Emit(std::move(out_key), std::move(out_value));
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<FilteringContext> ctx_;
+};
+
+// ---- Verification job --------------------------------------------------
+
+class IdentityMapper : public mr::Mapper {
+ public:
+  Status Map(const mr::KeyValue& record, mr::Emitter* out) override {
+    out->Emit(record.key, record.value);
+    return Status::OK();
+  }
+};
+
+class VerificationReducer : public mr::Reducer {
+ public:
+  explicit VerificationReducer(std::shared_ptr<VerificationContext> ctx)
+      : ctx_(std::move(ctx)) {}
+
+  Status Reduce(const std::string& key, const std::vector<std::string>& values,
+                mr::Emitter* out) override {
+    uint64_t total_overlap = 0;
+    uint64_t size_a = 0, size_b = 0;
+    for (const std::string& v : values) {
+      Decoder dec(v);
+      uint64_t c = 0, la = 0, lb = 0;
+      FSJOIN_RETURN_NOT_OK(dec.GetVarint64(&c));
+      FSJOIN_RETURN_NOT_OK(dec.GetVarint64(&la));
+      FSJOIN_RETURN_NOT_OK(dec.GetVarint64(&lb));
+      total_overlap += c;
+      size_a = la;
+      size_b = lb;
+    }
+    ++local_candidates_;
+    const FsJoinConfig& cfg = ctx_->config;
+    if (PassesThreshold(cfg.function, total_overlap, size_a, size_b,
+                        cfg.theta)) {
+      double sim =
+          ComputeSimilarity(cfg.function, total_overlap, size_a, size_b);
+      std::string value;
+      uint64_t bits = 0;
+      static_assert(sizeof(bits) == sizeof(sim));
+      std::memcpy(&bits, &sim, sizeof(bits));
+      PutFixed64BE(&value, bits);
+      out->Emit(key, std::move(value));
+    }
+    return Status::OK();
+  }
+
+  Status Finish(mr::Emitter* out) override {
+    (void)out;
+    std::lock_guard<std::mutex> lock(ctx_->mu);
+    ctx_->candidate_pairs += local_candidates_;
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<VerificationContext> ctx_;
+  uint64_t local_candidates_ = 0;
+};
+
+}  // namespace
+
+mr::Dataset MakeCorpusDataset(const Corpus& corpus) {
+  mr::Dataset dataset;
+  dataset.reserve(corpus.records.size());
+  for (const Record& rec : corpus.records) {
+    mr::KeyValue kv;
+    PutFixed32BE(&kv.key, rec.id);
+    PutUint32Vector(&kv.value, rec.tokens);
+    dataset.push_back(std::move(kv));
+  }
+  return dataset;
+}
+
+Status DecodeCorpusRecord(const mr::KeyValue& kv, RecordId* rid,
+                          std::vector<TokenId>* tokens) {
+  Decoder key_dec(kv.key);
+  FSJOIN_RETURN_NOT_OK(key_dec.GetFixed32BE(rid));
+  Decoder value_dec(kv.value);
+  FSJOIN_RETURN_NOT_OK(value_dec.GetUint32Vector(tokens));
+  return Status::OK();
+}
+
+mr::JobConfig MakeOrderingJobConfig(uint32_t num_map_tasks,
+                                    uint32_t num_reduce_tasks) {
+  mr::JobConfig config;
+  config.name = "ordering";
+  config.num_map_tasks = num_map_tasks;
+  config.num_reduce_tasks = num_reduce_tasks;
+  config.mapper_factory = [] { return std::make_unique<OrderingMapper>(); };
+  config.reducer_factory = [] { return std::make_unique<SumReducer>(); };
+  config.combiner_factory = [] { return std::make_unique<SumReducer>(); };
+  return config;
+}
+
+Result<GlobalOrder> BuildGlobalOrderFromJobOutput(const mr::Dataset& output,
+                                                  size_t vocab_size) {
+  std::vector<uint64_t> frequency(vocab_size, 0);
+  for (const mr::KeyValue& kv : output) {
+    Decoder key_dec(kv.key);
+    uint32_t token = 0;
+    FSJOIN_RETURN_NOT_OK(key_dec.GetFixed32BE(&token));
+    if (token >= vocab_size) {
+      return Status::Internal("ordering output token outside vocabulary");
+    }
+    Decoder value_dec(kv.value);
+    uint64_t count = 0;
+    FSJOIN_RETURN_NOT_OK(value_dec.GetVarint64(&count));
+    frequency[token] = count;
+  }
+  return GlobalOrder::FromFrequencies(std::move(frequency));
+}
+
+uint32_t FragmentPartitioner::Partition(const std::string& key,
+                                        uint32_t num_partitions) const {
+  Decoder dec(key);
+  uint32_t h = 0, v = 0;
+  if (!dec.GetFixed32BE(&h).ok() || !dec.GetFixed32BE(&v).ok()) {
+    return static_cast<uint32_t>(Fnv1a64(key) % num_partitions);
+  }
+  return (h * num_vertical_ + v) % num_partitions;
+}
+
+mr::JobConfig MakeFilteringJobConfig(
+    const std::shared_ptr<FilteringContext>& context) {
+  mr::JobConfig config;
+  config.name = "filtering";
+  config.num_map_tasks = context->config.num_map_tasks;
+  config.num_reduce_tasks = context->config.num_reduce_tasks;
+  config.mapper_factory = [context] {
+    return std::make_unique<FilteringMapper>(context);
+  };
+  config.reducer_factory = [context] {
+    return std::make_unique<FilteringReducer>(context);
+  };
+  config.partitioner = std::make_shared<FragmentPartitioner>(
+      context->config.num_vertical_partitions);
+  return config;
+}
+
+mr::JobConfig MakeVerificationJobConfig(
+    const std::shared_ptr<VerificationContext>& context) {
+  mr::JobConfig config;
+  config.name = "verification";
+  config.num_map_tasks = context->config.num_map_tasks;
+  config.num_reduce_tasks = context->config.num_reduce_tasks;
+  config.mapper_factory = [] { return std::make_unique<IdentityMapper>(); };
+  // No combiner: a pair's partial overlaps come from different fragments
+  // (different filtering reducers), so map-side splits of the partials
+  // dataset almost never hold two records of the same pair — a combiner
+  // would only add sort cost.
+  config.reducer_factory = [context] {
+    return std::make_unique<VerificationReducer>(context);
+  };
+  return config;
+}
+
+Result<JoinResultSet> DecodeJoinResults(const mr::Dataset& output) {
+  JoinResultSet results;
+  results.reserve(output.size());
+  for (const mr::KeyValue& kv : output) {
+    Decoder key_dec(kv.key);
+    uint32_t a = 0, b = 0;
+    FSJOIN_RETURN_NOT_OK(key_dec.GetFixed32BE(&a));
+    FSJOIN_RETURN_NOT_OK(key_dec.GetFixed32BE(&b));
+    Decoder value_dec(kv.value);
+    uint64_t bits = 0;
+    FSJOIN_RETURN_NOT_OK(value_dec.GetFixed64BE(&bits));
+    double sim = 0.0;
+    std::memcpy(&sim, &bits, sizeof(sim));
+    results.push_back(SimilarPair{a, b, sim});
+  }
+  NormalizeResult(&results);
+  return results;
+}
+
+void EncodePartialOverlap(const PartialOverlap& partial, std::string* key,
+                          std::string* value) {
+  PutFixed32BE(key, partial.a);
+  PutFixed32BE(key, partial.b);
+  PutVarint64(value, partial.overlap);
+  PutVarint64(value, partial.size_a);
+  PutVarint64(value, partial.size_b);
+}
+
+}  // namespace fsjoin

@@ -1,0 +1,101 @@
+#ifndef FSJOIN_CORE_JOBS_H_
+#define FSJOIN_CORE_JOBS_H_
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/fragment_join.h"
+#include "core/fsjoin_config.h"
+#include "core/horizontal.h"
+#include "mr/job.h"
+#include "mr/kv.h"
+#include "sim/global_order.h"
+#include "sim/join_result.h"
+#include "text/corpus.h"
+#include "util/status.h"
+
+namespace fsjoin {
+
+/// ---- Corpus <-> MR dataset ------------------------------------------
+/// Input records: key = Fixed32BE(rid), value = varint-coded token vector.
+
+/// Serializes a corpus into the engine's input dataset.
+mr::Dataset MakeCorpusDataset(const Corpus& corpus);
+
+/// Parses one input record.
+Status DecodeCorpusRecord(const mr::KeyValue& kv, RecordId* rid,
+                          std::vector<TokenId>* tokens);
+
+/// ---- Job 1: ordering (token frequency) -------------------------------
+/// map:    (rid, tokens)  -> (token, 1) per distinct token
+/// combine/reduce: sum counts -> (token, frequency)
+
+/// Mapper/combiner/reducer factories for the ordering job.
+mr::JobConfig MakeOrderingJobConfig(uint32_t num_map_tasks,
+                                    uint32_t num_reduce_tasks);
+
+/// Builds the global ordering from the ordering job's output. `vocab_size`
+/// is the dictionary size (tokens with no output record get frequency 0).
+Result<GlobalOrder> BuildGlobalOrderFromJobOutput(const mr::Dataset& output,
+                                                  size_t vocab_size);
+
+/// ---- Job 2: filtering (vertical partition + fragment join) ----------
+/// map:    (rid, tokens) -> ((h, v), segment) per horizontal group h and
+///         non-empty vertical segment v  — duplicate-free in v.
+/// reduce: fragment join -> ((rid_a, rid_b), (overlap, |a|, |b|))
+
+/// Read-only state shared by all filtering tasks (the paper distributes the
+/// ordering and pivots via Hadoop's distributed cache; we share memory) plus
+/// mutex-guarded filter counters aggregated across reducers.
+struct FilteringContext {
+  FsJoinConfig config;
+  std::shared_ptr<const GlobalOrder> order;
+  std::vector<TokenRank> pivots;
+  HorizontalScheme horizontal;
+
+  std::mutex mu;
+  FilterCounters totals;
+};
+
+mr::JobConfig MakeFilteringJobConfig(
+    const std::shared_ptr<FilteringContext>& context);
+
+/// Routes (h, v) fragment keys to reducers round-robin so fragment loads
+/// are directly visible as per-reducer input sizes.
+class FragmentPartitioner : public mr::Partitioner {
+ public:
+  explicit FragmentPartitioner(uint32_t num_vertical)
+      : num_vertical_(num_vertical) {}
+  uint32_t Partition(const std::string& key,
+                     uint32_t num_partitions) const override;
+
+ private:
+  uint32_t num_vertical_;
+};
+
+/// ---- Job 3: verification (overlap aggregation) -----------------------
+/// map:    identity
+/// reduce: sum partial overlaps; emit (pair, similarity) when >= theta.
+
+/// Shared verification counters.
+struct VerificationContext {
+  FsJoinConfig config;
+  std::mutex mu;
+  uint64_t candidate_pairs = 0;  ///< distinct pairs aggregated
+};
+
+mr::JobConfig MakeVerificationJobConfig(
+    const std::shared_ptr<VerificationContext>& context);
+
+/// Parses the verification job's output into join results.
+Result<JoinResultSet> DecodeJoinResults(const mr::Dataset& output);
+
+/// Encodes one partial overlap the way the filtering reducer does (exposed
+/// for the baselines, which reuse the verification job).
+void EncodePartialOverlap(const PartialOverlap& partial, std::string* key,
+                          std::string* value);
+
+}  // namespace fsjoin
+
+#endif  // FSJOIN_CORE_JOBS_H_

@@ -1,0 +1,57 @@
+#include "core/segments.h"
+
+#include <algorithm>
+
+#include "core/pivots.h"
+#include "util/serde.h"
+
+namespace fsjoin {
+
+SegmentSplit SplitIntoSegments(const OrderedRecord& record,
+                               const std::vector<TokenRank>& pivots) {
+  SegmentSplit split;
+  const std::vector<TokenRank>& tokens = record.tokens;
+  size_t i = 0;
+  while (i < tokens.size()) {
+    const uint32_t fragment = SegmentOfRank(pivots, tokens[i]);
+    // End of this fragment's rank range (exclusive); the last fragment is
+    // unbounded.
+    size_t j = i;
+    if (fragment < pivots.size()) {
+      const TokenRank limit = pivots[fragment];
+      while (j < tokens.size() && tokens[j] < limit) ++j;
+    } else {
+      j = tokens.size();
+    }
+    SegmentRecord seg;
+    seg.rid = record.id;
+    seg.record_size = static_cast<uint32_t>(tokens.size());
+    seg.head = static_cast<uint32_t>(i);
+    seg.tokens.assign(tokens.begin() + i, tokens.begin() + j);
+    split.fragment_ids.push_back(fragment);
+    split.segments.push_back(std::move(seg));
+    i = j;
+  }
+  return split;
+}
+
+void EncodeSegment(const SegmentRecord& segment, std::string* out) {
+  PutVarint32(out, segment.rid);
+  PutVarint32(out, segment.record_size);
+  PutVarint32(out, segment.head);
+  PutUint32Vector(out, segment.tokens);
+}
+
+Status DecodeSegment(std::string_view data, SegmentRecord* segment) {
+  Decoder dec(data);
+  FSJOIN_RETURN_NOT_OK(dec.GetVarint32(&segment->rid));
+  FSJOIN_RETURN_NOT_OK(dec.GetVarint32(&segment->record_size));
+  FSJOIN_RETURN_NOT_OK(dec.GetVarint32(&segment->head));
+  FSJOIN_RETURN_NOT_OK(dec.GetUint32Vector(&segment->tokens));
+  if (!dec.done()) {
+    return Status::Internal("trailing bytes after segment record");
+  }
+  return Status::OK();
+}
+
+}  // namespace fsjoin

@@ -1,0 +1,52 @@
+#ifndef FSJOIN_CORE_SEGMENTS_H_
+#define FSJOIN_CORE_SEGMENTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/global_order.h"
+#include "util/status.h"
+
+namespace fsjoin {
+
+/// One segment of a record inside a fragment, together with the side
+/// information the segment-aware filters need (§V-A): the full string
+/// length |s|, the number of tokens before the segment |s^h| and after it
+/// |s^e| (derived), and the segment tokens themselves (sorted ranks).
+struct SegmentRecord {
+  RecordId rid = 0;
+  uint32_t record_size = 0;  ///< |s|
+  uint32_t head = 0;         ///< |s^h|
+  std::vector<TokenRank> tokens;
+
+  /// |s^e| = |s| - |s^h| - |segment|.
+  uint32_t Tail() const {
+    return record_size - head - static_cast<uint32_t>(tokens.size());
+  }
+};
+
+/// A record's split into segments: segment `v` spans ranks
+/// [pivots[v-1], pivots[v]). Only non-empty segments are materialized.
+struct SegmentSplit {
+  /// Parallel arrays: fragment id of each emitted segment.
+  std::vector<uint32_t> fragment_ids;
+  std::vector<SegmentRecord> segments;
+};
+
+/// Splits an ordered record (tokens sorted ascending by rank) along the
+/// pivot boundaries. The union of emitted segments is exactly the record,
+/// segments are pairwise disjoint, and head counts are consistent — the
+/// duplicate-free property at the heart of FS-Join.
+SegmentSplit SplitIntoSegments(const OrderedRecord& record,
+                               const std::vector<TokenRank>& pivots);
+
+/// Serializes a SegmentRecord into an MR value.
+void EncodeSegment(const SegmentRecord& segment, std::string* out);
+
+/// Parses a value produced by EncodeSegment.
+Status DecodeSegment(std::string_view data, SegmentRecord* segment);
+
+}  // namespace fsjoin
+
+#endif  // FSJOIN_CORE_SEGMENTS_H_

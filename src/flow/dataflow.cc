@@ -1,0 +1,241 @@
+#include "flow/dataflow.h"
+
+#include <algorithm>
+#include <mutex>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace fsjoin::flow {
+
+namespace {
+
+/// Emitter adapter feeding records into a callback chain.
+class CallbackEmitter : public mr::Emitter {
+ public:
+  using Sink = std::function<Status(mr::KeyValue)>;
+  explicit CallbackEmitter(Sink sink) : sink_(std::move(sink)) {}
+
+  void Emit(std::string key, std::string value) override {
+    if (!status_.ok()) return;
+    status_ = sink_(mr::KeyValue{std::move(key), std::move(value)});
+  }
+
+  const Status& status() const { return status_; }
+
+ private:
+  Sink sink_;
+  Status status_;
+};
+
+void SortByKey(mr::Dataset* data) {
+  std::stable_sort(data->begin(), data->end(),
+                   [](const mr::KeyValue& a, const mr::KeyValue& b) {
+                     return a.key < b.key;
+                   });
+}
+
+}  // namespace
+
+Pipeline::Pipeline(std::string name, size_t num_threads,
+                   uint32_t num_partitions)
+    : name_(std::move(name)),
+      num_partitions_(std::max<uint32_t>(num_partitions, 1)),
+      pool_(num_threads) {}
+
+Pipeline& Pipeline::FlatMap(std::string stage_name, mr::MapperFactory factory) {
+  Stage stage;
+  stage.wide = false;
+  stage.name = std::move(stage_name);
+  stage.mapper = std::move(factory);
+  stages_.push_back(std::move(stage));
+  return *this;
+}
+
+Pipeline& Pipeline::GroupByKey(
+    std::string stage_name, mr::ReducerFactory factory,
+    std::shared_ptr<const mr::Partitioner> partitioner) {
+  Stage stage;
+  stage.wide = true;
+  stage.name = std::move(stage_name);
+  stage.reducer = std::move(factory);
+  stage.partitioner = partitioner != nullptr
+                          ? std::move(partitioner)
+                          : std::make_shared<mr::HashPartitioner>();
+  stages_.push_back(std::move(stage));
+  return *this;
+}
+
+Result<mr::Dataset> Pipeline::Run(const mr::Dataset& input) {
+  WallTimer timer;
+  metrics_ = Metrics{};
+  metrics_.input_records = input.size();
+
+  // Initial partitioning: contiguous splits (like input blocks).
+  std::vector<mr::Dataset> partitions(num_partitions_);
+  {
+    const size_t per =
+        (input.size() + num_partitions_ - 1) / std::max<uint32_t>(num_partitions_, 1);
+    for (uint32_t p = 0; p < num_partitions_; ++p) {
+      const size_t begin = std::min(input.size(), p * per);
+      const size_t end = std::min(input.size(), begin + per);
+      partitions[p].assign(input.begin() + begin, input.begin() + end);
+    }
+  }
+
+  size_t s = 0;
+  while (s < stages_.size()) {
+    // Collect the maximal run of narrow stages starting at s, optionally
+    // terminated by one wide stage: one fused pass handles narrow chain +
+    // the wide stage's partition-and-ship.
+    size_t chain_end = s;
+    while (chain_end < stages_.size() && !stages_[chain_end].wide) {
+      ++chain_end;
+    }
+    const bool has_wide = chain_end < stages_.size();
+
+    // Per source-partition output buckets (either pass-through or keyed by
+    // the wide stage's partitioner).
+    std::vector<std::vector<mr::Dataset>> shuffled(
+        num_partitions_, std::vector<mr::Dataset>(has_wide ? num_partitions_ : 1));
+    std::vector<Status> statuses(num_partitions_);
+
+    pool_.ParallelFor(num_partitions_, [&](size_t p) {
+      // Build the fused chain back-to-front: the last sink either routes
+      // into shuffle buckets or appends to the single output bucket.
+      const mr::Partitioner* partitioner =
+          has_wide ? stages_[chain_end].partitioner.get() : nullptr;
+      std::vector<mr::Dataset>& sinks = shuffled[p];
+      CallbackEmitter::Sink sink = [&sinks, partitioner,
+                                    this](mr::KeyValue kv) -> Status {
+        const uint32_t bucket =
+            partitioner != nullptr
+                ? partitioner->Partition(kv.key, num_partitions_)
+                : 0;
+        sinks[bucket].push_back(std::move(kv));
+        return Status::OK();
+      };
+
+      // Instantiate one mapper per narrow stage for this partition and
+      // compose their Map calls.
+      std::vector<std::unique_ptr<mr::Mapper>> mappers;
+      for (size_t i = s; i < chain_end; ++i) {
+        mappers.push_back(stages_[i].mapper());
+      }
+      // emit_into[i] feeds record into mapper i (or the sink at the end).
+      std::vector<CallbackEmitter::Sink> emit_into(mappers.size() + 1);
+      emit_into[mappers.size()] = sink;
+      for (size_t i = mappers.size(); i-- > 0;) {
+        mr::Mapper* mapper = mappers[i].get();
+        CallbackEmitter::Sink next = emit_into[i + 1];
+        emit_into[i] = [mapper, next](mr::KeyValue kv) -> Status {
+          CallbackEmitter emitter(next);
+          FSJOIN_RETURN_NOT_OK(mapper->Map(kv, &emitter));
+          return emitter.status();
+        };
+      }
+
+      Status st;
+      for (auto& mapper : mappers) {
+        st = mapper->Setup();
+        if (!st.ok()) break;
+      }
+      if (st.ok()) {
+        for (mr::KeyValue& kv : partitions[p]) {
+          st = emit_into[0](std::move(kv));
+          if (!st.ok()) break;
+        }
+      }
+      if (st.ok()) {
+        // Finish hooks cascade into the rest of the chain.
+        for (size_t i = 0; i < mappers.size() && st.ok(); ++i) {
+          CallbackEmitter emitter(emit_into[i + 1]);
+          st = mappers[i]->Finish(&emitter);
+          if (st.ok()) st = emitter.status();
+        }
+      }
+      statuses[p] = st;
+    });
+    for (const Status& st : statuses) {
+      FSJOIN_RETURN_NOT_OK(st);
+    }
+
+    // Assemble the next generation of partitions.
+    std::vector<mr::Dataset> next(num_partitions_);
+    if (has_wide) {
+      ++metrics_.num_shuffles;
+      for (uint32_t dst = 0; dst < num_partitions_; ++dst) {
+        size_t total = 0;
+        for (uint32_t src = 0; src < num_partitions_; ++src) {
+          total += shuffled[src][dst].size();
+        }
+        mr::Dataset bucket;
+        bucket.reserve(total);
+        for (uint32_t src = 0; src < num_partitions_; ++src) {
+          std::move(shuffled[src][dst].begin(), shuffled[src][dst].end(),
+                    std::back_inserter(bucket));
+          mr::Dataset().swap(shuffled[src][dst]);
+        }
+        metrics_.shuffle_records += bucket.size();
+        metrics_.shuffle_bytes += mr::DatasetBytes(bucket);
+        next[dst] = std::move(bucket);
+      }
+      // Grouped reduce per partition.
+      const Stage& wide = stages_[chain_end];
+      std::vector<mr::Dataset> reduced(num_partitions_);
+      std::vector<Status> reduce_status(num_partitions_);
+      pool_.ParallelFor(num_partitions_, [&](size_t p) {
+        SortByKey(&next[p]);
+        std::unique_ptr<mr::Reducer> reducer = wide.reducer();
+        CallbackEmitter emitter([&reduced, p](mr::KeyValue kv) -> Status {
+          reduced[p].push_back(std::move(kv));
+          return Status::OK();
+        });
+        Status st = reducer->Setup();
+        size_t i = 0;
+        std::vector<std::string> values;
+        while (st.ok() && i < next[p].size()) {
+          size_t j = i;
+          values.clear();
+          while (j < next[p].size() && next[p][j].key == next[p][i].key) {
+            values.push_back(next[p][j].value);
+            ++j;
+          }
+          st = reducer->Reduce(next[p][i].key, values, &emitter);
+          i = j;
+        }
+        if (st.ok()) st = reducer->Finish(&emitter);
+        if (st.ok()) st = emitter.status();
+        reduce_status[p] = st;
+      });
+      for (const Status& st : reduce_status) {
+        FSJOIN_RETURN_NOT_OK(st);
+      }
+      next = std::move(reduced);
+      s = chain_end + 1;
+    } else {
+      for (uint32_t p = 0; p < num_partitions_; ++p) {
+        next[p] = std::move(shuffled[p][0]);
+      }
+      s = chain_end;
+    }
+    partitions = std::move(next);
+    for (const mr::Dataset& p : partitions) {
+      metrics_.materialized_bytes += mr::DatasetBytes(p);
+    }
+  }
+
+  mr::Dataset output;
+  size_t total = 0;
+  for (const mr::Dataset& p : partitions) total += p.size();
+  output.reserve(total);
+  for (mr::Dataset& p : partitions) {
+    std::move(p.begin(), p.end(), std::back_inserter(output));
+  }
+  metrics_.output_records = output.size();
+  metrics_.wall_micros = timer.ElapsedMicros();
+  return output;
+}
+
+}  // namespace fsjoin::flow

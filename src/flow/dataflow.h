@@ -1,0 +1,94 @@
+#ifndef FSJOIN_FLOW_DATAFLOW_H_
+#define FSJOIN_FLOW_DATAFLOW_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mr/job.h"
+#include "mr/kv.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace fsjoin::flow {
+
+/// A Spark-style dataflow executor — the paper's §VII future work ("other
+/// Big Data platforms, like Spark") built as a second execution substrate.
+///
+/// Differences from the Hadoop-style mr::Engine:
+///  * consecutive narrow stages (FlatMap) are *fused*: records stream
+///    through the whole chain in one pass with no materialization, sort or
+///    scheduling barrier between them;
+///  * only wide stages (GroupByKey) shuffle, and their outputs stay
+///    partitioned in memory for the next chain instead of being written to
+///    a DFS and re-split;
+///  * one pipeline = one "job": per-stage scheduling overhead is paid once
+///    per shuffle, not once per MapReduce job.
+///
+/// The stage interfaces reuse mr::Mapper / mr::Reducer, so every FS-Join
+/// and baseline operator runs unchanged on either engine.
+///
+/// Usage:
+///   Pipeline p("fsjoin", /*threads=*/0, /*partitions=*/30);
+///   p.FlatMap("split", mapper_factory)
+///    .GroupByKey("join", reducer_factory, partitioner)
+///    .GroupByKey("verify", verify_factory);
+///   FSJOIN_ASSIGN_OR_RETURN(mr::Dataset out, p.Run(input, &metrics));
+class Pipeline {
+ public:
+  /// \param num_threads    workers for running partitions (0 = inline)
+  /// \param num_partitions parallelism of every stage
+  Pipeline(std::string name, size_t num_threads, uint32_t num_partitions);
+
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  /// Appends a narrow stage; fused with any directly preceding narrow
+  /// stages. One mapper instance per partition per run.
+  Pipeline& FlatMap(std::string stage_name, mr::MapperFactory factory);
+
+  /// Appends a wide stage: hash-shuffle by key (default HashPartitioner),
+  /// sort-group within each partition, apply the reducer.
+  Pipeline& GroupByKey(
+      std::string stage_name, mr::ReducerFactory factory,
+      std::shared_ptr<const mr::Partitioner> partitioner = nullptr);
+
+  /// Executes the pipeline over `input`.
+  Result<mr::Dataset> Run(const mr::Dataset& input);
+
+  /// Execution counters of the last Run().
+  struct Metrics {
+    uint64_t input_records = 0;
+    uint64_t output_records = 0;
+    uint64_t shuffle_records = 0;  ///< records crossing wide boundaries
+    uint64_t shuffle_bytes = 0;
+    uint32_t num_shuffles = 0;
+    /// Bytes materialized between stages — the quantity fusion eliminates
+    /// relative to the MR engine (which materializes every job's output).
+    uint64_t materialized_bytes = 0;
+    int64_t wall_micros = 0;
+  };
+  const Metrics& metrics() const { return metrics_; }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  struct Stage {
+    bool wide = false;
+    std::string name;
+    mr::MapperFactory mapper;
+    mr::ReducerFactory reducer;
+    std::shared_ptr<const mr::Partitioner> partitioner;
+  };
+
+  std::string name_;
+  uint32_t num_partitions_;
+  ThreadPool pool_;
+  std::vector<Stage> stages_;
+  Metrics metrics_;
+};
+
+}  // namespace fsjoin::flow
+
+#endif  // FSJOIN_FLOW_DATAFLOW_H_

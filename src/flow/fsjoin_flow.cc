@@ -1,0 +1,74 @@
+#include "flow/fsjoin_flow.h"
+
+#include <memory>
+#include <utility>
+
+#include "core/jobs.h"
+#include "core/pivots.h"
+#include "util/timer.h"
+
+namespace fsjoin::flow {
+
+Result<FlowJoinOutput> RunFsJoinOnFlow(const Corpus& corpus,
+                                       const FsJoinConfig& config) {
+  FSJOIN_RETURN_NOT_OK(config.Validate());
+  WallTimer timer;
+  FlowJoinOutput output;
+
+  const mr::Dataset input = MakeCorpusDataset(corpus);
+  const uint32_t partitions = config.num_reduce_tasks;
+
+  // Pipeline 1: ordering. Reuses the MR job's operators verbatim.
+  mr::JobConfig ordering =
+      MakeOrderingJobConfig(config.num_map_tasks, config.num_reduce_tasks);
+  Pipeline ordering_pipeline("ordering", config.num_threads, partitions);
+  ordering_pipeline.FlatMap("tokenize", ordering.mapper_factory)
+      .GroupByKey("sum", ordering.reducer_factory);
+  FSJOIN_ASSIGN_OR_RETURN(mr::Dataset frequencies,
+                          ordering_pipeline.Run(input));
+  output.report.ordering = ordering_pipeline.metrics();
+  FSJOIN_ASSIGN_OR_RETURN(
+      GlobalOrder order,
+      BuildGlobalOrderFromJobOutput(frequencies, corpus.dictionary.size()));
+  auto shared_order = std::make_shared<const GlobalOrder>(std::move(order));
+
+  // Driver-side pivot selection, identical to the MR driver.
+  auto filtering_ctx = std::make_shared<FilteringContext>();
+  filtering_ctx->config = config;
+  filtering_ctx->order = shared_order;
+  filtering_ctx->pivots =
+      SelectPivots(*shared_order, config.pivot_strategy,
+                   config.num_vertical_partitions > 0
+                       ? config.num_vertical_partitions - 1
+                       : 0,
+                   config.seed);
+  if (config.num_horizontal_partitions > 0) {
+    std::vector<OrderedRecord> ordered = ApplyGlobalOrder(corpus, *shared_order);
+    filtering_ctx->horizontal = HorizontalScheme(
+        SelectLengthPivots(ordered, config.num_horizontal_partitions,
+                           config.function, config.theta),
+        config.function, config.theta);
+  }
+
+  // Pipeline 2: filtering + verification fused into one dataflow — the
+  // partial overlaps go straight from the fragment-join shuffle into the
+  // verification shuffle with no DFS round-trip or identity map job.
+  mr::JobConfig filtering = MakeFilteringJobConfig(filtering_ctx);
+  auto verification_ctx = std::make_shared<VerificationContext>();
+  verification_ctx->config = config;
+  mr::JobConfig verification = MakeVerificationJobConfig(verification_ctx);
+
+  Pipeline join_pipeline("filter+verify", config.num_threads, partitions);
+  join_pipeline.FlatMap("vertical-split", filtering.mapper_factory)
+      .GroupByKey("fragment-join", filtering.reducer_factory,
+                  filtering.partitioner)
+      .GroupByKey("verify", verification.reducer_factory);
+  FSJOIN_ASSIGN_OR_RETURN(mr::Dataset results, join_pipeline.Run(input));
+  output.report.join = join_pipeline.metrics();
+
+  FSJOIN_ASSIGN_OR_RETURN(output.pairs, DecodeJoinResults(results));
+  output.report.total_wall_ms = timer.ElapsedMillis();
+  return output;
+}
+
+}  // namespace fsjoin::flow

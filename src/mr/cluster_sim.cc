@@ -1,0 +1,100 @@
+#include "mr/cluster_sim.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/logging.h"
+
+namespace fsjoin::mr {
+
+double ListScheduleMakespan(const std::vector<double>& task_micros,
+                            uint32_t slots) {
+  FSJOIN_CHECK(slots > 0);
+  if (task_micros.empty()) return 0.0;
+  // Min-heap of slot completion times.
+  std::priority_queue<double, std::vector<double>, std::greater<double>> heap;
+  for (uint32_t s = 0; s < slots; ++s) heap.push(0.0);
+  double makespan = 0.0;
+  for (double t : task_micros) {
+    double start = heap.top();
+    heap.pop();
+    double finish = start + t;
+    makespan = std::max(makespan, finish);
+    heap.push(finish);
+  }
+  return makespan;
+}
+
+SimulatedJobTime SimulateJob(const JobMetrics& job, uint32_t num_nodes,
+                             const ClusterCostModel& model) {
+  FSJOIN_CHECK(num_nodes > 0);
+  const uint32_t slots = num_nodes * std::max<uint32_t>(model.slots_per_node, 1);
+
+  SimulatedJobTime sim;
+
+  std::vector<double> map_costs;
+  map_costs.reserve(job.map_tasks.size());
+  for (const TaskMetrics& t : job.map_tasks) {
+    map_costs.push_back(static_cast<double>(t.wall_micros) +
+                        model.per_task_overhead_micros);
+  }
+  sim.map_phase_ms = ListScheduleMakespan(map_costs, slots) / 1000.0;
+
+  // Shuffle: each reduce task pays network transfer for its input bytes.
+  std::vector<double> reduce_costs;
+  reduce_costs.reserve(job.reduce_tasks.size());
+  double total_shuffle_micros = 0.0;
+  double total_reduce = 0.0;
+  double max_reduce = 0.0;
+  for (const TaskMetrics& t : job.reduce_tasks) {
+    double shuffle_micros =
+        static_cast<double>(t.input_bytes) * model.network_micros_per_byte;
+    if (t.max_group_bytes > model.reduce_memory_bytes) {
+      // A group larger than the in-memory budget forces the task's merge
+      // through disk: every input byte pays the spill cost.
+      shuffle_micros +=
+          static_cast<double>(t.input_bytes) * model.spill_micros_per_byte;
+    }
+    total_shuffle_micros += shuffle_micros;
+    double cost = static_cast<double>(t.wall_micros) + shuffle_micros +
+                  model.per_task_overhead_micros;
+    reduce_costs.push_back(cost);
+    total_reduce += cost;
+    max_reduce = std::max(max_reduce, cost);
+  }
+  sim.shuffle_ms = total_shuffle_micros / 1000.0;
+  sim.reduce_phase_ms = ListScheduleMakespan(reduce_costs, slots) / 1000.0;
+  if (!reduce_costs.empty() && total_reduce > 0.0) {
+    sim.reduce_balance =
+        max_reduce / (total_reduce / static_cast<double>(reduce_costs.size()));
+  }
+  sim.total_ms = sim.map_phase_ms + sim.reduce_phase_ms;
+  return sim;
+}
+
+SimulatedJobTime SimulatePipeline(const std::vector<JobMetrics>& jobs,
+                                  uint32_t num_nodes,
+                                  const ClusterCostModel& model) {
+  SimulatedJobTime total;
+  total.reduce_balance = 0.0;
+  double balance_weight = 0.0;
+  for (const JobMetrics& job : jobs) {
+    SimulatedJobTime sim = SimulateJob(job, num_nodes, model);
+    total.map_phase_ms += sim.map_phase_ms;
+    total.reduce_phase_ms += sim.reduce_phase_ms;
+    total.shuffle_ms += sim.shuffle_ms;
+    total.total_ms += sim.total_ms;
+    // Weight per-job balance by its reduce time so the dominant job drives
+    // the pipeline-level skew number.
+    total.reduce_balance += sim.reduce_balance * sim.reduce_phase_ms;
+    balance_weight += sim.reduce_phase_ms;
+  }
+  if (balance_weight > 0.0) {
+    total.reduce_balance /= balance_weight;
+  } else {
+    total.reduce_balance = 1.0;
+  }
+  return total;
+}
+
+}  // namespace fsjoin::mr

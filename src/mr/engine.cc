@@ -1,0 +1,281 @@
+#include "mr/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace fsjoin::mr {
+
+namespace {
+
+/// Emitter that routes pairs into per-reduce-partition buffers and counts
+/// them. One instance per map task (single-threaded within the task).
+class PartitionedEmitter : public Emitter {
+ public:
+  PartitionedEmitter(const Partitioner& partitioner, uint32_t num_partitions)
+      : partitioner_(partitioner), buffers_(num_partitions) {}
+
+  void Emit(std::string key, std::string value) override {
+    uint32_t p = partitioner_.Partition(
+        key, static_cast<uint32_t>(buffers_.size()));
+    FSJOIN_CHECK(p < buffers_.size());
+    records_ += 1;
+    bytes_ += key.size() + value.size();
+    buffers_[p].push_back(KeyValue{std::move(key), std::move(value)});
+  }
+
+  std::vector<Dataset>& buffers() { return buffers_; }
+  uint64_t records() const { return records_; }
+  uint64_t bytes() const { return bytes_; }
+
+ private:
+  const Partitioner& partitioner_;
+  std::vector<Dataset> buffers_;
+  uint64_t records_ = 0;
+  uint64_t bytes_ = 0;
+};
+
+/// Emitter appending to a flat dataset (reduce output, combiner output).
+class VectorEmitter : public Emitter {
+ public:
+  explicit VectorEmitter(Dataset* out) : out_(out) {}
+
+  void Emit(std::string key, std::string value) override {
+    records_ += 1;
+    bytes_ += key.size() + value.size();
+    out_->push_back(KeyValue{std::move(key), std::move(value)});
+  }
+
+  uint64_t records() const { return records_; }
+  uint64_t bytes() const { return bytes_; }
+
+ private:
+  Dataset* out_;
+  uint64_t records_ = 0;
+  uint64_t bytes_ = 0;
+};
+
+void SortByKey(Dataset* data) {
+  std::stable_sort(data->begin(), data->end(),
+                   [](const KeyValue& a, const KeyValue& b) {
+                     return a.key < b.key;
+                   });
+}
+
+/// Runs `reducer` over key-grouped `input` (must be sorted by key). Tracks
+/// the largest group's byte size in *max_group_bytes when non-null.
+Status RunGroupedReduce(Reducer* reducer, const Dataset& input, Emitter* out,
+                        uint64_t* max_group_bytes = nullptr) {
+  FSJOIN_RETURN_NOT_OK(reducer->Setup());
+  size_t i = 0;
+  std::vector<std::string> values;
+  while (i < input.size()) {
+    size_t j = i;
+    values.clear();
+    uint64_t group_bytes = 0;
+    while (j < input.size() && input[j].key == input[i].key) {
+      values.push_back(input[j].value);
+      group_bytes += input[j].SizeBytes();
+      ++j;
+    }
+    if (max_group_bytes != nullptr) {
+      *max_group_bytes = std::max(*max_group_bytes, group_bytes);
+    }
+    FSJOIN_RETURN_NOT_OK(reducer->Reduce(input[i].key, values, out));
+    i = j;
+  }
+  return reducer->Finish(out);
+}
+
+}  // namespace
+
+uint32_t PrefixIdPartitioner::Partition(const std::string& key,
+                                        uint32_t num_partitions) const {
+  if (key.size() < 4) {
+    return static_cast<uint32_t>(Fnv1a64(key) % num_partitions);
+  }
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(key.data());
+  uint32_t id = (static_cast<uint32_t>(p[0]) << 24) |
+                (static_cast<uint32_t>(p[1]) << 16) |
+                (static_cast<uint32_t>(p[2]) << 8) | static_cast<uint32_t>(p[3]);
+  return id % num_partitions;
+}
+
+Engine::Engine(size_t num_threads) : pool_(num_threads) {}
+
+Status Engine::Run(const JobConfig& config, const Dataset& input,
+                   Dataset* output, JobMetrics* metrics) {
+  if (!config.mapper_factory) {
+    return Status::InvalidArgument("job '" + config.name + "': no mapper");
+  }
+  if (!config.reducer_factory) {
+    return Status::InvalidArgument("job '" + config.name + "': no reducer");
+  }
+  if (config.num_map_tasks == 0 || config.num_reduce_tasks == 0) {
+    return Status::InvalidArgument("job '" + config.name +
+                                   "': task counts must be positive");
+  }
+
+  WallTimer job_timer;
+  JobMetrics jm;
+  jm.job_name = config.name;
+  jm.map_input_records = input.size();
+  jm.map_input_bytes = DatasetBytes(input);
+
+  std::shared_ptr<const Partitioner> partitioner = config.partitioner;
+  if (partitioner == nullptr) {
+    partitioner = std::make_shared<HashPartitioner>();
+  }
+
+  const uint32_t num_maps = std::min<uint32_t>(
+      config.num_map_tasks,
+      static_cast<uint32_t>(std::max<size_t>(input.size(), 1)));
+  const uint32_t num_reds = config.num_reduce_tasks;
+
+  // ---- Map phase -----------------------------------------------------
+  // Each task gets a contiguous split of the input (Hadoop block split).
+  std::vector<std::vector<Dataset>> task_buffers(num_maps);
+  std::vector<TaskMetrics> map_task_metrics(num_maps);
+  std::vector<uint64_t> combine_inputs(num_maps, 0);
+  std::vector<Status> task_status(num_maps);
+  std::mutex status_mu;
+
+  const size_t per_task = (input.size() + num_maps - 1) / num_maps;
+  pool_.ParallelFor(num_maps, [&](size_t task) {
+    WallTimer timer;
+    const size_t begin = task * per_task;
+    const size_t end = std::min(input.size(), begin + per_task);
+
+    std::unique_ptr<Mapper> mapper = config.mapper_factory();
+    PartitionedEmitter emitter(*partitioner, num_reds);
+    Status st = mapper->Setup();
+    uint64_t in_bytes = 0;
+    for (size_t i = begin; st.ok() && i < end; ++i) {
+      in_bytes += input[i].SizeBytes();
+      st = mapper->Map(input[i], &emitter);
+    }
+    if (st.ok()) st = mapper->Finish(&emitter);
+
+    uint64_t out_records = emitter.records();
+    uint64_t out_bytes = emitter.bytes();
+
+    // Optional combiner: applied per partition buffer, like Hadoop's
+    // spill-time combine.
+    if (st.ok() && config.combiner_factory) {
+      combine_inputs[task] = out_records;
+      out_records = 0;
+      out_bytes = 0;
+      for (Dataset& buffer : emitter.buffers()) {
+        SortByKey(&buffer);
+        Dataset combined;
+        VectorEmitter combined_out(&combined);
+        std::unique_ptr<Reducer> combiner = config.combiner_factory();
+        st = RunGroupedReduce(combiner.get(), buffer, &combined_out);
+        if (!st.ok()) break;
+        out_records += combined_out.records();
+        out_bytes += combined_out.bytes();
+        buffer = std::move(combined);
+      }
+    }
+
+    task_buffers[task] = std::move(emitter.buffers());
+    TaskMetrics& tm = map_task_metrics[task];
+    tm.wall_micros = timer.ElapsedMicros();
+    tm.input_records = end - begin;
+    tm.input_bytes = in_bytes;
+    tm.output_records = out_records;
+    tm.output_bytes = out_bytes;
+    if (!st.ok()) {
+      std::lock_guard<std::mutex> lock(status_mu);
+      task_status[task] = st;
+    }
+  });
+
+  for (const Status& st : task_status) {
+    FSJOIN_RETURN_NOT_OK(st);
+  }
+  for (const TaskMetrics& tm : map_task_metrics) {
+    jm.map_output_records += tm.output_records;
+    jm.map_output_bytes += tm.output_bytes;
+    jm.map_wall_micros += tm.wall_micros;
+  }
+  for (uint64_t c : combine_inputs) jm.combine_input_records += c;
+  jm.map_tasks = std::move(map_task_metrics);
+
+  // ---- Shuffle -------------------------------------------------------
+  std::vector<Dataset> reduce_inputs(num_reds);
+  for (uint32_t r = 0; r < num_reds; ++r) {
+    size_t total = 0;
+    for (uint32_t m = 0; m < num_maps; ++m) {
+      total += task_buffers[m][r].size();
+    }
+    reduce_inputs[r].reserve(total);
+    for (uint32_t m = 0; m < num_maps; ++m) {
+      Dataset& src = task_buffers[m][r];
+      std::move(src.begin(), src.end(), std::back_inserter(reduce_inputs[r]));
+      Dataset().swap(src);
+    }
+    jm.shuffle_records += reduce_inputs[r].size();
+    jm.shuffle_bytes += DatasetBytes(reduce_inputs[r]);
+  }
+
+  // ---- Reduce phase ----------------------------------------------------
+  std::vector<Dataset> reduce_outputs(num_reds);
+  std::vector<TaskMetrics> reduce_task_metrics(num_reds);
+  std::vector<Status> reduce_status(num_reds);
+  pool_.ParallelFor(num_reds, [&](size_t r) {
+    WallTimer timer;
+    Dataset& rin = reduce_inputs[r];
+    TaskMetrics& tm = reduce_task_metrics[r];
+    tm.input_records = rin.size();
+    tm.input_bytes = DatasetBytes(rin);
+
+    SortByKey(&rin);
+    VectorEmitter out(&reduce_outputs[r]);
+    std::unique_ptr<Reducer> reducer = config.reducer_factory();
+    Status st =
+        RunGroupedReduce(reducer.get(), rin, &out, &tm.max_group_bytes);
+
+    tm.wall_micros = timer.ElapsedMicros();
+    tm.output_records = out.records();
+    tm.output_bytes = out.bytes();
+    if (!st.ok()) {
+      std::lock_guard<std::mutex> lock(status_mu);
+      reduce_status[r] = st;
+    }
+  });
+
+  for (const Status& st : reduce_status) {
+    FSJOIN_RETURN_NOT_OK(st);
+  }
+  for (const TaskMetrics& tm : reduce_task_metrics) {
+    jm.reduce_output_records += tm.output_records;
+    jm.reduce_output_bytes += tm.output_bytes;
+    jm.reduce_wall_micros += tm.wall_micros;
+  }
+  jm.reduce_tasks = std::move(reduce_task_metrics);
+
+  size_t out_total = 0;
+  for (const Dataset& d : reduce_outputs) out_total += d.size();
+  output->clear();
+  output->reserve(out_total);
+  for (Dataset& d : reduce_outputs) {
+    std::move(d.begin(), d.end(), std::back_inserter(*output));
+  }
+
+  jm.total_wall_micros = job_timer.ElapsedMicros();
+  if (metrics != nullptr) *metrics = std::move(jm);
+  return Status::OK();
+}
+
+uint64_t DatasetBytes(const Dataset& dataset) {
+  uint64_t total = 0;
+  for (const KeyValue& kv : dataset) total += kv.SizeBytes();
+  return total;
+}
+
+}  // namespace fsjoin::mr

@@ -1,0 +1,42 @@
+#ifndef FSJOIN_MR_ENGINE_H_
+#define FSJOIN_MR_ENGINE_H_
+
+#include <cstddef>
+#include <memory>
+
+#include "mr/job.h"
+#include "mr/kv.h"
+#include "mr/metrics.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace fsjoin::mr {
+
+/// In-process MapReduce engine. Substitutes for the paper's Hadoop cluster:
+/// the execution semantics (record-at-a-time map, optional combiner,
+/// hash-partitioned sort-merge shuffle, grouped reduce) match Hadoop's, and
+/// every phase is instrumented so algorithmic costs (duplicates, shuffle
+/// bytes, reducer skew) are measured exactly. Cluster-size effects are
+/// replayed from the per-task metrics by ClusterSimulator.
+class Engine {
+ public:
+  /// \param num_threads worker threads for running tasks (0 = inline).
+  explicit Engine(size_t num_threads = 0);
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Runs one job over `input`, appending results (in reduce-partition
+  /// order, keys sorted within a partition) to `*output` and the job's
+  /// counters to `*metrics`. Any Status error from user map/reduce code
+  /// aborts the job and is returned.
+  Status Run(const JobConfig& config, const Dataset& input, Dataset* output,
+             JobMetrics* metrics);
+
+ private:
+  ThreadPool pool_;
+};
+
+}  // namespace fsjoin::mr
+
+#endif  // FSJOIN_MR_ENGINE_H_

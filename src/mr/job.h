@@ -1,0 +1,101 @@
+#ifndef FSJOIN_MR_JOB_H_
+#define FSJOIN_MR_JOB_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mr/kv.h"
+#include "util/hash.h"
+#include "util/status.h"
+
+namespace fsjoin::mr {
+
+/// Sink for key/value pairs produced by a mapper or reducer.
+class Emitter {
+ public:
+  virtual ~Emitter() = default;
+  virtual void Emit(std::string key, std::string value) = 0;
+};
+
+/// Hadoop-style map task: invoked once per input record of the task's
+/// split. Implementations must be independent per instance — the engine
+/// creates one mapper per map task, possibly on different threads.
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+
+  /// Called once before the first Map of a task (the paper's `setup`).
+  virtual Status Setup() { return Status::OK(); }
+
+  /// Transforms one input record into zero or more output pairs.
+  virtual Status Map(const KeyValue& record, Emitter* out) = 0;
+
+  /// Called after the last Map of a task (may emit trailing pairs).
+  virtual Status Finish(Emitter* /*out*/) { return Status::OK(); }
+};
+
+/// Hadoop-style reduce task: invoked once per distinct key with every value
+/// shuffled for it. Also used as the combiner interface.
+class Reducer {
+ public:
+  virtual ~Reducer() = default;
+
+  virtual Status Setup() { return Status::OK(); }
+
+  virtual Status Reduce(const std::string& key,
+                        const std::vector<std::string>& values,
+                        Emitter* out) = 0;
+
+  virtual Status Finish(Emitter* /*out*/) { return Status::OK(); }
+};
+
+/// Routes keys to reduce partitions.
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+  virtual uint32_t Partition(const std::string& key,
+                             uint32_t num_partitions) const = 0;
+};
+
+/// Default partitioner: stable byte hash of the whole key.
+class HashPartitioner : public Partitioner {
+ public:
+  uint32_t Partition(const std::string& key,
+                     uint32_t num_partitions) const override {
+    return static_cast<uint32_t>(Fnv1a64(key) % num_partitions);
+  }
+};
+
+/// Partitioner for keys that *are* a big-endian partition id prefix (the
+/// FS-Join fragment jobs): partition = first 4 bytes mod num_partitions.
+/// Falls back to hashing for short keys.
+class PrefixIdPartitioner : public Partitioner {
+ public:
+  uint32_t Partition(const std::string& key,
+                     uint32_t num_partitions) const override;
+};
+
+using MapperFactory = std::function<std::unique_ptr<Mapper>()>;
+using ReducerFactory = std::function<std::unique_ptr<Reducer>()>;
+
+/// Static description of one MapReduce job.
+struct JobConfig {
+  std::string name = "job";
+  /// Number of map tasks the input is split into (Hadoop: one per block).
+  uint32_t num_map_tasks = 4;
+  /// Number of reduce tasks == shuffle partitions (paper: 3 * #nodes).
+  uint32_t num_reduce_tasks = 4;
+  MapperFactory mapper_factory;
+  ReducerFactory reducer_factory;
+  /// Optional combiner run on each map task's output before the shuffle.
+  ReducerFactory combiner_factory;
+  /// Key router; HashPartitioner when null.
+  std::shared_ptr<const Partitioner> partitioner;
+};
+
+}  // namespace fsjoin::mr
+
+#endif  // FSJOIN_MR_JOB_H_

@@ -1,0 +1,30 @@
+#ifndef FSJOIN_MR_KV_H_
+#define FSJOIN_MR_KV_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fsjoin::mr {
+
+/// One record flowing through the engine. As in Hadoop, keys and values are
+/// opaque byte strings; typed layers (util/serde.h) sit on top. Keys are
+/// grouped by bytewise equality and sorted bytewise during the shuffle, so
+/// multi-field keys should use order-preserving encodings (PutFixed*BE).
+struct KeyValue {
+  std::string key;
+  std::string value;
+
+  uint64_t SizeBytes() const { return key.size() + value.size(); }
+};
+
+/// An in-memory dataset: the unit stored in the MiniDfs and passed between
+/// chained jobs.
+using Dataset = std::vector<KeyValue>;
+
+/// Total serialized size of a dataset.
+uint64_t DatasetBytes(const Dataset& dataset);
+
+}  // namespace fsjoin::mr
+
+#endif  // FSJOIN_MR_KV_H_

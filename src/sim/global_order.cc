@@ -1,0 +1,58 @@
+#include "sim/global_order.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace fsjoin {
+
+GlobalOrder GlobalOrder::FromFrequencies(std::vector<uint64_t> frequency) {
+  GlobalOrder order;
+  order.frequency_ = std::move(frequency);
+  const size_t n = order.frequency_.size();
+  order.token_at_rank_.resize(n);
+  std::iota(order.token_at_rank_.begin(), order.token_at_rank_.end(), 0);
+  std::sort(order.token_at_rank_.begin(), order.token_at_rank_.end(),
+            [&](TokenId a, TokenId b) {
+              if (order.frequency_[a] != order.frequency_[b]) {
+                return order.frequency_[a] < order.frequency_[b];
+              }
+              return a < b;
+            });
+  order.rank_of_token_.resize(n);
+  for (size_t r = 0; r < n; ++r) {
+    order.rank_of_token_[order.token_at_rank_[r]] = static_cast<TokenRank>(r);
+  }
+  order.total_frequency_ = 0;
+  for (uint64_t f : order.frequency_) order.total_frequency_ += f;
+  return order;
+}
+
+GlobalOrder GlobalOrder::FromCorpus(const Corpus& corpus) {
+  std::vector<uint64_t> freq(corpus.dictionary.size());
+  for (size_t t = 0; t < freq.size(); ++t) {
+    freq[t] = corpus.dictionary.Frequency(static_cast<TokenId>(t));
+  }
+  return FromFrequencies(std::move(freq));
+}
+
+std::vector<OrderedRecord> ApplyGlobalOrder(const Corpus& corpus,
+                                            const GlobalOrder& order) {
+  std::vector<OrderedRecord> out;
+  out.reserve(corpus.records.size());
+  for (const Record& rec : corpus.records) {
+    OrderedRecord ordered;
+    ordered.id = rec.id;
+    ordered.tokens.reserve(rec.tokens.size());
+    for (TokenId t : rec.tokens) {
+      FSJOIN_CHECK(t < order.NumTokens());
+      ordered.tokens.push_back(order.RankOf(t));
+    }
+    std::sort(ordered.tokens.begin(), ordered.tokens.end());
+    out.push_back(std::move(ordered));
+  }
+  return out;
+}
+
+}  // namespace fsjoin

@@ -1,0 +1,64 @@
+#include "sim/join_result.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace fsjoin {
+
+void NormalizeResult(JoinResultSet* result) {
+  for (SimilarPair& p : *result) {
+    if (p.a > p.b) std::swap(p.a, p.b);
+  }
+  std::sort(result->begin(), result->end(),
+            [](const SimilarPair& x, const SimilarPair& y) {
+              if (x.a != y.a) return x.a < y.a;
+              return x.b < y.b;
+            });
+  result->erase(std::unique(result->begin(), result->end()), result->end());
+}
+
+bool SamePairs(const JoinResultSet& x, const JoinResultSet& y) {
+  if (x.size() != y.size()) return false;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (!(x[i] == y[i])) return false;
+  }
+  return true;
+}
+
+std::string DiffResults(const JoinResultSet& expected,
+                        const JoinResultSet& actual, size_t max_items) {
+  std::ostringstream os;
+  size_t missing = 0, extra = 0;
+  size_t i = 0, j = 0;
+  auto less = [](const SimilarPair& x, const SimilarPair& y) {
+    if (x.a != y.a) return x.a < y.a;
+    return x.b < y.b;
+  };
+  while (i < expected.size() || j < actual.size()) {
+    if (j >= actual.size() ||
+        (i < expected.size() && less(expected[i], actual[j]))) {
+      if (missing < max_items) {
+        os << StrFormat("  missing (%u,%u) sim=%.4f\n", expected[i].a,
+                        expected[i].b, expected[i].similarity);
+      }
+      ++missing;
+      ++i;
+    } else if (i >= expected.size() || less(actual[j], expected[i])) {
+      if (extra < max_items) {
+        os << StrFormat("  extra   (%u,%u) sim=%.4f\n", actual[j].a,
+                        actual[j].b, actual[j].similarity);
+      }
+      ++extra;
+      ++j;
+    } else {
+      ++i;
+      ++j;
+    }
+  }
+  os << StrFormat("  total: %zu missing, %zu extra", missing, extra);
+  return os.str();
+}
+
+}  // namespace fsjoin

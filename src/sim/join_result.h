@@ -1,0 +1,39 @@
+#ifndef FSJOIN_SIM_JOIN_RESULT_H_
+#define FSJOIN_SIM_JOIN_RESULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "text/record.h"
+
+namespace fsjoin {
+
+/// One join answer: a record pair (normalized a < b) with its similarity.
+struct SimilarPair {
+  RecordId a = 0;
+  RecordId b = 0;
+  double similarity = 0.0;
+
+  bool operator==(const SimilarPair& other) const {
+    return a == other.a && b == other.b;
+  }
+};
+
+using JoinResultSet = std::vector<SimilarPair>;
+
+/// Sorts by (a, b) and drops duplicate pairs; all joins normalize their
+/// output through this so result sets compare structurally.
+void NormalizeResult(JoinResultSet* result);
+
+/// True iff both (normalized) results contain exactly the same pairs.
+bool SamePairs(const JoinResultSet& x, const JoinResultSet& y);
+
+/// Pairs present in `expected` but not `actual` / vice versa, for test
+/// diagnostics. Inputs must be normalized.
+std::string DiffResults(const JoinResultSet& expected,
+                        const JoinResultSet& actual, size_t max_items = 10);
+
+}  // namespace fsjoin
+
+#endif  // FSJOIN_SIM_JOIN_RESULT_H_

@@ -1,0 +1,62 @@
+#ifndef FSJOIN_SIM_MINHASH_H_
+#define FSJOIN_SIM_MINHASH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/global_order.h"
+#include "sim/join_result.h"
+#include "sim/similarity.h"
+#include "util/status.h"
+
+namespace fsjoin {
+
+/// MinHash/LSH approximate set similarity join — the paper's stated future
+/// work ("we plan to extend our methods to approximate approaches").
+///
+/// Each record gets `num_hashes` MinHash values (one per hash function);
+/// the signature is cut into `bands` bands of `num_hashes / bands` rows.
+/// Two records become a candidate pair if any band hashes identically;
+/// candidates are then verified *exactly* against the token sets, so the
+/// output has precision 1.0 and recall ≈ 1 − (1 − θ^r)^b at similarity θ.
+
+/// Configuration of the LSH join.
+struct MinHashJoinConfig {
+  double theta = 0.8;
+  /// Jaccard only (MinHash estimates Jaccard by construction).
+  uint32_t num_hashes = 128;
+  uint32_t bands = 32;  ///< must divide num_hashes
+  uint64_t seed = 17;
+
+  Status Validate() const;
+
+  /// Probability a pair at exactly `similarity` becomes a candidate:
+  /// 1 - (1 - s^r)^b with r = num_hashes / bands.
+  double CandidateProbability(double similarity) const;
+};
+
+/// The MinHash signature of one token set.
+std::vector<uint64_t> MinHashSignature(const std::vector<TokenRank>& tokens,
+                                       uint32_t num_hashes, uint64_t seed);
+
+/// Estimated Jaccard similarity from two signatures (fraction of agreeing
+/// components).
+double EstimateJaccard(const std::vector<uint64_t>& a,
+                       const std::vector<uint64_t>& b);
+
+/// Execution counters of one LSH join.
+struct MinHashJoinStats {
+  uint64_t candidate_pairs = 0;  ///< distinct pairs sharing >= 1 band
+  uint64_t verified_pairs = 0;   ///< candidates with true sim >= theta
+};
+
+/// Runs the banded LSH self-join over ordered records. Every returned pair
+/// truly satisfies Jaccard >= theta (exact verification); pairs whose
+/// signature never collides are missed with the probability above.
+Result<JoinResultSet> MinHashJoin(const std::vector<OrderedRecord>& records,
+                                  const MinHashJoinConfig& config,
+                                  MinHashJoinStats* stats = nullptr);
+
+}  // namespace fsjoin
+
+#endif  // FSJOIN_SIM_MINHASH_H_

@@ -1,0 +1,128 @@
+#include "sim/serial_join.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "sim/set_ops.h"
+
+namespace fsjoin {
+
+JoinResultSet BruteForceJoin(const std::vector<OrderedRecord>& records,
+                             SimilarityFunction fn, double theta) {
+  JoinResultSet result;
+  for (size_t i = 0; i < records.size(); ++i) {
+    for (size_t j = i + 1; j < records.size(); ++j) {
+      uint64_t c = SortedOverlap(records[i].tokens, records[j].tokens);
+      if (c == 0) continue;
+      if (PassesThreshold(fn, c, records[i].Size(), records[j].Size(),
+                          theta)) {
+        result.push_back(SimilarPair{
+            records[i].id, records[j].id,
+            ComputeSimilarity(fn, c, records[i].Size(), records[j].Size())});
+      }
+    }
+  }
+  NormalizeResult(&result);
+  return result;
+}
+
+namespace {
+
+struct Posting {
+  uint32_t rec = 0;  ///< index into the size-sorted record order
+  uint32_t pos = 0;  ///< token position within that record's prefix
+};
+
+struct CandidateState {
+  uint64_t count = 0;
+  bool pruned = false;
+};
+
+JoinResultSet PrefixFilterJoin(const std::vector<OrderedRecord>& records,
+                               SimilarityFunction fn, double theta,
+                               bool positional, SerialJoinStats* stats) {
+  // Process records in ascending size so each pair is probed exactly once,
+  // with the longer record as the probe.
+  std::vector<uint32_t> order(records.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    if (records[a].Size() != records[b].Size()) {
+      return records[a].Size() < records[b].Size();
+    }
+    return records[a].id < records[b].id;
+  });
+
+  std::unordered_map<TokenRank, std::vector<Posting>> index;
+  std::unordered_map<uint32_t, CandidateState> candidates;
+  JoinResultSet result;
+
+  for (uint32_t xi = 0; xi < order.size(); ++xi) {
+    const OrderedRecord& x = records[order[xi]];
+    if (x.Size() == 0) continue;
+    const uint64_t prefix_len = PrefixLength(fn, theta, x.Size());
+    const uint64_t min_partner = PartnerSizeLowerBound(fn, theta, x.Size());
+
+    candidates.clear();
+    for (uint64_t p = 0; p < prefix_len; ++p) {
+      auto it = index.find(x.tokens[p]);
+      if (it == index.end()) continue;
+      for (const Posting& posting : it->second) {
+        const OrderedRecord& y = records[order[posting.rec]];
+        if (y.Size() < min_partner) continue;
+        if (stats != nullptr) ++stats->prefix_probes;
+        CandidateState& st = candidates[posting.rec];
+        if (st.pruned) continue;
+        ++st.count;
+        if (positional) {
+          // Positional filter (PPJoin): tokens before position p in x and
+          // before posting.pos in y cannot contribute beyond the matches
+          // already counted.
+          uint64_t ubound =
+              st.count + std::min<uint64_t>(x.Size() - p - 1,
+                                            y.Size() - posting.pos - 1);
+          if (ubound < MinOverlap(fn, theta, x.Size(), y.Size())) {
+            st.pruned = true;
+          }
+        }
+      }
+    }
+
+    for (const auto& [yi, st] : candidates) {
+      if (st.pruned || st.count == 0) continue;
+      const OrderedRecord& y = records[order[yi]];
+      if (stats != nullptr) ++stats->candidates;
+      uint64_t required = MinOverlap(fn, theta, x.Size(), y.Size());
+      uint64_t c = SortedOverlapAtLeast(x.tokens, y.tokens, required);
+      if (c == 0) continue;
+      if (!PassesThreshold(fn, c, x.Size(), y.Size(), theta)) continue;
+      if (stats != nullptr) ++stats->verified;
+      result.push_back(SimilarPair{
+          x.id, y.id, ComputeSimilarity(fn, c, x.Size(), y.Size())});
+    }
+
+    for (uint64_t p = 0; p < prefix_len; ++p) {
+      index[x.tokens[p]].push_back(
+          Posting{xi, static_cast<uint32_t>(p)});
+    }
+  }
+
+  NormalizeResult(&result);
+  return result;
+}
+
+}  // namespace
+
+JoinResultSet AllPairsJoin(const std::vector<OrderedRecord>& records,
+                           SimilarityFunction fn, double theta,
+                           SerialJoinStats* stats) {
+  return PrefixFilterJoin(records, fn, theta, /*positional=*/false, stats);
+}
+
+JoinResultSet PPJoin(const std::vector<OrderedRecord>& records,
+                     SimilarityFunction fn, double theta,
+                     SerialJoinStats* stats) {
+  return PrefixFilterJoin(records, fn, theta, /*positional=*/true, stats);
+}
+
+}  // namespace fsjoin

@@ -1,0 +1,89 @@
+#include "sim/set_ops.h"
+
+#include <algorithm>
+
+namespace fsjoin {
+
+uint64_t SortedOverlap(const std::vector<uint32_t>& a,
+                       const std::vector<uint32_t>& b) {
+  uint64_t count = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++count;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return count;
+}
+
+uint64_t SortedOverlapAtLeast(const std::vector<uint32_t>& a,
+                              const std::vector<uint32_t>& b,
+                              uint64_t required) {
+  uint64_t count = 0;
+  size_t i = 0, j = 0;
+  const size_t na = a.size(), nb = b.size();
+  while (i < na && j < nb) {
+    // Optimistic bound on the final overlap: matches so far plus everything
+    // that could still match. Below `required` means the pair cannot pass.
+    uint64_t best = count + static_cast<uint64_t>(std::min(na - i, nb - j));
+    if (best < required) return 0;
+    if (a[i] == b[j]) {
+      ++count;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return count >= required ? count : 0;
+}
+
+uint64_t SortedSuffixOverlap(const std::vector<uint32_t>& a,
+                             std::size_t a_start,
+                             const std::vector<uint32_t>& b,
+                             std::size_t b_start) {
+  uint64_t count = 0;
+  size_t i = a_start, j = b_start;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++count;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return count;
+}
+
+uint64_t SortedSymmetricDifference(const std::vector<uint32_t>& a,
+                                   const std::vector<uint32_t>& b) {
+  uint64_t overlap = SortedOverlap(a, b);
+  return a.size() + b.size() - 2 * overlap;
+}
+
+bool SortedIntersects(const std::vector<uint32_t>& a,
+                      const std::vector<uint32_t>& b) {
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) return true;
+    if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+}  // namespace fsjoin

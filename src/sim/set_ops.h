@@ -1,0 +1,40 @@
+#ifndef FSJOIN_SIM_SET_OPS_H_
+#define FSJOIN_SIM_SET_OPS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fsjoin {
+
+/// Kernels over sorted, duplicate-free uint32 sequences (token sets ordered
+/// by the global ordering). These are the hot loops of every join.
+
+/// |a ∩ b| by linear merge. O(|a| + |b|).
+uint64_t SortedOverlap(const std::vector<uint32_t>& a,
+                       const std::vector<uint32_t>& b);
+
+/// Like SortedOverlap but bails out early (returning 0) as soon as the
+/// remaining elements cannot reach `required` — the positional cutoff used
+/// by verification in AllPairs/PPJoin.
+uint64_t SortedOverlapAtLeast(const std::vector<uint32_t>& a,
+                              const std::vector<uint32_t>& b,
+                              uint64_t required);
+
+/// Overlap of the suffixes a[a_start..) and b[b_start..).
+uint64_t SortedSuffixOverlap(const std::vector<uint32_t>& a,
+                             std::size_t a_start,
+                             const std::vector<uint32_t>& b,
+                             std::size_t b_start);
+
+/// |a \ b| + |b \ a| (symmetric difference size) by linear merge.
+uint64_t SortedSymmetricDifference(const std::vector<uint32_t>& a,
+                                   const std::vector<uint32_t>& b);
+
+/// True iff a and b share at least one element.
+bool SortedIntersects(const std::vector<uint32_t>& a,
+                      const std::vector<uint32_t>& b);
+
+}  // namespace fsjoin
+
+#endif  // FSJOIN_SIM_SET_OPS_H_

@@ -1,0 +1,134 @@
+#include "sim/similarity.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace fsjoin {
+
+namespace {
+// Tolerance absorbing floating-point error in threshold comparisons so all
+// join paths (count-aggregation and direct verification) agree.
+constexpr double kEps = 1e-9;
+
+uint64_t CeilPositive(double x) {
+  if (x <= 0.0) return 0;
+  return static_cast<uint64_t>(std::ceil(x - kEps));
+}
+
+uint64_t FloorPositive(double x) {
+  if (x <= 0.0) return 0;
+  return static_cast<uint64_t>(std::floor(x + kEps));
+}
+}  // namespace
+
+const char* SimilarityFunctionName(SimilarityFunction fn) {
+  switch (fn) {
+    case SimilarityFunction::kJaccard:
+      return "jaccard";
+    case SimilarityFunction::kDice:
+      return "dice";
+    case SimilarityFunction::kCosine:
+      return "cosine";
+  }
+  return "?";
+}
+
+Result<SimilarityFunction> SimilarityFunctionFromName(const std::string& name) {
+  if (name == "jaccard") return SimilarityFunction::kJaccard;
+  if (name == "dice") return SimilarityFunction::kDice;
+  if (name == "cosine") return SimilarityFunction::kCosine;
+  return Status::InvalidArgument("unknown similarity function: " + name);
+}
+
+double ComputeSimilarity(SimilarityFunction fn, uint64_t overlap,
+                         uint64_t size_a, uint64_t size_b) {
+  const double c = static_cast<double>(overlap);
+  const double a = static_cast<double>(size_a);
+  const double b = static_cast<double>(size_b);
+  if (size_a == 0 || size_b == 0) return 0.0;
+  switch (fn) {
+    case SimilarityFunction::kJaccard:
+      return c / (a + b - c);
+    case SimilarityFunction::kDice:
+      return 2.0 * c / (a + b);
+    case SimilarityFunction::kCosine:
+      return c / std::sqrt(a * b);
+  }
+  return 0.0;
+}
+
+bool PassesThreshold(SimilarityFunction fn, uint64_t overlap, uint64_t size_a,
+                     uint64_t size_b, double theta) {
+  return ComputeSimilarity(fn, overlap, size_a, size_b) >= theta - kEps;
+}
+
+uint64_t MinOverlap(SimilarityFunction fn, double theta, uint64_t size_a,
+                    uint64_t size_b) {
+  FSJOIN_CHECK(theta > 0.0 && theta <= 1.0);
+  const double a = static_cast<double>(size_a);
+  const double b = static_cast<double>(size_b);
+  switch (fn) {
+    case SimilarityFunction::kJaccard:
+      return CeilPositive(theta / (1.0 + theta) * (a + b));
+    case SimilarityFunction::kDice:
+      return CeilPositive(theta * (a + b) / 2.0);
+    case SimilarityFunction::kCosine:
+      return CeilPositive(theta * std::sqrt(a * b));
+  }
+  return 0;
+}
+
+uint64_t MinOverlapSelf(SimilarityFunction fn, double theta, uint64_t size_a) {
+  FSJOIN_CHECK(theta > 0.0 && theta <= 1.0);
+  const double a = static_cast<double>(size_a);
+  switch (fn) {
+    case SimilarityFunction::kJaccard:
+      // sim >= theta implies c >= theta * max(|s|,|t|) >= theta * a.
+      return CeilPositive(theta * a);
+    case SimilarityFunction::kDice:
+      // 2c/(a+b) >= theta and b >= c imply c >= theta*a/(2-theta).
+      return CeilPositive(theta * a / (2.0 - theta));
+    case SimilarityFunction::kCosine:
+      // c/sqrt(ab) >= theta and b >= c imply c >= theta^2 * a.
+      return CeilPositive(theta * theta * a);
+  }
+  return 0;
+}
+
+uint64_t PartnerSizeLowerBound(SimilarityFunction fn, double theta,
+                               uint64_t size_a) {
+  const double a = static_cast<double>(size_a);
+  switch (fn) {
+    case SimilarityFunction::kJaccard:
+      return CeilPositive(theta * a);
+    case SimilarityFunction::kDice:
+      return CeilPositive(theta * a / (2.0 - theta));
+    case SimilarityFunction::kCosine:
+      return CeilPositive(theta * theta * a);
+  }
+  return 0;
+}
+
+uint64_t PartnerSizeUpperBound(SimilarityFunction fn, double theta,
+                               uint64_t size_a) {
+  const double a = static_cast<double>(size_a);
+  switch (fn) {
+    case SimilarityFunction::kJaccard:
+      return FloorPositive(a / theta);
+    case SimilarityFunction::kDice:
+      return FloorPositive(a * (2.0 - theta) / theta);
+    case SimilarityFunction::kCosine:
+      return FloorPositive(a / (theta * theta));
+  }
+  return 0;
+}
+
+uint64_t PrefixLength(SimilarityFunction fn, double theta, uint64_t size_a) {
+  uint64_t required = MinOverlapSelf(fn, theta, size_a);
+  if (required == 0) return size_a;
+  if (required > size_a) return 0;  // cannot be similar to anything
+  return size_a - required + 1;
+}
+
+}  // namespace fsjoin

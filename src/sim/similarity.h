@@ -1,0 +1,59 @@
+#ifndef FSJOIN_SIM_SIMILARITY_H_
+#define FSJOIN_SIM_SIMILARITY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace fsjoin {
+
+/// Set similarity functions supported by every join in the library
+/// (paper §V-B gives the verification identities for all three).
+enum class SimilarityFunction {
+  kJaccard,  ///< |s ∩ t| / |s ∪ t|
+  kDice,     ///< 2|s ∩ t| / (|s| + |t|)
+  kCosine,   ///< |s ∩ t| / sqrt(|s| · |t|)
+};
+
+const char* SimilarityFunctionName(SimilarityFunction fn);
+Result<SimilarityFunction> SimilarityFunctionFromName(const std::string& name);
+
+/// Exact similarity score from the overlap c = |s ∩ t| and the set sizes.
+double ComputeSimilarity(SimilarityFunction fn, uint64_t overlap,
+                         uint64_t size_a, uint64_t size_b);
+
+/// Whether a pair with overlap c and sizes (a, b) satisfies sim >= theta.
+/// Evaluated with a tolerance so that FS-Join's count-aggregation path and
+/// the serial verifiers agree bit-for-bit.
+bool PassesThreshold(SimilarityFunction fn, uint64_t overlap, uint64_t size_a,
+                     uint64_t size_b, double theta);
+
+/// Minimum overlap two sets of sizes (a, b) need for sim >= theta
+/// (the paper's alpha; e.g. Jaccard: ceil(theta/(1+theta) * (a+b))).
+uint64_t MinOverlap(SimilarityFunction fn, double theta, uint64_t size_a,
+                    uint64_t size_b);
+
+/// Minimum overlap a set of size `a` needs with *any* partner for
+/// sim >= theta (used for prefix lengths when the partner is unknown).
+/// Jaccard: ceil(theta*a); Dice: ceil(theta*a/(2-theta));
+/// Cosine: ceil(theta^2*a).
+uint64_t MinOverlapSelf(SimilarityFunction fn, double theta, uint64_t size_a);
+
+/// Smallest partner size that can reach sim >= theta with a set of size
+/// `a` (the length filter's lower bound; Lemma 1 for Jaccard).
+uint64_t PartnerSizeLowerBound(SimilarityFunction fn, double theta,
+                               uint64_t size_a);
+
+/// Largest partner size that can reach sim >= theta with a set of size `a`.
+uint64_t PartnerSizeUpperBound(SimilarityFunction fn, double theta,
+                               uint64_t size_a);
+
+/// Prefix length for prefix filtering: the first PrefixLength tokens of a
+/// (globally ordered) set of size `a` must contain a common token with any
+/// theta-similar partner.
+uint64_t PrefixLength(SimilarityFunction fn, double theta, uint64_t size_a);
+
+}  // namespace fsjoin
+
+#endif  // FSJOIN_SIM_SIMILARITY_H_

@@ -1,0 +1,112 @@
+#include "text/corpus.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/string_util.h"
+
+namespace fsjoin {
+
+uint64_t Corpus::TotalTokens() const {
+  uint64_t total = 0;
+  for (const auto& r : records) total += r.tokens.size();
+  return total;
+}
+
+Status Corpus::Validate() const {
+  std::vector<uint64_t> freq(dictionary.size(), 0);
+  for (size_t i = 0; i < records.size(); ++i) {
+    const Record& r = records[i];
+    if (r.id != i) {
+      return Status::Internal(
+          StrFormat("record %zu has id %u (ids must be dense)", i, r.id));
+    }
+    for (size_t j = 0; j < r.tokens.size(); ++j) {
+      if (r.tokens[j] >= dictionary.size()) {
+        return Status::Internal(
+            StrFormat("record %zu: token id %u out of range", i, r.tokens[j]));
+      }
+      if (j > 0 && r.tokens[j] <= r.tokens[j - 1]) {
+        return Status::Internal(
+            StrFormat("record %zu: tokens not sorted-unique", i));
+      }
+      ++freq[r.tokens[j]];
+    }
+  }
+  for (size_t t = 0; t < freq.size(); ++t) {
+    if (freq[t] != dictionary.Frequency(static_cast<TokenId>(t))) {
+      return Status::Internal(StrFormat(
+          "token %zu frequency mismatch: dictionary says %llu, actual %llu", t,
+          static_cast<unsigned long long>(
+              dictionary.Frequency(static_cast<TokenId>(t))),
+          static_cast<unsigned long long>(freq[t])));
+    }
+  }
+  return Status::OK();
+}
+
+Corpus BuildCorpus(const std::vector<std::string>& lines,
+                   const Tokenizer& tokenizer) {
+  Corpus corpus;
+  corpus.records.reserve(lines.size());
+  for (size_t i = 0; i < lines.size(); ++i) {
+    Record rec;
+    rec.id = static_cast<RecordId>(i);
+    std::vector<std::string> raw = tokenizer.Tokenize(lines[i]);
+    rec.tokens.reserve(raw.size());
+    for (const std::string& tok : raw) {
+      rec.tokens.push_back(corpus.dictionary.Intern(tok));
+    }
+    std::sort(rec.tokens.begin(), rec.tokens.end());
+    rec.tokens.erase(std::unique(rec.tokens.begin(), rec.tokens.end()),
+                     rec.tokens.end());
+    for (TokenId t : rec.tokens) corpus.dictionary.AddFrequency(t, 1);
+    corpus.records.push_back(std::move(rec));
+  }
+  return corpus;
+}
+
+Corpus SampleCorpus(const Corpus& corpus, const std::vector<RecordId>& keep) {
+  Corpus out;
+  out.records.reserve(keep.size());
+  // Re-intern only the tokens that survive, keeping dictionary compact.
+  for (size_t i = 0; i < keep.size(); ++i) {
+    const Record& src = corpus.records[keep[i]];
+    Record rec;
+    rec.id = static_cast<RecordId>(i);
+    rec.tokens.reserve(src.tokens.size());
+    for (TokenId t : src.tokens) {
+      rec.tokens.push_back(
+          out.dictionary.Intern(corpus.dictionary.TokenString(t)));
+    }
+    std::sort(rec.tokens.begin(), rec.tokens.end());
+    rec.tokens.erase(std::unique(rec.tokens.begin(), rec.tokens.end()),
+                     rec.tokens.end());
+    for (TokenId t : rec.tokens) out.dictionary.AddFrequency(t, 1);
+    out.records.push_back(std::move(rec));
+  }
+  return out;
+}
+
+CorpusStats ComputeStats(const Corpus& corpus) {
+  CorpusStats stats;
+  stats.num_records = corpus.records.size();
+  stats.vocab_size = corpus.dictionary.size();
+  stats.min_len = std::numeric_limits<uint64_t>::max();
+  for (const auto& r : corpus.records) {
+    uint64_t len = r.tokens.size();
+    stats.total_tokens += len;
+    stats.min_len = std::min(stats.min_len, len);
+    stats.max_len = std::max(stats.max_len, len);
+    stats.approx_bytes += len * sizeof(TokenId) + sizeof(RecordId);
+  }
+  if (stats.num_records == 0) {
+    stats.min_len = 0;
+  } else {
+    stats.avg_len = static_cast<double>(stats.total_tokens) /
+                    static_cast<double>(stats.num_records);
+  }
+  return stats;
+}
+
+}  // namespace fsjoin

@@ -1,0 +1,27 @@
+#ifndef FSJOIN_TEXT_CORPUS_IO_H_
+#define FSJOIN_TEXT_CORPUS_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "text/corpus.h"
+#include "util/status.h"
+
+namespace fsjoin {
+
+/// Reads a text file into lines (one record per line). Empty lines are
+/// kept so record ids align with line numbers.
+Result<std::vector<std::string>> ReadLines(const std::string& path);
+
+/// Writes a corpus as text: each line is the record's tokens separated by
+/// single spaces (round-trips through BuildCorpus with a
+/// WhitespaceTokenizer).
+Status WriteCorpusText(const Corpus& corpus, const std::string& path);
+
+/// Reads a corpus previously written by WriteCorpusText (or any one-record-
+/// per-line token file).
+Result<Corpus> ReadCorpusText(const std::string& path);
+
+}  // namespace fsjoin
+
+#endif  // FSJOIN_TEXT_CORPUS_IO_H_

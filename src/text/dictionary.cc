@@ -1,0 +1,40 @@
+#include "text/dictionary.h"
+
+#include "util/logging.h"
+
+namespace fsjoin {
+
+TokenId TokenDictionary::Intern(std::string_view token) {
+  auto it = index_.find(std::string(token));
+  if (it != index_.end()) return it->second;
+  TokenId id = static_cast<TokenId>(tokens_.size());
+  tokens_.emplace_back(token);
+  frequency_.push_back(0);
+  index_.emplace(tokens_.back(), id);
+  return id;
+}
+
+Result<TokenId> TokenDictionary::Lookup(std::string_view token) const {
+  auto it = index_.find(std::string(token));
+  if (it == index_.end()) {
+    return Status::NotFound("token not in dictionary: " + std::string(token));
+  }
+  return it->second;
+}
+
+const std::string& TokenDictionary::TokenString(TokenId id) const {
+  FSJOIN_CHECK(id < tokens_.size());
+  return tokens_[id];
+}
+
+void TokenDictionary::AddFrequency(TokenId id, uint64_t delta) {
+  FSJOIN_CHECK(id < frequency_.size());
+  frequency_[id] += delta;
+}
+
+uint64_t TokenDictionary::Frequency(TokenId id) const {
+  if (id >= frequency_.size()) return 0;
+  return frequency_[id];
+}
+
+}  // namespace fsjoin

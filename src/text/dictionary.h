@@ -1,0 +1,47 @@
+#ifndef FSJOIN_TEXT_DICTIONARY_H_
+#define FSJOIN_TEXT_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "text/record.h"
+#include "util/status.h"
+
+namespace fsjoin {
+
+/// Interns token strings to dense TokenIds and tracks per-token term
+/// frequency (number of records containing the token — set semantics).
+class TokenDictionary {
+ public:
+  TokenDictionary() = default;
+
+  /// Returns the id for `token`, interning it on first sight.
+  TokenId Intern(std::string_view token);
+
+  /// Looks up an existing token. NotFound if never interned.
+  Result<TokenId> Lookup(std::string_view token) const;
+
+  /// The token string for an id. Requires id < size().
+  const std::string& TokenString(TokenId id) const;
+
+  /// Increments the term frequency of `id` by `delta`.
+  void AddFrequency(TokenId id, uint64_t delta);
+
+  /// Term frequency of `id` (0 if never counted).
+  uint64_t Frequency(TokenId id) const;
+
+  /// Number of distinct tokens (the paper's token domain |U|).
+  size_t size() const { return tokens_.size(); }
+
+ private:
+  std::unordered_map<std::string, TokenId> index_;
+  std::vector<std::string> tokens_;
+  std::vector<uint64_t> frequency_;
+};
+
+}  // namespace fsjoin
+
+#endif  // FSJOIN_TEXT_DICTIONARY_H_

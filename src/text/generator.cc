@@ -1,0 +1,172 @@
+#include "text/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace fsjoin {
+
+namespace {
+
+// Draws a record length: log-normal around avg_len, clipped to
+// [min_len, max_len].
+uint64_t DrawLength(const SyntheticCorpusConfig& cfg, Rng& rng) {
+  double mu = std::log(cfg.avg_len);
+  double x = std::exp(rng.NextGaussian(mu, cfg.len_sigma));
+  uint64_t len = static_cast<uint64_t>(std::llround(x));
+  len = std::max<uint64_t>(len, cfg.min_len);
+  len = std::min<uint64_t>(len, cfg.max_len);
+  len = std::min<uint64_t>(len, cfg.vocab_size);
+  return std::max<uint64_t>(len, 1);
+}
+
+// Draws `len` distinct token ranks from the Zipf sampler.
+std::vector<TokenId> DrawTokenSet(uint64_t len, const ZipfSampler& zipf,
+                                  Rng& rng) {
+  std::unordered_set<TokenId> seen;
+  seen.reserve(len * 2);
+  std::vector<TokenId> out;
+  out.reserve(len);
+  // Rejection loop; for len close to vocab_size this degrades, so fall back
+  // to a scan-based draw when the target is a large share of the domain.
+  if (len * 2 >= zipf.n()) {
+    for (TokenId t = 0; t < zipf.n() && out.size() < len; ++t) out.push_back(t);
+    return out;
+  }
+  while (out.size() < len) {
+    TokenId t = static_cast<TokenId>(zipf.Sample(rng));
+    if (seen.insert(t).second) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace
+
+Corpus GenerateCorpus(const SyntheticCorpusConfig& cfg) {
+  FSJOIN_CHECK(cfg.num_records > 0);
+  FSJOIN_CHECK(cfg.vocab_size > 0);
+  Rng rng(cfg.seed);
+  ZipfSampler zipf(cfg.vocab_size, cfg.zipf_skew);
+
+  Corpus corpus;
+  corpus.records.reserve(cfg.num_records);
+
+  // Pre-intern the token domain so TokenId == Zipf rank: rank 0 is the most
+  // popular token. This keeps the mapping between popularity and id obvious
+  // in tests; the global ordering module never relies on it.
+  for (uint64_t t = 0; t < cfg.vocab_size; ++t) {
+    corpus.dictionary.Intern(StrFormat("t%llu", static_cast<unsigned long long>(t)));
+  }
+
+  // Indices of non-duplicate records; duplicates copy only from these so
+  // duplicate clusters stay small (no copy-of-copy drift chains, which
+  // would flood joins with medium-similarity pairs real corpora lack).
+  std::vector<size_t> originals;
+
+  for (uint64_t i = 0; i < cfg.num_records; ++i) {
+    Record rec;
+    rec.id = static_cast<RecordId>(i);
+    bool make_duplicate =
+        !originals.empty() && rng.NextBool(cfg.near_duplicate_fraction);
+    if (make_duplicate) {
+      const Record& base =
+          corpus.records[originals[static_cast<size_t>(
+              rng.NextBounded(originals.size()))]];
+      rec.tokens = base.tokens;
+      // Mutate: replace a fraction of tokens with fresh draws, then
+      // occasionally drop or add one.
+      for (TokenId& t : rec.tokens) {
+        if (rng.NextBool(cfg.mutation_rate)) {
+          t = static_cast<TokenId>(zipf.Sample(rng));
+        }
+      }
+      if (!rec.tokens.empty() && rng.NextBool(0.3)) {
+        rec.tokens.pop_back();
+      }
+      if (rng.NextBool(0.3)) {
+        rec.tokens.push_back(static_cast<TokenId>(zipf.Sample(rng)));
+      }
+      std::sort(rec.tokens.begin(), rec.tokens.end());
+      rec.tokens.erase(std::unique(rec.tokens.begin(), rec.tokens.end()),
+                       rec.tokens.end());
+      if (rec.tokens.empty()) {
+        rec.tokens.push_back(static_cast<TokenId>(zipf.Sample(rng)));
+      }
+    } else {
+      uint64_t len = DrawLength(cfg, rng);
+      rec.tokens = DrawTokenSet(len, zipf, rng);
+      std::sort(rec.tokens.begin(), rec.tokens.end());
+      originals.push_back(static_cast<size_t>(i));
+    }
+    for (TokenId t : rec.tokens) corpus.dictionary.AddFrequency(t, 1);
+    corpus.records.push_back(std::move(rec));
+  }
+  return corpus;
+}
+
+// NOTE on calibration: record counts are scaled far below the real corpora
+// (single-machine budget), so vocabularies must stay large *relative to the
+// corpus* to preserve the cross-pair token-sharing rate — the quantity that
+// drives candidate counts and filter effectiveness. The real corpora have
+// multi-million-token vocabularies; shrinking records without shrinking
+// vocabulary proportionally keeps the same "two random records share almost
+// nothing" sparsity they exhibit. See DESIGN.md.
+
+SyntheticCorpusConfig EmailLikeConfig(double scale) {
+  SyntheticCorpusConfig cfg;
+  cfg.name = "email";
+  // Enron: 517k records, long messages with a very heavy length tail.
+  cfg.num_records = std::max<uint64_t>(static_cast<uint64_t>(1500 * scale), 10);
+  cfg.vocab_size = 250000;
+  cfg.zipf_skew = 0.6;
+  cfg.avg_len = 350;
+  cfg.len_sigma = 0.9;
+  cfg.min_len = 30;
+  cfg.max_len = 6000;
+  cfg.near_duplicate_fraction = 0.30;
+  cfg.mutation_rate = 0.05;
+  cfg.seed = 1001;
+  return cfg;
+}
+
+SyntheticCorpusConfig PubMedLikeConfig(double scale) {
+  SyntheticCorpusConfig cfg;
+  cfg.name = "pubmed";
+  // PubMed: 7.4M abstracts, avg ~80 tokens, technical vocabulary (very
+  // large, weakly skewed).
+  cfg.num_records = std::max<uint64_t>(static_cast<uint64_t>(20000 * scale), 10);
+  cfg.vocab_size = 400000;
+  cfg.zipf_skew = 0.5;
+  cfg.avg_len = 80;
+  cfg.len_sigma = 0.7;
+  cfg.min_len = 3;
+  cfg.max_len = 1200;
+  cfg.near_duplicate_fraction = 0.25;
+  cfg.mutation_rate = 0.08;
+  cfg.seed = 1002;
+  return cfg;
+}
+
+SyntheticCorpusConfig WikiLikeConfig(double scale) {
+  SyntheticCorpusConfig cfg;
+  cfg.name = "wiki";
+  // Wikipedia abstracts: 4.3M records, avg ~56 tokens; more skewed
+  // vocabulary than PubMed (common encyclopedic phrasing).
+  cfg.num_records = std::max<uint64_t>(static_cast<uint64_t>(15000 * scale), 10);
+  cfg.vocab_size = 300000;
+  cfg.zipf_skew = 0.7;
+  cfg.avg_len = 45;
+  cfg.len_sigma = 0.6;
+  cfg.min_len = 2;
+  cfg.max_len = 700;
+  cfg.near_duplicate_fraction = 0.25;
+  cfg.mutation_rate = 0.10;
+  cfg.seed = 1003;
+  return cfg;
+}
+
+}  // namespace fsjoin

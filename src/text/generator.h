@@ -1,0 +1,51 @@
+#ifndef FSJOIN_TEXT_GENERATOR_H_
+#define FSJOIN_TEXT_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "text/corpus.h"
+
+namespace fsjoin {
+
+/// Parameters of the synthetic corpus generator.
+///
+/// The paper evaluates on Enron Email, PubMed and Wikipedia abstracts. Those
+/// corpora are not available offline, so we generate analogues that
+/// reproduce the two properties that drive every reported effect: the
+/// Zipfian token-frequency distribution (shapes fragment skew and prefix
+/// filter power) and the record-length distribution (shapes the length
+/// filter and horizontal partitioning). A configurable fraction of records
+/// are *planted near-duplicates* (noisy copies of earlier records) so joins
+/// at high thresholds have non-trivial result sets, as real corpora do.
+struct SyntheticCorpusConfig {
+  std::string name = "synthetic";
+  uint64_t num_records = 10000;
+  uint64_t vocab_size = 50000;
+  /// Zipf exponent of token popularity (0 = uniform; ~1 for text).
+  double zipf_skew = 1.0;
+  /// Record length is drawn log-normally: exp(N(log(avg_len), len_sigma)).
+  double avg_len = 50;
+  double len_sigma = 0.6;
+  uint64_t min_len = 2;
+  uint64_t max_len = 2000;
+  /// Fraction of records generated as noisy copies of earlier records.
+  double near_duplicate_fraction = 0.25;
+  /// Per-token probability of replacement inside a near-duplicate.
+  double mutation_rate = 0.08;
+  uint64_t seed = 42;
+};
+
+/// Generates a corpus per config. Deterministic for a fixed config.
+Corpus GenerateCorpus(const SyntheticCorpusConfig& config);
+
+/// Presets calibrated against the paper's Table III. `scale` multiplies the
+/// record count (scale = 1.0 is our "10X" full workload, sized to run on a
+/// single machine).
+SyntheticCorpusConfig EmailLikeConfig(double scale);   ///< few, very long records
+SyntheticCorpusConfig PubMedLikeConfig(double scale);  ///< many medium records
+SyntheticCorpusConfig WikiLikeConfig(double scale);    ///< many short records
+
+}  // namespace fsjoin
+
+#endif  // FSJOIN_TEXT_GENERATOR_H_

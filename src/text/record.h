@@ -1,0 +1,27 @@
+#ifndef FSJOIN_TEXT_RECORD_H_
+#define FSJOIN_TEXT_RECORD_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace fsjoin {
+
+/// Identifier of an interned token.
+using TokenId = uint32_t;
+
+/// Identifier of a record within a corpus (dense, 0-based).
+using RecordId = uint32_t;
+
+/// One input string viewed as a *set* of tokens (SSJoin semantics, §II of
+/// the paper): tokens are deduplicated and kept sorted ascending by TokenId.
+struct Record {
+  RecordId id = 0;
+  std::vector<TokenId> tokens;
+
+  /// Number of set elements (paper's |s|).
+  size_t Size() const { return tokens.size(); }
+};
+
+}  // namespace fsjoin
+
+#endif  // FSJOIN_TEXT_RECORD_H_

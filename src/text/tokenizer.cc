@@ -1,0 +1,77 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace fsjoin {
+
+std::vector<std::string> WhitespaceTokenizer::Tokenize(
+    std::string_view text) const {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() ||
+        std::isspace(static_cast<unsigned char>(text[i]))) {
+      if (i > start) out.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> WordTokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!current.empty()) {
+      out.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) out.push_back(std::move(current));
+  return out;
+}
+
+QGramTokenizer::QGramTokenizer(size_t q) : q_(q) { FSJOIN_CHECK(q >= 1); }
+
+std::vector<std::string> QGramTokenizer::Tokenize(std::string_view text) const {
+  // Normalize: lowercase, collapse whitespace runs to single spaces.
+  std::string norm;
+  norm.reserve(text.size());
+  bool last_space = true;
+  for (char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!last_space) norm.push_back(' ');
+      last_space = true;
+    } else {
+      norm.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+      last_space = false;
+    }
+  }
+  while (!norm.empty() && norm.back() == ' ') norm.pop_back();
+
+  std::vector<std::string> out;
+  if (norm.empty()) return out;
+  if (norm.size() < q_) {
+    norm.append(q_ - norm.size(), '$');
+    out.push_back(norm);
+    return out;
+  }
+  out.reserve(norm.size() - q_ + 1);
+  for (size_t i = 0; i + q_ <= norm.size(); ++i) {
+    out.push_back(norm.substr(i, q_));
+  }
+  return out;
+}
+
+std::string QGramTokenizer::Name() const {
+  return StrFormat("%zu-gram", q_);
+}
+
+}  // namespace fsjoin

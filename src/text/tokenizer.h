@@ -1,0 +1,54 @@
+#ifndef FSJOIN_TEXT_TOKENIZER_H_
+#define FSJOIN_TEXT_TOKENIZER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fsjoin {
+
+/// Splits raw text into token strings. Implementations must be stateless
+/// and thread-compatible (const Tokenize).
+class Tokenizer {
+ public:
+  virtual ~Tokenizer() = default;
+
+  /// Returns the tokens of `text` in order of appearance (duplicates kept;
+  /// set deduplication happens when building Records).
+  virtual std::vector<std::string> Tokenize(std::string_view text) const = 0;
+
+  /// Short name for logs and experiment output.
+  virtual std::string Name() const = 0;
+};
+
+/// Splits on ASCII whitespace; tokens are kept verbatim.
+class WhitespaceTokenizer : public Tokenizer {
+ public:
+  std::vector<std::string> Tokenize(std::string_view text) const override;
+  std::string Name() const override { return "whitespace"; }
+};
+
+/// Splits on non-alphanumeric characters and lowercases — the usual choice
+/// for document corpora like Enron/PubMed/Wiki.
+class WordTokenizer : public Tokenizer {
+ public:
+  std::vector<std::string> Tokenize(std::string_view text) const override;
+  std::string Name() const override { return "word"; }
+};
+
+/// Sliding character q-grams of the (whitespace-normalized, lowercased)
+/// text. Strings shorter than q yield a single padded gram.
+class QGramTokenizer : public Tokenizer {
+ public:
+  explicit QGramTokenizer(size_t q);
+  std::vector<std::string> Tokenize(std::string_view text) const override;
+  std::string Name() const override;
+
+ private:
+  size_t q_;
+};
+
+}  // namespace fsjoin
+
+#endif  // FSJOIN_TEXT_TOKENIZER_H_

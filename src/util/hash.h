@@ -1,0 +1,45 @@
+#ifndef FSJOIN_UTIL_HASH_H_
+#define FSJOIN_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <utility>
+
+namespace fsjoin {
+
+/// 64-bit FNV-1a over arbitrary bytes. Used for shuffle partitioning, where
+/// a stable cross-run hash matters (std::hash is implementation-defined).
+inline uint64_t Fnv1a64(std::string_view data) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Stable finalizer-style mix of a 64-bit value (splitmix64 finalizer).
+inline uint64_t Mix64(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combines two hashes (boost::hash_combine-style, 64-bit).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+/// Hash functor for pairs of 32-bit record ids, for unordered containers
+/// keyed by candidate pairs.
+struct RidPairHash {
+  size_t operator()(const std::pair<uint32_t, uint32_t>& p) const {
+    return static_cast<size_t>(
+        Mix64((static_cast<uint64_t>(p.first) << 32) | p.second));
+  }
+};
+
+}  // namespace fsjoin
+
+#endif  // FSJOIN_UTIL_HASH_H_

@@ -1,0 +1,77 @@
+#ifndef FSJOIN_UTIL_LOGGING_H_
+#define FSJOIN_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "util/status.h"
+
+namespace fsjoin {
+
+/// Severity for the lightweight logger. kFatal aborts the process after
+/// printing (used by FSJOIN_CHECK for invariant violations — programmer
+/// errors, not recoverable conditions, which use Status).
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Global minimum level; messages below it are discarded. Default kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and flushes it (with level prefix) on
+/// destruction. Aborts for kFatal.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a log statement whose level is compiled out.
+class NullLog {
+ public:
+  template <typename T>
+  NullLog& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define FSJOIN_LOG(level)                                             \
+  ::fsjoin::internal::LogMessage(::fsjoin::LogLevel::k##level, __FILE__, \
+                                 __LINE__)
+
+/// Fatal-on-false invariant check, always on (cheap relative to the joins).
+#define FSJOIN_CHECK(cond)                                       \
+  if (!(cond))                                                   \
+  FSJOIN_LOG(Fatal) << "Check failed: " #cond " "
+
+#define FSJOIN_CHECK_OK(expr)                                    \
+  do {                                                           \
+    ::fsjoin::Status _st = (expr);                               \
+    if (!_st.ok())                                               \
+      FSJOIN_LOG(Fatal) << "Status not OK: " << _st.ToString();  \
+  } while (false)
+
+#define FSJOIN_DCHECK(cond) FSJOIN_CHECK(cond)
+
+}  // namespace fsjoin
+
+#endif  // FSJOIN_UTIL_LOGGING_H_

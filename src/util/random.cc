@@ -1,0 +1,110 @@
+#include "util/random.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace fsjoin {
+
+namespace {
+
+// SplitMix64, used to expand the seed into xoshiro state.
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t RotL(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t x = seed;
+  for (int i = 0; i < 4; ++i) s_[i] = SplitMix64(x);
+  // Avoid the all-zero state (possible only for adversarial seeds).
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = RotL(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = RotL(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  FSJOIN_CHECK(bound > 0);
+  // Lemire's nearly-divisionless bounded sampling with rejection.
+  uint64_t threshold = (-bound) % bound;
+  for (;;) {
+    uint64_t r = Next();
+    __uint128_t m = static_cast<__uint128_t>(r) * bound;
+    if (static_cast<uint64_t>(m) >= threshold) {
+      return static_cast<uint64_t>(m >> 64);
+    }
+  }
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  FSJOIN_CHECK(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+double Rng::NextGaussian(double mean, double stddev) {
+  // Irwin-Hall approximation: sum of 12 uniforms has mean 6, variance 1.
+  double sum = 0;
+  for (int i = 0; i < 12; ++i) sum += NextDouble();
+  return mean + (sum - 6.0) * stddev;
+}
+
+ZipfSampler::ZipfSampler(uint64_t n, double s) : n_(n), s_(s) {
+  FSJOIN_CHECK(n >= 1);
+  FSJOIN_CHECK(s >= 0.0);
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  t_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -s_));
+}
+
+// H(x) = integral of 1/u^s du; closed form differs at s == 1.
+double ZipfSampler::H(double x) const {
+  if (std::abs(s_ - 1.0) < 1e-12) return std::log(x);
+  return (std::pow(x, 1.0 - s_) - 1.0) / (1.0 - s_);
+}
+
+double ZipfSampler::HInverse(double x) const {
+  if (std::abs(s_ - 1.0) < 1e-12) return std::exp(x);
+  return std::pow(1.0 + x * (1.0 - s_), 1.0 / (1.0 - s_));
+}
+
+uint64_t ZipfSampler::Sample(Rng& rng) const {
+  if (n_ == 1) return 0;
+  if (s_ == 0.0) return rng.NextBounded(n_);
+  for (;;) {
+    double u = h_n_ + rng.NextDouble() * (h_x1_ - h_n_);
+    double x = HInverse(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    double kd = static_cast<double>(k);
+    if (kd - x <= t_ || u >= H(kd + 0.5) - std::pow(kd, -s_)) {
+      return k - 1;  // 0-based rank
+    }
+  }
+}
+
+}  // namespace fsjoin

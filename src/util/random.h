@@ -1,0 +1,77 @@
+#ifndef FSJOIN_UTIL_RANDOM_H_
+#define FSJOIN_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace fsjoin {
+
+/// Deterministic, fast PRNG (xoshiro256**). Seeded explicitly so every
+/// experiment in the repo is reproducible run-to-run.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Bernoulli draw with probability p of true.
+  bool NextBool(double p);
+
+  /// Approximately Gaussian draw (mean, stddev) via sum of uniforms.
+  double NextGaussian(double mean, double stddev);
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Zipf(s) sampler over ranks {0, 1, ..., n-1}: rank r is drawn with
+/// probability proportional to 1/(r+1)^s. Uses the rejection-inversion
+/// method of Hörmann & Derflinger, O(1) per sample after O(1) setup, so it
+/// scales to multi-million-token vocabularies.
+class ZipfSampler {
+ public:
+  /// \param n     number of distinct items (>= 1)
+  /// \param s     skew exponent (>= 0; 0 = uniform)
+  ZipfSampler(uint64_t n, double s);
+
+  /// Draws one rank in [0, n).
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double s_;
+  double h_x1_;
+  double h_n_;
+  double t_;
+};
+
+/// Fisher-Yates shuffle of v using rng.
+template <typename T>
+void Shuffle(std::vector<T>& v, Rng& rng) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    std::size_t j = static_cast<std::size_t>(rng.NextBounded(i));
+    std::swap(v[i - 1], v[j]);
+  }
+}
+
+}  // namespace fsjoin
+
+#endif  // FSJOIN_UTIL_RANDOM_H_

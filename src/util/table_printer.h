@@ -1,0 +1,33 @@
+#ifndef FSJOIN_UTIL_TABLE_PRINTER_H_
+#define FSJOIN_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fsjoin {
+
+/// Renders aligned ASCII tables for the benchmark harness so that every
+/// reproduced paper table/figure prints in a uniform, diff-friendly format.
+///
+///   TablePrinter t({"theta", "FS-Join (s)", "PPJoin (s)"});
+///   t.AddRow({"0.80", "1.23", "9.87"});
+///   t.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Adds one row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Writes the table with a rule under the header.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fsjoin
+
+#endif  // FSJOIN_UTIL_TABLE_PRINTER_H_

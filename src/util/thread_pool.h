@@ -1,0 +1,52 @@
+#ifndef FSJOIN_UTIL_THREAD_POOL_H_
+#define FSJOIN_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fsjoin {
+
+/// Fixed-size worker pool used by the MR engine to run map/reduce tasks
+/// concurrently. Tasks are plain std::function<void()>; exceptions must not
+/// escape a task (the library is Status-based).
+class ThreadPool {
+ public:
+  /// Creates num_threads workers. num_threads == 0 means "run inline on the
+  /// calling thread" (useful for deterministic debugging).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Safe from any thread.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  size_t active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace fsjoin
+
+#endif  // FSJOIN_UTIL_THREAD_POOL_H_

@@ -1,0 +1,55 @@
+#ifndef FSJOIN_UTIL_TIMER_H_
+#define FSJOIN_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace fsjoin {
+
+/// Monotonic wall-clock stopwatch with microsecond resolution.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Microseconds elapsed since construction or the last Restart().
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+  /// Elapsed time in fractional milliseconds.
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedMicros()) / 1000.0;
+  }
+
+  /// Elapsed time in fractional seconds.
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) / 1e6;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Adds the scope's elapsed microseconds to *sink on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(int64_t* sink) : sink_(sink) {}
+  ~ScopedTimer() { *sink_ += timer_.ElapsedMicros(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  int64_t* sink_;
+  WallTimer timer_;
+};
+
+}  // namespace fsjoin
+
+#endif  // FSJOIN_UTIL_TIMER_H_

@@ -1,0 +1,172 @@
+// The competitor algorithms must all be *correct* (same result set as brute
+// force) — the paper's comparison is about cost, not answers. Also checks
+// the cost signatures the paper attributes to each algorithm (duplication,
+// emission blowups) and the ResourceExhausted behavior used to model
+// "cannot run successfully on large datasets".
+
+#include <gtest/gtest.h>
+
+#include "baselines/massjoin.h"
+#include "baselines/vernica_join.h"
+#include "baselines/vsmart_join.h"
+#include "core/fsjoin.h"
+#include "sim/serial_join.h"
+#include "test_util.h"
+
+namespace fsjoin {
+namespace {
+
+using ::fsjoin::testing::OrderedView;
+using ::fsjoin::testing::RandomCorpus;
+
+BaselineConfig SmallConfig(double theta) {
+  BaselineConfig config;
+  config.theta = theta;
+  config.num_map_tasks = 3;
+  config.num_reduce_tasks = 5;
+  return config;
+}
+
+class BaselineCorrectness : public ::testing::TestWithParam<double> {};
+
+TEST_P(BaselineCorrectness, VernicaMatchesBruteForce) {
+  Corpus corpus = RandomCorpus(130, 150, 1.0, 10, 901);
+  JoinResultSet expected = BruteForceJoin(
+      OrderedView(corpus), SimilarityFunction::kJaccard, GetParam());
+  Result<BaselineOutput> out = RunVernicaJoin(corpus, SmallConfig(GetParam()));
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_TRUE(SamePairs(expected, out->pairs))
+      << DiffResults(expected, out->pairs);
+}
+
+TEST_P(BaselineCorrectness, VSmartMatchesBruteForce) {
+  Corpus corpus = RandomCorpus(120, 150, 1.0, 9, 902);
+  JoinResultSet expected = BruteForceJoin(
+      OrderedView(corpus), SimilarityFunction::kJaccard, GetParam());
+  Result<BaselineOutput> out = RunVSmartJoin(corpus, SmallConfig(GetParam()));
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_TRUE(SamePairs(expected, out->pairs))
+      << DiffResults(expected, out->pairs);
+}
+
+TEST_P(BaselineCorrectness, MassJoinMergeMatchesBruteForce) {
+  Corpus corpus = RandomCorpus(110, 140, 1.0, 9, 903);
+  JoinResultSet expected = BruteForceJoin(
+      OrderedView(corpus), SimilarityFunction::kJaccard, GetParam());
+  MassJoinConfig config;
+  static_cast<BaselineConfig&>(config) = SmallConfig(GetParam());
+  config.length_group = 1;
+  Result<BaselineOutput> out = RunMassJoin(corpus, config);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_TRUE(SamePairs(expected, out->pairs))
+      << DiffResults(expected, out->pairs);
+}
+
+TEST_P(BaselineCorrectness, MassJoinLightMatchesBruteForce) {
+  Corpus corpus = RandomCorpus(110, 140, 1.0, 9, 904);
+  JoinResultSet expected = BruteForceJoin(
+      OrderedView(corpus), SimilarityFunction::kJaccard, GetParam());
+  MassJoinConfig config;
+  static_cast<BaselineConfig&>(config) = SmallConfig(GetParam());
+  config.length_group = 5;
+  Result<BaselineOutput> out = RunMassJoin(corpus, config);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_TRUE(SamePairs(expected, out->pairs))
+      << DiffResults(expected, out->pairs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, BaselineCorrectness,
+                         ::testing::Values(0.6, 0.75, 0.9),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           return "theta" +
+                                  std::to_string(static_cast<int>(
+                                      info.param * 100 + 0.5));
+                         });
+
+TEST(BaselineCorrectness, AllAlgorithmsAgreeWithFsJoin) {
+  Corpus corpus = RandomCorpus(100, 130, 1.05, 10, 905);
+  const double theta = 0.7;
+
+  FsJoinConfig fs_config;
+  fs_config.theta = theta;
+  fs_config.num_vertical_partitions = 5;
+  Result<FsJoinOutput> fs = FsJoin(fs_config).Run(corpus);
+  ASSERT_TRUE(fs.ok());
+
+  Result<BaselineOutput> vernica =
+      RunVernicaJoin(corpus, SmallConfig(theta));
+  Result<BaselineOutput> vsmart = RunVSmartJoin(corpus, SmallConfig(theta));
+  MassJoinConfig mj_config;
+  static_cast<BaselineConfig&>(mj_config) = SmallConfig(theta);
+  Result<BaselineOutput> massjoin = RunMassJoin(corpus, mj_config);
+  ASSERT_TRUE(vernica.ok());
+  ASSERT_TRUE(vsmart.ok());
+  ASSERT_TRUE(massjoin.ok());
+
+  EXPECT_TRUE(SamePairs(fs->pairs, vernica->pairs));
+  EXPECT_TRUE(SamePairs(fs->pairs, vsmart->pairs));
+  EXPECT_TRUE(SamePairs(fs->pairs, massjoin->pairs));
+}
+
+// ---- Cost signatures -----------------------------------------------------
+
+TEST(BaselineCostShape, VernicaDuplicatesRecordsPerPrefixToken) {
+  Corpus corpus = RandomCorpus(200, 300, 1.0, 12, 906);
+  Result<BaselineOutput> out = RunVernicaJoin(corpus, SmallConfig(0.8));
+  ASSERT_TRUE(out.ok());
+  // Each record is emitted once per prefix token: duplication strictly
+  // above 1 for theta < 1.
+  EXPECT_GT(out->report.DuplicationFactor(corpus.NumRecords()), 1.5);
+}
+
+TEST(BaselineCostShape, FsJoinShufflesLessThanVSmart) {
+  Corpus corpus = RandomCorpus(150, 200, 1.0, 10, 907);
+  FsJoinConfig fs_config;
+  fs_config.theta = 0.8;
+  Result<FsJoinOutput> fs = FsJoin(fs_config).Run(corpus);
+  Result<BaselineOutput> vsmart = RunVSmartJoin(corpus, SmallConfig(0.8));
+  ASSERT_TRUE(fs.ok());
+  ASSERT_TRUE(vsmart.ok());
+  uint64_t vsmart_shuffle = 0;
+  for (const auto& j : vsmart->report.jobs) vsmart_shuffle += j.shuffle_bytes;
+  uint64_t fs_shuffle = fs->report.filtering_job.shuffle_bytes +
+                        fs->report.verification_job.shuffle_bytes;
+  EXPECT_LT(fs_shuffle, vsmart_shuffle);
+}
+
+TEST(BaselineCostShape, EmissionLimitAbortsVSmart) {
+  Corpus corpus = RandomCorpus(300, 100, 1.2, 15, 908);
+  BaselineConfig config = SmallConfig(0.8);
+  config.emission_limit = 1000;  // far below the quadratic pair count
+  Result<BaselineOutput> out = RunVSmartJoin(corpus, config);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(BaselineCostShape, EmissionLimitAbortsMassJoin) {
+  Corpus corpus = RandomCorpus(300, 100, 1.2, 15, 909);
+  MassJoinConfig config;
+  static_cast<BaselineConfig&>(config) = SmallConfig(0.8);
+  config.emission_limit = 2000;
+  Result<BaselineOutput> out = RunMassJoin(corpus, config);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(BaselineCostShape, MassJoinLightEmitsLessThanMerge) {
+  Corpus corpus = RandomCorpus(120, 150, 1.0, 12, 910);
+  MassJoinConfig merge;
+  static_cast<BaselineConfig&>(merge) = SmallConfig(0.8);
+  merge.length_group = 1;
+  MassJoinConfig light = merge;
+  light.length_group = 8;
+  Result<BaselineOutput> merge_out = RunMassJoin(corpus, merge);
+  Result<BaselineOutput> light_out = RunMassJoin(corpus, light);
+  ASSERT_TRUE(merge_out.ok());
+  ASSERT_TRUE(light_out.ok());
+  EXPECT_LT(light_out->report.jobs[1].map_output_records,
+            merge_out->report.jobs[1].map_output_records);
+}
+
+}  // namespace
+}  // namespace fsjoin

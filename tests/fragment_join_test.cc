@@ -1,0 +1,169 @@
+// Fragment-local joins (§V-A "Join Algorithms"): Loop, Index and Prefix
+// must produce identical surviving partial overlaps (Loop is the oracle),
+// and the filter counters must account for every considered pair.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/fragment_join.h"
+#include "core/pivots.h"
+#include "core/segments.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace fsjoin {
+namespace {
+
+std::vector<SegmentRecord> RandomFragment(Rng& rng, size_t n,
+                                          uint32_t rank_lo, uint32_t rank_hi) {
+  std::vector<SegmentRecord> segments;
+  for (size_t i = 0; i < n; ++i) {
+    SegmentRecord seg;
+    seg.rid = static_cast<RecordId>(i);
+    for (uint32_t r = rank_lo; r < rank_hi; ++r) {
+      if (rng.NextBool(0.3)) seg.tokens.push_back(r);
+    }
+    if (seg.tokens.empty()) seg.tokens.push_back(rank_lo);
+    seg.head = static_cast<uint32_t>(rng.NextBounded(6));
+    uint32_t tail = static_cast<uint32_t>(rng.NextBounded(6));
+    seg.record_size =
+        seg.head + static_cast<uint32_t>(seg.tokens.size()) + tail;
+    segments.push_back(std::move(seg));
+  }
+  return segments;
+}
+
+void SortPartials(std::vector<PartialOverlap>* v) {
+  std::sort(v->begin(), v->end(),
+            [](const PartialOverlap& x, const PartialOverlap& y) {
+              if (x.a != y.a) return x.a < y.a;
+              return x.b < y.b;
+            });
+}
+
+bool SamePartials(const std::vector<PartialOverlap>& x,
+                  const std::vector<PartialOverlap>& y) {
+  if (x.size() != y.size()) return false;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (x[i].a != y[i].a || x[i].b != y[i].b || x[i].overlap != y[i].overlap ||
+        x[i].size_a != y[i].size_a || x[i].size_b != y[i].size_b) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(FragmentJoinTest, MethodsProduceIdenticalPartials) {
+  Rng rng(2024);
+  for (int iter = 0; iter < 50; ++iter) {
+    std::vector<SegmentRecord> fragment = RandomFragment(rng, 25, 0, 30);
+    for (double theta : {0.5, 0.8}) {
+      FragmentJoinOptions opts;
+      opts.theta = theta;
+      std::vector<PartialOverlap> loop, index, prefix;
+      FilterCounters cl, ci, cp;
+      opts.method = JoinMethod::kLoop;
+      JoinFragment(fragment, opts, &loop, &cl);
+      opts.method = JoinMethod::kIndex;
+      JoinFragment(fragment, opts, &index, &ci);
+      opts.method = JoinMethod::kPrefix;
+      JoinFragment(fragment, opts, &prefix, &cp);
+      SortPartials(&loop);
+      SortPartials(&index);
+      SortPartials(&prefix);
+      EXPECT_TRUE(SamePartials(loop, index));
+      EXPECT_TRUE(SamePartials(loop, prefix));
+      // Prefix considers no more candidates than Index, which considers no
+      // more than Loop.
+      EXPECT_LE(ci.pairs_considered, cl.pairs_considered);
+      EXPECT_LE(cp.pairs_considered, ci.pairs_considered);
+    }
+  }
+}
+
+TEST(FragmentJoinTest, CountersAccountForEveryConsideredPair) {
+  Rng rng(7);
+  std::vector<SegmentRecord> fragment = RandomFragment(rng, 30, 0, 25);
+  FragmentJoinOptions opts;
+  opts.theta = 0.8;
+  opts.method = JoinMethod::kLoop;
+  std::vector<PartialOverlap> out;
+  FilterCounters c;
+  JoinFragment(fragment, opts, &out, &c);
+  EXPECT_EQ(c.pairs_considered, 30u * 29u / 2u);
+  EXPECT_EQ(c.pairs_considered, c.pruned_role + c.pruned_strl + c.pruned_segl +
+                                    c.pruned_segi + c.pruned_segd +
+                                    c.empty_overlap + c.emitted);
+  EXPECT_EQ(c.emitted, out.size());
+}
+
+TEST(FragmentJoinTest, PairAllowedGatesJoins) {
+  Rng rng(8);
+  std::vector<SegmentRecord> fragment = RandomFragment(rng, 10, 0, 15);
+  FragmentJoinOptions opts;
+  opts.theta = 0.5;
+  opts.use_length_filter = false;
+  opts.use_segment_length_filter = false;
+  opts.use_segment_intersection_filter = false;
+  opts.use_segment_difference_filter = false;
+  opts.pair_allowed = [](const SegmentRecord& a, const SegmentRecord& b) {
+    return (a.rid + b.rid) % 2 == 1;  // only odd-parity pairs
+  };
+  std::vector<PartialOverlap> out;
+  FilterCounters c;
+  JoinFragment(fragment, opts, &out, &c);
+  for (const PartialOverlap& p : out) {
+    EXPECT_EQ((p.a + p.b) % 2, 1u);
+  }
+  EXPECT_GT(c.pruned_role, 0u);
+}
+
+TEST(FragmentJoinTest, PartialsAreNormalizedAndExact) {
+  // Two hand-built segments with known overlap.
+  SegmentRecord x, y;
+  x.rid = 9;
+  x.record_size = 6;
+  x.head = 1;
+  x.tokens = {2, 4, 6, 8};
+  y.rid = 3;
+  y.record_size = 5;
+  y.head = 0;
+  y.tokens = {2, 6, 7, 9};
+  FragmentJoinOptions opts;
+  opts.theta = 0.3;
+  opts.method = JoinMethod::kLoop;
+  std::vector<PartialOverlap> out;
+  FilterCounters c;
+  JoinFragment({x, y}, opts, &out, &c);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].a, 3u);  // smaller rid first
+  EXPECT_EQ(out[0].b, 9u);
+  EXPECT_EQ(out[0].size_a, 5u);
+  EXPECT_EQ(out[0].size_b, 6u);
+  EXPECT_EQ(out[0].overlap, 2u);  // {2, 6}
+}
+
+TEST(FragmentJoinTest, EmptyFragment) {
+  FragmentJoinOptions opts;
+  std::vector<PartialOverlap> out;
+  FilterCounters c;
+  JoinFragment({}, opts, &out, &c);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(c.pairs_considered, 0u);
+}
+
+TEST(FragmentJoinTest, FilterCountersAdd) {
+  FilterCounters a, b;
+  a.pairs_considered = 5;
+  a.emitted = 2;
+  b.pairs_considered = 7;
+  b.pruned_strl = 3;
+  a.Add(b);
+  EXPECT_EQ(a.pairs_considered, 12u);
+  EXPECT_EQ(a.pruned_strl, 3u);
+  EXPECT_EQ(a.emitted, 2u);
+}
+
+}  // namespace
+}  // namespace fsjoin

@@ -1,0 +1,188 @@
+// Horizontal partitioning (§V-A "Optimization"): every θ-similar length
+// pair must be joinable in exactly ONE group (coverage + the duplicate-free
+// band-anchoring refinement documented in DESIGN.md).
+
+#include <gtest/gtest.h>
+
+#include "core/horizontal.h"
+#include "test_util.h"
+
+namespace fsjoin {
+namespace {
+
+TEST(HorizontalTest, DisabledSchemeIsOneGroup) {
+  HorizontalScheme scheme;
+  EXPECT_EQ(scheme.NumGroups(), 1u);
+  EXPECT_EQ(scheme.GroupsOf(17), (std::vector<uint32_t>{0}));
+  EXPECT_TRUE(scheme.ShouldJoinInGroup(0, 3, 9000));
+}
+
+TEST(HorizontalTest, MainGroupBoundaries) {
+  HorizontalScheme scheme({10, 20}, SimilarityFunction::kJaccard, 0.8);
+  EXPECT_EQ(scheme.NumGroups(), 5u);
+  EXPECT_EQ(scheme.MainGroupOf(9), 0u);
+  EXPECT_EQ(scheme.MainGroupOf(10), 1u);  // pivot starts the next group
+  EXPECT_EQ(scheme.MainGroupOf(19), 1u);
+  EXPECT_EQ(scheme.MainGroupOf(20), 2u);
+  EXPECT_EQ(scheme.MainGroupOf(1000), 2u);
+}
+
+TEST(HorizontalTest, BandMembershipMatchesPaperBounds) {
+  // theta=0.8, pivot L=10: band holds lengths in [ceil(0.8*10), floor(10/0.8)]
+  // = [8, 12].
+  HorizontalScheme scheme({10}, SimilarityFunction::kJaccard, 0.8);
+  auto in_band = [&](uint32_t len) {
+    auto groups = scheme.GroupsOf(len);
+    return std::find(groups.begin(), groups.end(), 1u + 0 + 1) !=
+           groups.end();  // band id = t + k = 1 + 1... NumPivots()=1, band=2
+  };
+  (void)in_band;
+  auto groups_of = [&](uint32_t len) { return scheme.GroupsOf(len); };
+  // Band id is t + k = 1 + 1 = 2.
+  EXPECT_EQ(groups_of(7), (std::vector<uint32_t>{0}));
+  EXPECT_EQ(groups_of(8), (std::vector<uint32_t>{0, 2}));
+  EXPECT_EQ(groups_of(9), (std::vector<uint32_t>{0, 2}));
+  EXPECT_EQ(groups_of(10), (std::vector<uint32_t>{1, 2}));
+  EXPECT_EQ(groups_of(12), (std::vector<uint32_t>{1, 2}));
+  EXPECT_EQ(groups_of(13), (std::vector<uint32_t>{1}));
+}
+
+// The central property: for every pair of lengths that could be θ-similar
+// (shorter >= PartnerSizeLowerBound(longer)), there is EXACTLY one group
+// where both records are members AND ShouldJoinInGroup allows the pair.
+// For pairs violating the length filter, AT MOST one group may join them
+// (they are pruned by StrL inside the fragment anyway).
+TEST(HorizontalTest, EveryFeasiblePairJoinsExactlyOnce) {
+  const double theta = 0.8;
+  const SimilarityFunction fn = SimilarityFunction::kJaccard;
+  for (std::vector<uint32_t> pivots :
+       {std::vector<uint32_t>{10}, std::vector<uint32_t>{10, 20},
+        std::vector<uint32_t>{5, 11, 12, 40},
+        std::vector<uint32_t>{8, 9, 10, 11, 12}}) {
+    HorizontalScheme scheme(pivots, fn, theta);
+    for (uint32_t la = 1; la <= 60; ++la) {
+      std::vector<uint32_t> groups_a = scheme.GroupsOf(la);
+      for (uint32_t lb = la; lb <= 60; ++lb) {
+        std::vector<uint32_t> groups_b = scheme.GroupsOf(lb);
+        int join_count = 0;
+        for (uint32_t g : groups_a) {
+          if (std::find(groups_b.begin(), groups_b.end(), g) !=
+                  groups_b.end() &&
+              scheme.ShouldJoinInGroup(g, la, lb)) {
+            ++join_count;
+          }
+        }
+        const bool feasible = la >= PartnerSizeLowerBound(fn, theta, lb);
+        if (feasible) {
+          EXPECT_EQ(join_count, 1)
+              << "lengths (" << la << "," << lb << ") pivots n="
+              << pivots.size();
+        } else {
+          EXPECT_LE(join_count, 1)
+              << "lengths (" << la << "," << lb << ")";
+        }
+      }
+    }
+  }
+}
+
+// Same property for the other similarity functions (generic bounds).
+TEST(HorizontalTest, FeasiblePairCoverageDiceCosine) {
+  for (auto fn : {SimilarityFunction::kDice, SimilarityFunction::kCosine}) {
+    const double theta = 0.85;
+    HorizontalScheme scheme({7, 15, 30}, fn, theta);
+    for (uint32_t la = 1; la <= 50; ++la) {
+      auto groups_a = scheme.GroupsOf(la);
+      for (uint32_t lb = la; lb <= 50; ++lb) {
+        auto groups_b = scheme.GroupsOf(lb);
+        int join_count = 0;
+        for (uint32_t g : groups_a) {
+          if (std::find(groups_b.begin(), groups_b.end(), g) !=
+                  groups_b.end() &&
+              scheme.ShouldJoinInGroup(g, la, lb)) {
+            ++join_count;
+          }
+        }
+        if (la >= PartnerSizeLowerBound(fn, theta, lb)) {
+          EXPECT_EQ(join_count, 1) << SimilarityFunctionName(fn) << " ("
+                                   << la << "," << lb << ")";
+        } else {
+          EXPECT_LE(join_count, 1);
+        }
+      }
+    }
+  }
+}
+
+TEST(HorizontalTest, SelectLengthPivotsQuantiles) {
+  std::vector<OrderedRecord> records;
+  for (uint32_t len = 1; len <= 100; ++len) {
+    OrderedRecord r;
+    r.id = len - 1;
+    r.tokens.resize(len);
+    records.push_back(r);
+  }
+  auto pivots = SelectLengthPivots(records, 3,
+                                   SimilarityFunction::kJaccard, 0.8);
+  ASSERT_EQ(pivots.size(), 3u);
+  EXPECT_NEAR(pivots[0], 25, 2);
+  EXPECT_NEAR(pivots[1], 50, 2);
+  EXPECT_NEAR(pivots[2], 75, 2);
+}
+
+TEST(HorizontalTest, SelectLengthPivotsDegenerate) {
+  EXPECT_TRUE(SelectLengthPivots({}, 3, SimilarityFunction::kJaccard, 0.8)
+                  .empty());
+  // All records the same length: at most one distinct pivot, strictly
+  // increasing.
+  std::vector<OrderedRecord> uniform(50);
+  for (auto& r : uniform) r.tokens.resize(5);
+  auto pivots =
+      SelectLengthPivots(uniform, 4, SimilarityFunction::kJaccard, 0.8);
+  EXPECT_LE(pivots.size(), 1u);
+}
+
+
+TEST(HorizontalTest, MembershipBoundedWithGappedPivots) {
+  // With geometrically-gapped pivots (lb(L_{k+1}) > L_k) every record
+  // belongs to at most 3 groups: main, one shorter-side band, one
+  // longer-side band.
+  const double theta = 0.8;
+  const SimilarityFunction fn = SimilarityFunction::kJaccard;
+  std::vector<uint32_t> pivots = {10, 15, 20, 30, 40, 60, 80};
+  for (size_t i = 1; i < pivots.size(); ++i) {
+    ASSERT_GT(PartnerSizeLowerBound(fn, theta, pivots[i]), pivots[i - 1]);
+  }
+  HorizontalScheme scheme(pivots, fn, theta);
+  for (uint32_t len = 1; len <= 120; ++len) {
+    EXPECT_LE(scheme.GroupsOf(len).size(), 3u) << "len=" << len;
+  }
+}
+
+TEST(HorizontalTest, SelectLengthPivotsEnforcesGeometricGap) {
+  // A dense length distribution: quantile candidates are close together;
+  // thinning must keep only pivots a full similarity window apart.
+  std::vector<OrderedRecord> records;
+  for (uint32_t len = 50; len <= 70; ++len) {
+    for (int copies = 0; copies < 10; ++copies) {
+      OrderedRecord r;
+      r.tokens.resize(len);
+      records.push_back(r);
+    }
+  }
+  const double theta = 0.8;
+  auto pivots = SelectLengthPivots(records, 10,
+                                   SimilarityFunction::kJaccard, theta);
+  ASSERT_FALSE(pivots.empty());
+  for (size_t i = 1; i < pivots.size(); ++i) {
+    EXPECT_GT(PartnerSizeLowerBound(SimilarityFunction::kJaccard, theta,
+                                    pivots[i]),
+              pivots[i - 1]);
+  }
+  // Lengths 50..70 span less than a 1/0.8 factor from 56 up, so very few
+  // pivots can coexist.
+  EXPECT_LE(pivots.size(), 3u);
+}
+
+}  // namespace
+}  // namespace fsjoin

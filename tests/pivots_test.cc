@@ -1,0 +1,126 @@
+// Vertical pivot selection (§IV): the three strategies' structural
+// guarantees — strictly increasing boundaries, Even-TF's frequency balance,
+// Even-Interval's rank balance — and SegmentOfRank's boundary semantics.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/pivots.h"
+#include "test_util.h"
+
+namespace fsjoin {
+namespace {
+
+GlobalOrder SkewedOrder(size_t vocab) {
+  // Zipf-like frequencies: token t has frequency ~ vocab/(t+1).
+  std::vector<uint64_t> freq(vocab);
+  for (size_t t = 0; t < vocab; ++t) freq[t] = vocab / (t + 1) + 1;
+  return GlobalOrder::FromFrequencies(std::move(freq));
+}
+
+void ExpectValidPivots(const std::vector<TokenRank>& pivots, size_t vocab) {
+  for (size_t i = 0; i < pivots.size(); ++i) {
+    EXPECT_GT(pivots[i], 0u);
+    EXPECT_LT(pivots[i], vocab);
+    if (i > 0) {
+      EXPECT_GT(pivots[i], pivots[i - 1]);
+    }
+  }
+}
+
+class PivotStrategies : public ::testing::TestWithParam<PivotStrategy> {};
+
+TEST_P(PivotStrategies, ProducesValidBoundaries) {
+  GlobalOrder order = SkewedOrder(1000);
+  for (uint32_t n : {1u, 4u, 9u, 31u}) {
+    auto pivots = SelectPivots(order, GetParam(), n, 42);
+    EXPECT_LE(pivots.size(), n);
+    ExpectValidPivots(pivots, 1000);
+  }
+}
+
+TEST_P(PivotStrategies, HandlesDegenerateDomains) {
+  // Tiny domains cannot host many pivots but must not crash or duplicate.
+  GlobalOrder order = GlobalOrder::FromFrequencies({5, 3});
+  auto pivots = SelectPivots(order, GetParam(), 10, 7);
+  EXPECT_LE(pivots.size(), 1u);
+  ExpectValidPivots(pivots, 2);
+
+  GlobalOrder single = GlobalOrder::FromFrequencies({5});
+  EXPECT_TRUE(SelectPivots(single, GetParam(), 3, 7).empty());
+  EXPECT_TRUE(SelectPivots(order, GetParam(), 0, 7).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(All, PivotStrategies,
+                         ::testing::Values(PivotStrategy::kRandom,
+                                           PivotStrategy::kEvenInterval,
+                                           PivotStrategy::kEvenTf),
+                         [](const ::testing::TestParamInfo<PivotStrategy>& i) {
+                           std::string n = PivotStrategyName(i.param);
+                           std::replace(n.begin(), n.end(), '-', '_');
+                           return n;
+                         });
+
+TEST(PivotsTest, EvenIntervalSplitsRanksEvenly) {
+  GlobalOrder order = SkewedOrder(1000);
+  auto pivots = SelectPivots(order, PivotStrategy::kEvenInterval, 9, 0);
+  ASSERT_EQ(pivots.size(), 9u);
+  for (size_t i = 0; i < pivots.size(); ++i) {
+    EXPECT_EQ(pivots[i], (i + 1) * 100);
+  }
+}
+
+TEST(PivotsTest, EvenTfBalancesFragmentFrequencies) {
+  GlobalOrder order = SkewedOrder(5000);
+  const uint32_t num_pivots = 9;
+  auto even_tf = SelectPivots(order, PivotStrategy::kEvenTf, num_pivots, 0);
+  auto even_iv =
+      SelectPivots(order, PivotStrategy::kEvenInterval, num_pivots, 0);
+
+  auto imbalance = [&](const std::vector<TokenRank>& pivots) {
+    auto freqs = FragmentFrequencies(order, pivots);
+    uint64_t max_f = *std::max_element(freqs.begin(), freqs.end());
+    double mean = static_cast<double>(order.TotalFrequency()) /
+                  static_cast<double>(freqs.size());
+    return static_cast<double>(max_f) / mean;
+  };
+  // Even-TF must be far better balanced than Even-Interval on a skewed
+  // domain (the load-balance guarantee of §IV).
+  EXPECT_LT(imbalance(even_tf), 1.5);
+  EXPECT_GT(imbalance(even_iv), 2.0);
+}
+
+TEST(PivotsTest, RandomPivotsAreSeedDeterministic) {
+  GlobalOrder order = SkewedOrder(500);
+  auto a = SelectPivots(order, PivotStrategy::kRandom, 5, 11);
+  auto b = SelectPivots(order, PivotStrategy::kRandom, 5, 11);
+  auto c = SelectPivots(order, PivotStrategy::kRandom, 5, 12);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(PivotsTest, SegmentOfRankBoundaries) {
+  std::vector<TokenRank> pivots = {10, 20, 30};
+  EXPECT_EQ(SegmentOfRank(pivots, 0), 0u);
+  EXPECT_EQ(SegmentOfRank(pivots, 9), 0u);
+  EXPECT_EQ(SegmentOfRank(pivots, 10), 1u);  // pivot starts a new segment
+  EXPECT_EQ(SegmentOfRank(pivots, 19), 1u);
+  EXPECT_EQ(SegmentOfRank(pivots, 20), 2u);
+  EXPECT_EQ(SegmentOfRank(pivots, 30), 3u);
+  EXPECT_EQ(SegmentOfRank(pivots, 1000), 3u);
+  EXPECT_EQ(SegmentOfRank({}, 5), 0u);
+}
+
+TEST(PivotsTest, FragmentFrequenciesSumToTotal) {
+  GlobalOrder order = SkewedOrder(777);
+  auto pivots = SelectPivots(order, PivotStrategy::kEvenTf, 6, 0);
+  auto freqs = FragmentFrequencies(order, pivots);
+  ASSERT_EQ(freqs.size(), pivots.size() + 1);
+  uint64_t sum = 0;
+  for (uint64_t f : freqs) sum += f;
+  EXPECT_EQ(sum, order.TotalFrequency());
+}
+
+}  // namespace
+}  // namespace fsjoin

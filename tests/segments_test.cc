@@ -1,0 +1,135 @@
+// Vertical segmentation (Definitions 5-6): segments must partition the
+// record exactly (disjoint cover, consistent head/tail counts), land in the
+// right fragment, and round-trip through the MR serialization.
+
+#include <gtest/gtest.h>
+
+#include "core/pivots.h"
+#include "core/segments.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace fsjoin {
+namespace {
+
+OrderedRecord MakeRecord(RecordId id, std::vector<TokenRank> tokens) {
+  return OrderedRecord{id, std::move(tokens)};
+}
+
+TEST(SegmentsTest, PaperExampleSplit) {
+  // Tokens {B=1,C=2,I=8,J=9,K=10} with pivots at ranks {3, 6, 9}
+  // (like Figure 2's pivots {C, F, I} in dictionary order).
+  OrderedRecord s1 = MakeRecord(0, {1, 2, 8, 9, 10});
+  SegmentSplit split = SplitIntoSegments(s1, {3, 6, 9});
+  ASSERT_EQ(split.segments.size(), 3u);
+  EXPECT_EQ(split.fragment_ids[0], 0u);  // {1, 2}
+  EXPECT_EQ(split.segments[0].tokens, (std::vector<TokenRank>{1, 2}));
+  EXPECT_EQ(split.fragment_ids[1], 2u);  // {8}
+  EXPECT_EQ(split.segments[1].tokens, (std::vector<TokenRank>{8}));
+  EXPECT_EQ(split.fragment_ids[2], 3u);  // {9, 10}
+  EXPECT_EQ(split.segments[2].tokens, (std::vector<TokenRank>{9, 10}));
+  // Head/tail bookkeeping.
+  EXPECT_EQ(split.segments[0].head, 0u);
+  EXPECT_EQ(split.segments[0].Tail(), 3u);
+  EXPECT_EQ(split.segments[1].head, 2u);
+  EXPECT_EQ(split.segments[1].Tail(), 2u);
+  EXPECT_EQ(split.segments[2].head, 3u);
+  EXPECT_EQ(split.segments[2].Tail(), 0u);
+}
+
+TEST(SegmentsTest, EmptySegmentsAreSkipped) {
+  OrderedRecord rec = MakeRecord(3, {0, 100});
+  SegmentSplit split = SplitIntoSegments(rec, {10, 20, 30});
+  ASSERT_EQ(split.segments.size(), 2u);
+  EXPECT_EQ(split.fragment_ids[0], 0u);
+  EXPECT_EQ(split.fragment_ids[1], 3u);
+}
+
+TEST(SegmentsTest, NoPivotsSingleSegment) {
+  OrderedRecord rec = MakeRecord(1, {5, 9, 42});
+  SegmentSplit split = SplitIntoSegments(rec, {});
+  ASSERT_EQ(split.segments.size(), 1u);
+  EXPECT_EQ(split.fragment_ids[0], 0u);
+  EXPECT_EQ(split.segments[0].tokens.size(), 3u);
+  EXPECT_EQ(split.segments[0].head, 0u);
+  EXPECT_EQ(split.segments[0].Tail(), 0u);
+}
+
+TEST(SegmentsTest, EmptyRecordNoSegments) {
+  SegmentSplit split = SplitIntoSegments(MakeRecord(0, {}), {5, 10});
+  EXPECT_TRUE(split.segments.empty());
+}
+
+// Property (Definition 5): segments are a disjoint, order-preserving cover
+// of the record; every token lands in the fragment SegmentOfRank assigns.
+TEST(SegmentsTest, SplitIsDisjointCover) {
+  Rng rng(17);
+  for (int iter = 0; iter < 300; ++iter) {
+    // Random sorted-unique record over ranks < 200 and random pivots.
+    std::vector<TokenRank> tokens;
+    for (TokenRank r = 0; r < 200; ++r) {
+      if (rng.NextBool(0.15)) tokens.push_back(r);
+    }
+    std::vector<TokenRank> pivots;
+    for (TokenRank r = 1; r < 200; ++r) {
+      if (rng.NextBool(0.05)) pivots.push_back(r);
+    }
+    OrderedRecord rec = MakeRecord(7, tokens);
+    SegmentSplit split = SplitIntoSegments(rec, pivots);
+
+    std::vector<TokenRank> reassembled;
+    uint32_t position = 0;
+    for (size_t i = 0; i < split.segments.size(); ++i) {
+      const SegmentRecord& seg = split.segments[i];
+      EXPECT_EQ(seg.rid, 7u);
+      EXPECT_EQ(seg.record_size, tokens.size());
+      EXPECT_EQ(seg.head, position);
+      EXPECT_FALSE(seg.tokens.empty());
+      for (TokenRank t : seg.tokens) {
+        EXPECT_EQ(SegmentOfRank(pivots, t), split.fragment_ids[i]);
+        reassembled.push_back(t);
+      }
+      position += seg.tokens.size();
+      if (i > 0) {
+        EXPECT_GT(split.fragment_ids[i], split.fragment_ids[i - 1]);
+      }
+    }
+    EXPECT_EQ(reassembled, tokens);
+  }
+}
+
+TEST(SegmentsTest, SerdeRoundTrip) {
+  SegmentRecord seg;
+  seg.rid = 12345;
+  seg.record_size = 50;
+  seg.head = 7;
+  seg.tokens = {3, 9, 27, 81};
+  std::string buf;
+  EncodeSegment(seg, &buf);
+  SegmentRecord decoded;
+  ASSERT_TRUE(DecodeSegment(buf, &decoded).ok());
+  EXPECT_EQ(decoded.rid, seg.rid);
+  EXPECT_EQ(decoded.record_size, seg.record_size);
+  EXPECT_EQ(decoded.head, seg.head);
+  EXPECT_EQ(decoded.tokens, seg.tokens);
+  EXPECT_EQ(decoded.Tail(), 50u - 7u - 4u);
+}
+
+TEST(SegmentsTest, SerdeRejectsCorruption) {
+  SegmentRecord seg;
+  seg.rid = 1;
+  seg.record_size = 3;
+  seg.head = 0;
+  seg.tokens = {1, 2, 3};
+  std::string buf;
+  EncodeSegment(seg, &buf);
+  SegmentRecord decoded;
+  EXPECT_FALSE(
+      DecodeSegment(std::string_view(buf).substr(0, buf.size() - 1), &decoded)
+          .ok());
+  EXPECT_FALSE(DecodeSegment(buf + "x", &decoded).ok());
+  EXPECT_FALSE(DecodeSegment("", &decoded).ok());
+}
+
+}  // namespace
+}  // namespace fsjoin

@@ -1,0 +1,112 @@
+// The serial reference joins: AllPairs and PPJoin must agree with brute
+// force on every corpus/threshold/function combination, and PPJoin's
+// positional filter must only reduce candidates.
+
+#include <gtest/gtest.h>
+
+#include "sim/serial_join.h"
+#include "test_util.h"
+
+namespace fsjoin {
+namespace {
+
+using ::fsjoin::testing::CorpusFromTokenSets;
+using ::fsjoin::testing::OrderedView;
+using ::fsjoin::testing::RandomCorpus;
+
+struct Param {
+  SimilarityFunction fn;
+  double theta;
+  uint64_t seed;
+};
+
+class SerialJoinEquivalence : public ::testing::TestWithParam<Param> {};
+
+TEST_P(SerialJoinEquivalence, AllPairsMatchesBruteForce) {
+  const Param& p = GetParam();
+  auto records = OrderedView(RandomCorpus(150, 180, 1.0, 10, p.seed));
+  JoinResultSet expected = BruteForceJoin(records, p.fn, p.theta);
+  SerialJoinStats stats;
+  JoinResultSet actual = AllPairsJoin(records, p.fn, p.theta, &stats);
+  EXPECT_TRUE(SamePairs(expected, actual)) << DiffResults(expected, actual);
+  EXPECT_EQ(stats.verified, actual.size());
+}
+
+TEST_P(SerialJoinEquivalence, PPJoinMatchesBruteForce) {
+  const Param& p = GetParam();
+  auto records = OrderedView(RandomCorpus(150, 180, 1.0, 10, p.seed + 1000));
+  JoinResultSet expected = BruteForceJoin(records, p.fn, p.theta);
+  SerialJoinStats stats;
+  JoinResultSet actual = PPJoin(records, p.fn, p.theta, &stats);
+  EXPECT_TRUE(SamePairs(expected, actual)) << DiffResults(expected, actual);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SerialJoinEquivalence,
+    ::testing::Values(Param{SimilarityFunction::kJaccard, 0.5, 1},
+                      Param{SimilarityFunction::kJaccard, 0.75, 2},
+                      Param{SimilarityFunction::kJaccard, 0.9, 3},
+                      Param{SimilarityFunction::kDice, 0.7, 4},
+                      Param{SimilarityFunction::kDice, 0.9, 5},
+                      Param{SimilarityFunction::kCosine, 0.7, 6},
+                      Param{SimilarityFunction::kCosine, 0.9, 7}),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return std::string(SimilarityFunctionName(info.param.fn)) + "_t" +
+             std::to_string(static_cast<int>(info.param.theta * 100));
+    });
+
+TEST(SerialJoinTest, PositionalFilterOnlyPrunes) {
+  auto records = OrderedView(RandomCorpus(300, 300, 1.1, 12, 99));
+  SerialJoinStats allpairs_stats, ppjoin_stats;
+  JoinResultSet a =
+      AllPairsJoin(records, SimilarityFunction::kJaccard, 0.8, &allpairs_stats);
+  JoinResultSet b =
+      PPJoin(records, SimilarityFunction::kJaccard, 0.8, &ppjoin_stats);
+  EXPECT_TRUE(SamePairs(a, b));
+  EXPECT_LE(ppjoin_stats.candidates, allpairs_stats.candidates);
+}
+
+TEST(SerialJoinTest, EmptyAndDegenerateInputs) {
+  std::vector<OrderedRecord> empty;
+  EXPECT_TRUE(PPJoin(empty, SimilarityFunction::kJaccard, 0.8).empty());
+
+  // Records with empty token sets are ignored, never matched.
+  std::vector<OrderedRecord> records(3);
+  records[0] = {0, {}};
+  records[1] = {1, {1, 2}};
+  records[2] = {2, {1, 2}};
+  JoinResultSet out = PPJoin(records, SimilarityFunction::kJaccard, 0.9);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].a, 1u);
+  EXPECT_EQ(out[0].b, 2u);
+}
+
+TEST(SerialJoinTest, DuplicateRecordsAllPair) {
+  // Four identical records: C(4,2)=6 result pairs at theta 1.0.
+  Corpus corpus =
+      CorpusFromTokenSets({{1, 2, 3}, {1, 2, 3}, {1, 2, 3}, {1, 2, 3}});
+  auto records = OrderedView(corpus);
+  EXPECT_EQ(PPJoin(records, SimilarityFunction::kJaccard, 1.0).size(), 6u);
+  EXPECT_EQ(AllPairsJoin(records, SimilarityFunction::kJaccard, 1.0).size(),
+            6u);
+}
+
+TEST(SerialJoinTest, NormalizeResultDedupes) {
+  JoinResultSet r = {{2, 1, 0.5}, {1, 2, 0.5}, {3, 4, 0.9}};
+  NormalizeResult(&r);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[0].a, 1u);
+  EXPECT_EQ(r[0].b, 2u);
+}
+
+TEST(SerialJoinTest, DiffResultsReportsBothDirections) {
+  JoinResultSet expected = {{1, 2, 0.9}, {3, 4, 0.8}};
+  JoinResultSet actual = {{1, 2, 0.9}, {5, 6, 0.7}};
+  std::string diff = DiffResults(expected, actual);
+  EXPECT_NE(diff.find("missing (3,4)"), std::string::npos);
+  EXPECT_NE(diff.find("extra   (5,6)"), std::string::npos);
+  EXPECT_NE(diff.find("1 missing, 1 extra"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fsjoin
