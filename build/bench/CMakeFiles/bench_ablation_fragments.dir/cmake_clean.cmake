@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fragments.dir/bench_ablation_fragments.cc.o"
+  "CMakeFiles/bench_ablation_fragments.dir/bench_ablation_fragments.cc.o.d"
+  "bench_ablation_fragments"
+  "bench_ablation_fragments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fragments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

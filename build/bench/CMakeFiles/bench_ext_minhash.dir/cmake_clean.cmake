@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_minhash.dir/bench_ext_minhash.cc.o"
+  "CMakeFiles/bench_ext_minhash.dir/bench_ext_minhash.cc.o.d"
+  "bench_ext_minhash"
+  "bench_ext_minhash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_minhash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_pivots.dir/bench_fig11_pivots.cc.o"
+  "CMakeFiles/bench_fig11_pivots.dir/bench_fig11_pivots.cc.o.d"
+  "bench_fig11_pivots"
+  "bench_fig11_pivots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_pivots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_comparison_small.dir/bench_fig7_comparison_small.cc.o"
+  "CMakeFiles/bench_fig7_comparison_small.dir/bench_fig7_comparison_small.cc.o.d"
+  "bench_fig7_comparison_small"
+  "bench_fig7_comparison_small.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_comparison_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

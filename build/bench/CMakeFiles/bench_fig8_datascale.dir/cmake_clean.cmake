@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_datascale.dir/bench_fig8_datascale.cc.o"
+  "CMakeFiles/bench_fig8_datascale.dir/bench_fig8_datascale.cc.o.d"
+  "bench_fig8_datascale"
+  "bench_fig8_datascale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_datascale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_nodes.dir/bench_fig9_nodes.cc.o"
+  "CMakeFiles/bench_fig9_nodes.dir/bench_fig9_nodes.cc.o.d"
+  "bench_fig9_nodes"
+  "bench_fig9_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_filters.dir/bench_table4_filters.cc.o"
+  "CMakeFiles/bench_table4_filters.dir/bench_table4_filters.cc.o.d"
+  "bench_table4_filters"
+  "bench_table4_filters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_filters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsjoin_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/fsjoin_bench_util.dir/bench_util.cc.o.d"
+  "libfsjoin_bench_util.a"
+  "libfsjoin_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsjoin_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

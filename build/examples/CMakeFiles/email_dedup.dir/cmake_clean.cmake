@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/email_dedup.dir/email_dedup.cpp.o"
+  "CMakeFiles/email_dedup.dir/email_dedup.cpp.o.d"
+  "email_dedup"
+  "email_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/email_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsjoin_cli.dir/fsjoin_cli.cpp.o"
+  "CMakeFiles/fsjoin_cli.dir/fsjoin_cli.cpp.o.d"
+  "fsjoin_cli"
+  "fsjoin_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsjoin_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

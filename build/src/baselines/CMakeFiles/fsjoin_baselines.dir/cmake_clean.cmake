@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsjoin_baselines.dir/baseline.cc.o"
+  "CMakeFiles/fsjoin_baselines.dir/baseline.cc.o.d"
+  "CMakeFiles/fsjoin_baselines.dir/massjoin.cc.o"
+  "CMakeFiles/fsjoin_baselines.dir/massjoin.cc.o.d"
+  "CMakeFiles/fsjoin_baselines.dir/vernica_join.cc.o"
+  "CMakeFiles/fsjoin_baselines.dir/vernica_join.cc.o.d"
+  "CMakeFiles/fsjoin_baselines.dir/vsmart_join.cc.o"
+  "CMakeFiles/fsjoin_baselines.dir/vsmart_join.cc.o.d"
+  "libfsjoin_baselines.a"
+  "libfsjoin_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsjoin_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

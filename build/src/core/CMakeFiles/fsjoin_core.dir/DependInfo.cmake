@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cost_model.cc" "src/core/CMakeFiles/fsjoin_core.dir/cost_model.cc.o" "gcc" "src/core/CMakeFiles/fsjoin_core.dir/cost_model.cc.o.d"
+  "/root/repo/src/core/filters.cc" "src/core/CMakeFiles/fsjoin_core.dir/filters.cc.o" "gcc" "src/core/CMakeFiles/fsjoin_core.dir/filters.cc.o.d"
+  "/root/repo/src/core/fragment_join.cc" "src/core/CMakeFiles/fsjoin_core.dir/fragment_join.cc.o" "gcc" "src/core/CMakeFiles/fsjoin_core.dir/fragment_join.cc.o.d"
+  "/root/repo/src/core/fsjoin.cc" "src/core/CMakeFiles/fsjoin_core.dir/fsjoin.cc.o" "gcc" "src/core/CMakeFiles/fsjoin_core.dir/fsjoin.cc.o.d"
+  "/root/repo/src/core/fsjoin_config.cc" "src/core/CMakeFiles/fsjoin_core.dir/fsjoin_config.cc.o" "gcc" "src/core/CMakeFiles/fsjoin_core.dir/fsjoin_config.cc.o.d"
+  "/root/repo/src/core/horizontal.cc" "src/core/CMakeFiles/fsjoin_core.dir/horizontal.cc.o" "gcc" "src/core/CMakeFiles/fsjoin_core.dir/horizontal.cc.o.d"
+  "/root/repo/src/core/jobs.cc" "src/core/CMakeFiles/fsjoin_core.dir/jobs.cc.o" "gcc" "src/core/CMakeFiles/fsjoin_core.dir/jobs.cc.o.d"
+  "/root/repo/src/core/pivots.cc" "src/core/CMakeFiles/fsjoin_core.dir/pivots.cc.o" "gcc" "src/core/CMakeFiles/fsjoin_core.dir/pivots.cc.o.d"
+  "/root/repo/src/core/segments.cc" "src/core/CMakeFiles/fsjoin_core.dir/segments.cc.o" "gcc" "src/core/CMakeFiles/fsjoin_core.dir/segments.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fsjoin_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/fsjoin_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/mr/CMakeFiles/fsjoin_mr.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fsjoin_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsjoin_core.dir/cost_model.cc.o"
+  "CMakeFiles/fsjoin_core.dir/cost_model.cc.o.d"
+  "CMakeFiles/fsjoin_core.dir/filters.cc.o"
+  "CMakeFiles/fsjoin_core.dir/filters.cc.o.d"
+  "CMakeFiles/fsjoin_core.dir/fragment_join.cc.o"
+  "CMakeFiles/fsjoin_core.dir/fragment_join.cc.o.d"
+  "CMakeFiles/fsjoin_core.dir/fsjoin.cc.o"
+  "CMakeFiles/fsjoin_core.dir/fsjoin.cc.o.d"
+  "CMakeFiles/fsjoin_core.dir/fsjoin_config.cc.o"
+  "CMakeFiles/fsjoin_core.dir/fsjoin_config.cc.o.d"
+  "CMakeFiles/fsjoin_core.dir/horizontal.cc.o"
+  "CMakeFiles/fsjoin_core.dir/horizontal.cc.o.d"
+  "CMakeFiles/fsjoin_core.dir/jobs.cc.o"
+  "CMakeFiles/fsjoin_core.dir/jobs.cc.o.d"
+  "CMakeFiles/fsjoin_core.dir/pivots.cc.o"
+  "CMakeFiles/fsjoin_core.dir/pivots.cc.o.d"
+  "CMakeFiles/fsjoin_core.dir/segments.cc.o"
+  "CMakeFiles/fsjoin_core.dir/segments.cc.o.d"
+  "libfsjoin_core.a"
+  "libfsjoin_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsjoin_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

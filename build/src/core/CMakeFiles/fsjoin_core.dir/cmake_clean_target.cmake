@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfsjoin_core.a"
+)

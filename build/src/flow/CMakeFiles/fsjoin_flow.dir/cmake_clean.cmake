@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsjoin_flow.dir/dataflow.cc.o"
+  "CMakeFiles/fsjoin_flow.dir/dataflow.cc.o.d"
+  "CMakeFiles/fsjoin_flow.dir/fsjoin_flow.cc.o"
+  "CMakeFiles/fsjoin_flow.dir/fsjoin_flow.cc.o.d"
+  "libfsjoin_flow.a"
+  "libfsjoin_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsjoin_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

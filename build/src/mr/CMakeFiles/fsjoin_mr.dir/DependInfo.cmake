@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mr/cluster_sim.cc" "src/mr/CMakeFiles/fsjoin_mr.dir/cluster_sim.cc.o" "gcc" "src/mr/CMakeFiles/fsjoin_mr.dir/cluster_sim.cc.o.d"
+  "/root/repo/src/mr/engine.cc" "src/mr/CMakeFiles/fsjoin_mr.dir/engine.cc.o" "gcc" "src/mr/CMakeFiles/fsjoin_mr.dir/engine.cc.o.d"
+  "/root/repo/src/mr/metrics.cc" "src/mr/CMakeFiles/fsjoin_mr.dir/metrics.cc.o" "gcc" "src/mr/CMakeFiles/fsjoin_mr.dir/metrics.cc.o.d"
+  "/root/repo/src/mr/pipeline.cc" "src/mr/CMakeFiles/fsjoin_mr.dir/pipeline.cc.o" "gcc" "src/mr/CMakeFiles/fsjoin_mr.dir/pipeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fsjoin_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsjoin_mr.dir/cluster_sim.cc.o"
+  "CMakeFiles/fsjoin_mr.dir/cluster_sim.cc.o.d"
+  "CMakeFiles/fsjoin_mr.dir/engine.cc.o"
+  "CMakeFiles/fsjoin_mr.dir/engine.cc.o.d"
+  "CMakeFiles/fsjoin_mr.dir/metrics.cc.o"
+  "CMakeFiles/fsjoin_mr.dir/metrics.cc.o.d"
+  "CMakeFiles/fsjoin_mr.dir/pipeline.cc.o"
+  "CMakeFiles/fsjoin_mr.dir/pipeline.cc.o.d"
+  "libfsjoin_mr.a"
+  "libfsjoin_mr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsjoin_mr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

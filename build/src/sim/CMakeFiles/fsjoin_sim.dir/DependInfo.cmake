@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/global_order.cc" "src/sim/CMakeFiles/fsjoin_sim.dir/global_order.cc.o" "gcc" "src/sim/CMakeFiles/fsjoin_sim.dir/global_order.cc.o.d"
+  "/root/repo/src/sim/join_result.cc" "src/sim/CMakeFiles/fsjoin_sim.dir/join_result.cc.o" "gcc" "src/sim/CMakeFiles/fsjoin_sim.dir/join_result.cc.o.d"
+  "/root/repo/src/sim/minhash.cc" "src/sim/CMakeFiles/fsjoin_sim.dir/minhash.cc.o" "gcc" "src/sim/CMakeFiles/fsjoin_sim.dir/minhash.cc.o.d"
+  "/root/repo/src/sim/serial_join.cc" "src/sim/CMakeFiles/fsjoin_sim.dir/serial_join.cc.o" "gcc" "src/sim/CMakeFiles/fsjoin_sim.dir/serial_join.cc.o.d"
+  "/root/repo/src/sim/set_ops.cc" "src/sim/CMakeFiles/fsjoin_sim.dir/set_ops.cc.o" "gcc" "src/sim/CMakeFiles/fsjoin_sim.dir/set_ops.cc.o.d"
+  "/root/repo/src/sim/similarity.cc" "src/sim/CMakeFiles/fsjoin_sim.dir/similarity.cc.o" "gcc" "src/sim/CMakeFiles/fsjoin_sim.dir/similarity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fsjoin_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/fsjoin_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

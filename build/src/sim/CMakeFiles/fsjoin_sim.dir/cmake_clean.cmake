@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsjoin_sim.dir/global_order.cc.o"
+  "CMakeFiles/fsjoin_sim.dir/global_order.cc.o.d"
+  "CMakeFiles/fsjoin_sim.dir/join_result.cc.o"
+  "CMakeFiles/fsjoin_sim.dir/join_result.cc.o.d"
+  "CMakeFiles/fsjoin_sim.dir/minhash.cc.o"
+  "CMakeFiles/fsjoin_sim.dir/minhash.cc.o.d"
+  "CMakeFiles/fsjoin_sim.dir/serial_join.cc.o"
+  "CMakeFiles/fsjoin_sim.dir/serial_join.cc.o.d"
+  "CMakeFiles/fsjoin_sim.dir/set_ops.cc.o"
+  "CMakeFiles/fsjoin_sim.dir/set_ops.cc.o.d"
+  "CMakeFiles/fsjoin_sim.dir/similarity.cc.o"
+  "CMakeFiles/fsjoin_sim.dir/similarity.cc.o.d"
+  "libfsjoin_sim.a"
+  "libfsjoin_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsjoin_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsjoin_text.dir/corpus.cc.o"
+  "CMakeFiles/fsjoin_text.dir/corpus.cc.o.d"
+  "CMakeFiles/fsjoin_text.dir/corpus_io.cc.o"
+  "CMakeFiles/fsjoin_text.dir/corpus_io.cc.o.d"
+  "CMakeFiles/fsjoin_text.dir/dictionary.cc.o"
+  "CMakeFiles/fsjoin_text.dir/dictionary.cc.o.d"
+  "CMakeFiles/fsjoin_text.dir/generator.cc.o"
+  "CMakeFiles/fsjoin_text.dir/generator.cc.o.d"
+  "CMakeFiles/fsjoin_text.dir/tokenizer.cc.o"
+  "CMakeFiles/fsjoin_text.dir/tokenizer.cc.o.d"
+  "libfsjoin_text.a"
+  "libfsjoin_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsjoin_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

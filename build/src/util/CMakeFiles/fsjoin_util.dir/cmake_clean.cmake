@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsjoin_util.dir/logging.cc.o"
+  "CMakeFiles/fsjoin_util.dir/logging.cc.o.d"
+  "CMakeFiles/fsjoin_util.dir/random.cc.o"
+  "CMakeFiles/fsjoin_util.dir/random.cc.o.d"
+  "CMakeFiles/fsjoin_util.dir/serde.cc.o"
+  "CMakeFiles/fsjoin_util.dir/serde.cc.o.d"
+  "CMakeFiles/fsjoin_util.dir/status.cc.o"
+  "CMakeFiles/fsjoin_util.dir/status.cc.o.d"
+  "CMakeFiles/fsjoin_util.dir/string_util.cc.o"
+  "CMakeFiles/fsjoin_util.dir/string_util.cc.o.d"
+  "CMakeFiles/fsjoin_util.dir/table_printer.cc.o"
+  "CMakeFiles/fsjoin_util.dir/table_printer.cc.o.d"
+  "CMakeFiles/fsjoin_util.dir/thread_pool.cc.o"
+  "CMakeFiles/fsjoin_util.dir/thread_pool.cc.o.d"
+  "libfsjoin_util.a"
+  "libfsjoin_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsjoin_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines_test.cc" "tests/CMakeFiles/baselines_test.dir/baselines_test.cc.o" "gcc" "tests/CMakeFiles/baselines_test.dir/baselines_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flow/CMakeFiles/fsjoin_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/fsjoin_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fsjoin_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fsjoin_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mr/CMakeFiles/fsjoin_mr.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/fsjoin_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fsjoin_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

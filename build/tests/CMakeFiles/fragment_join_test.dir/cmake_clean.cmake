@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fragment_join_test.dir/fragment_join_test.cc.o"
+  "CMakeFiles/fragment_join_test.dir/fragment_join_test.cc.o.d"
+  "fragment_join_test"
+  "fragment_join_test.pdb"
+  "fragment_join_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fragment_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

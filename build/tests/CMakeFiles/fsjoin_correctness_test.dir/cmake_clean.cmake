@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsjoin_correctness_test.dir/fsjoin_correctness_test.cc.o"
+  "CMakeFiles/fsjoin_correctness_test.dir/fsjoin_correctness_test.cc.o.d"
+  "fsjoin_correctness_test"
+  "fsjoin_correctness_test.pdb"
+  "fsjoin_correctness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsjoin_correctness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

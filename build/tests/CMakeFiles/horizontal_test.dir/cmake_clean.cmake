@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horizontal_test.dir/horizontal_test.cc.o"
+  "CMakeFiles/horizontal_test.dir/horizontal_test.cc.o.d"
+  "horizontal_test"
+  "horizontal_test.pdb"
+  "horizontal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horizontal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

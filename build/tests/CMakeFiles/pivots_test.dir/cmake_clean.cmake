@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pivots_test.dir/pivots_test.cc.o"
+  "CMakeFiles/pivots_test.dir/pivots_test.cc.o.d"
+  "pivots_test"
+  "pivots_test.pdb"
+  "pivots_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pivots_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/fsjoin_correctness_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/text_test[1]_include.cmake")
+include("/root/repo/build/tests/mr_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/similarity_test[1]_include.cmake")
+include("/root/repo/build/tests/serial_join_test[1]_include.cmake")
+include("/root/repo/build/tests/pivots_test[1]_include.cmake")
+include("/root/repo/build/tests/segments_test[1]_include.cmake")
+include("/root/repo/build/tests/horizontal_test[1]_include.cmake")
+include("/root/repo/build/tests/filters_test[1]_include.cmake")
+include("/root/repo/build/tests/fragment_join_test[1]_include.cmake")
+include("/root/repo/build/tests/jobs_test[1]_include.cmake")
+include("/root/repo/build/tests/cost_model_test[1]_include.cmake")
+include("/root/repo/build/tests/minhash_test[1]_include.cmake")
+include("/root/repo/build/tests/dataflow_test[1]_include.cmake")
