@@ -14,11 +14,12 @@
 namespace fsjoin::bench {
 namespace {
 
-void Run() {
+void Run(const BenchOptions& options) {
   PrintBanner(
       "Figure 10 — filtering vs verification time by horizontal partitions",
       "filtering dominates; more horizontal partitions reduce it");
 
+  std::vector<BenchRecord> records;
   const uint32_t partition_counts[] = {0, 4, 8, 16};
   for (Workload& w : AllWorkloads(1.0)) {
     std::printf("\n[%s] %zu records, theta = 0.8\n", w.name.c_str(),
@@ -43,7 +44,9 @@ void Run() {
     for (uint32_t t : partition_counts) {
       FsJoinConfig config = DefaultFsConfig(0.8);
       config.num_horizontal_partitions = t;
-      Result<FsJoinOutput> fs = FsJoin(config).Run(w.corpus);
+      Result<FsJoinOutput> fs = Status::Internal("not run");
+      const double wall_micros =
+          MinWallMicros(options, [&] { fs = FsJoin(config).Run(w.corpus); });
       if (!fs.ok()) {
         std::printf("FAIL: %s\n", fs.status().ToString().c_str());
         continue;
@@ -57,15 +60,27 @@ void Run() {
            StrFormat("%.0f", verify_ms),
            StrFormat("%.0f", filter_ms + verify_ms),
            StrFormat("%.0f%%", 100.0 * filter_ms / (filter_ms + verify_ms))});
+      BenchRecord record;
+      record.name = w.name + "/h=" + (t == 0 ? "off" : std::to_string(t));
+      record.wall_micros = wall_micros;
+      record.shuffle_bytes = fs->report.filtering_job.shuffle_bytes +
+                             fs->report.verification_job.shuffle_bytes;
+      record.peak_group_bytes =
+          std::max(MaxGroupBytes(fs->report.filtering_job),
+                   MaxGroupBytes(fs->report.verification_job));
+      record.simulated_ms = filter_ms + verify_ms;
+      records.push_back(std::move(record));
     }
     table.Print(std::cout);
   }
+  WriteBenchJson(options, "fig10_phase_split", records);
 }
 
 }  // namespace
 }  // namespace fsjoin::bench
 
-int main() {
-  fsjoin::bench::Run();
+int main(int argc, char** argv) {
+  fsjoin::bench::Run(
+      fsjoin::bench::ParseBenchOptions("fig10_phase_split", argc, argv));
   return 0;
 }

@@ -38,6 +38,51 @@ void BM_SortedOverlap(benchmark::State& state) {
 }
 BENCHMARK(BM_SortedOverlap)->Arg(64)->Arg(512)->Arg(4096);
 
+// Skewed pair: a `small`-element probe set against one `small * skew`
+// elements long. Compares the linear merge, the galloping probe, and the
+// dispatching SortedOverlap across the crossover region.
+void BM_OverlapSkewedLinear(benchmark::State& state) {
+  Rng rng(7);
+  auto a = RandomSortedSet(rng, state.range(0), 1 << 22);
+  auto b = RandomSortedSet(rng, state.range(0) * state.range(1), 1 << 22);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LinearOverlap(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * (a.size() + b.size()));
+}
+BENCHMARK(BM_OverlapSkewedLinear)
+    ->Args({64, 8})
+    ->Args({64, 64})
+    ->Args({64, 512});
+
+void BM_OverlapSkewedGalloping(benchmark::State& state) {
+  Rng rng(7);
+  auto a = RandomSortedSet(rng, state.range(0), 1 << 22);
+  auto b = RandomSortedSet(rng, state.range(0) * state.range(1), 1 << 22);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GallopingOverlap(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * (a.size() + b.size()));
+}
+BENCHMARK(BM_OverlapSkewedGalloping)
+    ->Args({64, 8})
+    ->Args({64, 64})
+    ->Args({64, 512});
+
+void BM_OverlapSkewedDispatch(benchmark::State& state) {
+  Rng rng(7);
+  auto a = RandomSortedSet(rng, state.range(0), 1 << 22);
+  auto b = RandomSortedSet(rng, state.range(0) * state.range(1), 1 << 22);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SortedOverlap(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * (a.size() + b.size()));
+}
+BENCHMARK(BM_OverlapSkewedDispatch)
+    ->Args({64, 8})
+    ->Args({64, 64})
+    ->Args({64, 512});
+
 void BM_SortedOverlapAtLeast(benchmark::State& state) {
   Rng rng(2);
   auto a = RandomSortedSet(rng, state.range(0), 1 << 20);

@@ -1,9 +1,13 @@
 #include "bench_util.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 
 #include "util/logging.h"
+#include "util/timer.h"
 
 namespace fsjoin::bench {
 
@@ -62,6 +66,110 @@ double SimulatedMs(const std::vector<mr::JobMetrics>& jobs, uint32_t nodes) {
 double SimulatedMs(const std::vector<mr::JobMetrics>& jobs, uint32_t nodes,
                    const mr::ClusterCostModel& model) {
   return mr::SimulatePipeline(jobs, nodes, model).total_ms;
+}
+
+BenchOptions ParseBenchOptions(const std::string& bench_name, int argc,
+                               char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--warmup=", 9) == 0) {
+      options.warmup = std::atoi(arg + 9);
+    } else if (std::strncmp(arg, "--repeat=", 9) == 0) {
+      options.repeat = std::max(1, std::atoi(arg + 9));
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      options.json_path = arg + 7;
+    } else if (std::strcmp(arg, "--json") == 0) {
+      options.json_path = "BENCH_" + bench_name + ".json";
+    } else {
+      std::fprintf(stderr,
+                   "unknown argument %s\nusage: %s [--warmup=N] [--repeat=N] "
+                   "[--json[=PATH]]\n",
+                   arg, bench_name.c_str());
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+namespace {
+
+// Enough escaping for the names this repo generates (config labels); keeps
+// the writer dependency-free.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void WriteBenchJson(const BenchOptions& options, const std::string& bench_name,
+                    const std::vector<BenchRecord>& records) {
+  if (options.json_path.empty()) return;
+  std::ofstream out(options.json_path);
+  if (!out) {
+    FSJOIN_LOG(Error) << "cannot write " << options.json_path;
+    return;
+  }
+  char buf[160];
+  out << "{\n  \"bench\": \"" << JsonEscape(bench_name) << "\",\n";
+  std::snprintf(buf, sizeof(buf), "  \"scale\": %.4f,\n", BenchScale());
+  out << buf;
+  out << "  \"warmup\": " << options.warmup << ",\n";
+  out << "  \"repeat\": " << options.repeat << ",\n";
+  out << "  \"results\": [";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    out << (i == 0 ? "\n" : ",\n");
+    std::snprintf(buf, sizeof(buf),
+                  "      \"wall_micros\": %.1f,\n"
+                  "      \"shuffle_bytes\": %llu,\n"
+                  "      \"peak_group_bytes\": %llu,\n"
+                  "      \"simulated_ms\": %.3f\n",
+                  r.wall_micros,
+                  static_cast<unsigned long long>(r.shuffle_bytes),
+                  static_cast<unsigned long long>(r.peak_group_bytes),
+                  r.simulated_ms);
+    out << "    {\n      \"name\": \"" << JsonEscape(r.name) << "\",\n"
+        << buf << "    }";
+  }
+  out << "\n  ]\n}\n";
+  std::printf("wrote %s (%zu results)\n", options.json_path.c_str(),
+              records.size());
+}
+
+double MinWallMicros(const BenchOptions& options,
+                     const std::function<void()>& fn) {
+  for (int i = 0; i < options.warmup; ++i) fn();
+  double best = 0;
+  for (int i = 0; i < options.repeat; ++i) {
+    WallTimer timer;
+    fn();
+    const double micros = static_cast<double>(timer.ElapsedMicros());
+    if (i == 0 || micros < best) best = micros;
+  }
+  return best;
+}
+
+uint64_t MaxGroupBytes(const mr::JobMetrics& job) {
+  uint64_t max_group = 0;
+  for (const mr::TaskMetrics& task : job.reduce_tasks) {
+    max_group = std::max(max_group, task.max_group_bytes);
+  }
+  return max_group;
 }
 
 void PrintBanner(const std::string& experiment, const std::string& claim) {

@@ -1,6 +1,7 @@
 #ifndef FSJOIN_BENCH_BENCH_UTIL_H_
 #define FSJOIN_BENCH_BENCH_UTIL_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -56,6 +57,51 @@ double SimulatedMs(const std::vector<mr::JobMetrics>& jobs, uint32_t nodes,
 /// Prints the standard bench banner: experiment id, paper reference, and
 /// the workload substitution note.
 void PrintBanner(const std::string& experiment, const std::string& claim);
+
+// ---- Repeatable runs and machine-readable output --------------------------
+
+/// Shared command-line options for the driver benches:
+///   --warmup=N   untimed runs before measuring (default 0)
+///   --repeat=N   timed repetitions; wall time reported as the minimum
+///                (default 1)
+///   --json[=P]   write a JSON summary to P (default BENCH_<name>.json)
+struct BenchOptions {
+  int warmup = 0;
+  int repeat = 1;
+  std::string json_path;  // empty = no JSON output
+};
+
+/// Parses the flags above from argv. Unknown arguments print usage and
+/// exit(2), so typos never silently run the default configuration.
+BenchOptions ParseBenchOptions(const std::string& bench_name, int argc,
+                               char** argv);
+
+/// One measured configuration within a bench run. Unused fields stay 0 and
+/// are still emitted, keeping the JSON schema uniform across benches.
+struct BenchRecord {
+  std::string name;               // e.g. "email/h=8" — unique within the run
+  double wall_micros = 0;         // measured wall time (min over repeats)
+  uint64_t shuffle_bytes = 0;     // bytes through the shuffle(s)
+  uint64_t peak_group_bytes = 0;  // largest reduce group (memory pressure)
+  double simulated_ms = 0;        // cluster-simulator time, when applicable
+};
+
+/// Writes `records` to options.json_path as
+///   {"bench": <name>, "scale": <s>, "warmup": N, "repeat": N,
+///    "results": [{...}, ...]}
+/// No-op when json_path is empty.
+void WriteBenchJson(const BenchOptions& options, const std::string& bench_name,
+                    const std::vector<BenchRecord>& records);
+
+/// Runs `fn` options.warmup times untimed, then options.repeat times timed,
+/// and returns the fastest run in microseconds (min filters scheduler noise
+/// better than mean for single-machine runs).
+double MinWallMicros(const BenchOptions& options,
+                     const std::function<void()>& fn);
+
+/// Largest reduce group (key + values bytes) across a job's reduce tasks —
+/// the per-reducer memory high-water mark horizontal partitioning bounds.
+uint64_t MaxGroupBytes(const mr::JobMetrics& job);
 
 }  // namespace fsjoin::bench
 

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Runs the tier-1 build + test line for the default preset and, with
+# --sanitizers (or PRESETS=...), for the asan/ubsan presets too. Usage:
+#   scripts/check.sh                 # default preset only
+#   scripts/check.sh --sanitizers    # default + asan + ubsan
+#   PRESETS="ubsan" scripts/check.sh # explicit preset list
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+presets="${PRESETS:-default}"
+if [[ "${1:-}" == "--sanitizers" ]]; then
+  presets="default asan ubsan"
+fi
+
+for preset in $presets; do
+  echo "==== preset: $preset ===================================="
+  cmake --preset "$preset"
+  cmake --build --preset "$preset" -j "$(nproc)"
+  ctest --preset "$preset"
+done
+echo "==== all presets passed: $presets ===="

@@ -101,7 +101,7 @@ class CandidateReducer : public mr::Reducer {
   explicit CandidateReducer(std::shared_ptr<MassJoinContext> ctx)
       : ctx_(std::move(ctx)) {}
 
-  Status Reduce(const std::string& key, const std::vector<std::string>& values,
+  Status Reduce(std::string_view key, mr::ValueList values,
                 mr::Emitter* out) override {
     (void)key;
     struct IndexEntry {
@@ -114,9 +114,9 @@ class CandidateReducer : public mr::Reducer {
     };
     std::vector<IndexEntry> index;
     std::vector<ProbeEntry> probes;
-    for (const std::string& v : values) {
+    for (std::string_view v : values) {
       if (v.empty()) return Status::Internal("empty massjoin signature");
-      Decoder dec(std::string_view(v).substr(1));
+      Decoder dec(v.substr(1));
       if (v[0] == kTagIndex) {
         IndexEntry e{};
         FSJOIN_RETURN_NOT_OK(dec.GetVarint32(&e.rid));
@@ -183,7 +183,7 @@ class MergeReducer : public mr::Reducer {
   explicit MergeReducer(std::shared_ptr<MassJoinContext> ctx)
       : ctx_(std::move(ctx)) {}
 
-  Status Reduce(const std::string& key, const std::vector<std::string>& values,
+  Status Reduce(std::string_view key, mr::ValueList values,
                 mr::Emitter* out) override {
     Decoder key_dec(key);
     uint32_t a = 0;
@@ -191,9 +191,9 @@ class MergeReducer : public mr::Reducer {
     std::vector<TokenRank> content;
     bool have_content = false;
     std::unordered_set<uint32_t> partners;
-    for (const std::string& v : values) {
+    for (std::string_view v : values) {
       if (v.empty()) return Status::Internal("empty massjoin merge value");
-      Decoder dec(std::string_view(v).substr(1));
+      Decoder dec(v.substr(1));
       if (v[0] == kTagRecord) {
         FSJOIN_RETURN_NOT_OK(dec.GetUint32Vector(&content));
         have_content = true;
@@ -234,7 +234,7 @@ class VerifyReducer : public mr::Reducer {
   explicit VerifyReducer(std::shared_ptr<MassJoinContext> ctx)
       : ctx_(std::move(ctx)) {}
 
-  Status Reduce(const std::string& key, const std::vector<std::string>& values,
+  Status Reduce(std::string_view key, mr::ValueList values,
                 mr::Emitter* out) override {
     Decoder key_dec(key);
     uint32_t b = 0;
@@ -246,9 +246,9 @@ class VerifyReducer : public mr::Reducer {
       std::vector<TokenRank> tokens;
     };
     std::vector<Partial> partials;
-    for (const std::string& v : values) {
+    for (std::string_view v : values) {
       if (v.empty()) return Status::Internal("empty massjoin verify value");
-      Decoder dec(std::string_view(v).substr(1));
+      Decoder dec(v.substr(1));
       if (v[0] == kTagRecord) {
         FSJOIN_RETURN_NOT_OK(dec.GetUint32Vector(&content));
         have_content = true;

@@ -77,7 +77,7 @@ class KernelReducer : public mr::Reducer {
   explicit KernelReducer(std::shared_ptr<VernicaContext> ctx)
       : ctx_(std::move(ctx)) {}
 
-  Status Reduce(const std::string& key, const std::vector<std::string>& values,
+  Status Reduce(std::string_view key, mr::ValueList values,
                 mr::Emitter* out) override {
     Decoder key_dec(key);
     uint32_t group_token = 0;
@@ -85,7 +85,7 @@ class KernelReducer : public mr::Reducer {
 
     std::vector<OrderedRecord> group;
     group.reserve(values.size());
-    for (const std::string& v : values) {
+    for (std::string_view v : values) {
       OrderedRecord rec;
       FSJOIN_RETURN_NOT_OK(DecodeRankedRecord(v, &rec));
       group.push_back(std::move(rec));

@@ -51,7 +51,7 @@ class PairEnumerationReducer : public mr::Reducer {
   explicit PairEnumerationReducer(std::shared_ptr<VSmartContext> ctx)
       : ctx_(std::move(ctx)) {}
 
-  Status Reduce(const std::string& key, const std::vector<std::string>& values,
+  Status Reduce(std::string_view key, mr::ValueList values,
                 mr::Emitter* out) override {
     (void)key;
     struct Entry {
@@ -60,7 +60,7 @@ class PairEnumerationReducer : public mr::Reducer {
     };
     std::vector<Entry> entries;
     entries.reserve(values.size());
-    for (const std::string& v : values) {
+    for (std::string_view v : values) {
       Decoder dec(v);
       Entry e{};
       FSJOIN_RETURN_NOT_OK(dec.GetVarint32(&e.rid));

@@ -32,10 +32,10 @@ class OrderingMapper : public mr::Mapper {
 
 class SumReducer : public mr::Reducer {
  public:
-  Status Reduce(const std::string& key, const std::vector<std::string>& values,
+  Status Reduce(std::string_view key, mr::ValueList values,
                 mr::Emitter* out) override {
     uint64_t total = 0;
-    for (const std::string& v : values) {
+    for (std::string_view v : values) {
       Decoder dec(v);
       uint64_t x = 0;
       FSJOIN_RETURN_NOT_OK(dec.GetVarint64(&x));
@@ -43,7 +43,7 @@ class SumReducer : public mr::Reducer {
     }
     std::string value;
     PutVarint64(&value, total);
-    out->Emit(key, std::move(value));
+    out->Emit(key, value);
     return Status::OK();
   }
 };
@@ -97,7 +97,7 @@ class FilteringReducer : public mr::Reducer {
   explicit FilteringReducer(std::shared_ptr<FilteringContext> ctx)
       : ctx_(std::move(ctx)) {}
 
-  Status Reduce(const std::string& key, const std::vector<std::string>& values,
+  Status Reduce(std::string_view key, mr::ValueList values,
                 mr::Emitter* out) override {
     Decoder key_dec(key);
     uint32_t group = 0, fragment = 0;
@@ -106,7 +106,7 @@ class FilteringReducer : public mr::Reducer {
 
     std::vector<SegmentRecord> segments;
     segments.reserve(values.size());
-    for (const std::string& v : values) {
+    for (std::string_view v : values) {
       SegmentRecord seg;
       FSJOIN_RETURN_NOT_OK(DecodeSegment(v, &seg));
       segments.push_back(std::move(seg));
@@ -171,11 +171,11 @@ class VerificationReducer : public mr::Reducer {
   explicit VerificationReducer(std::shared_ptr<VerificationContext> ctx)
       : ctx_(std::move(ctx)) {}
 
-  Status Reduce(const std::string& key, const std::vector<std::string>& values,
+  Status Reduce(std::string_view key, mr::ValueList values,
                 mr::Emitter* out) override {
     uint64_t total_overlap = 0;
     uint64_t size_a = 0, size_b = 0;
-    for (const std::string& v : values) {
+    for (std::string_view v : values) {
       Decoder dec(v);
       uint64_t c = 0, la = 0, lb = 0;
       FSJOIN_RETURN_NOT_OK(dec.GetVarint64(&c));
@@ -266,7 +266,7 @@ Result<GlobalOrder> BuildGlobalOrderFromJobOutput(const mr::Dataset& output,
   return GlobalOrder::FromFrequencies(std::move(frequency));
 }
 
-uint32_t FragmentPartitioner::Partition(const std::string& key,
+uint32_t FragmentPartitioner::Partition(std::string_view key,
                                         uint32_t num_partitions) const {
   Decoder dec(key);
   uint32_t h = 0, v = 0;

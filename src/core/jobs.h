@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <mutex>
+#include <string_view>
 #include <vector>
 
 #include "core/fragment_join.h"
@@ -67,7 +68,7 @@ class FragmentPartitioner : public mr::Partitioner {
  public:
   explicit FragmentPartitioner(uint32_t num_vertical)
       : num_vertical_(num_vertical) {}
-  uint32_t Partition(const std::string& key,
+  uint32_t Partition(std::string_view key,
                      uint32_t num_partitions) const override;
 
  private:

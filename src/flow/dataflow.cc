@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <mutex>
+#include <string_view>
 #include <utility>
 
+#include "mr/shuffle.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -17,9 +19,9 @@ class CallbackEmitter : public mr::Emitter {
   using Sink = std::function<Status(mr::KeyValue)>;
   explicit CallbackEmitter(Sink sink) : sink_(std::move(sink)) {}
 
-  void Emit(std::string key, std::string value) override {
+  void Emit(std::string_view key, std::string_view value) override {
     if (!status_.ok()) return;
-    status_ = sink_(mr::KeyValue{std::move(key), std::move(value)});
+    status_ = sink_(mr::KeyValue{std::string(key), std::string(value)});
   }
 
   const Status& status() const { return status_; }
@@ -28,13 +30,6 @@ class CallbackEmitter : public mr::Emitter {
   Sink sink_;
   Status status_;
 };
-
-void SortByKey(mr::Dataset* data) {
-  std::stable_sort(data->begin(), data->end(),
-                   [](const mr::KeyValue& a, const mr::KeyValue& b) {
-                     return a.key < b.key;
-                   });
-}
 
 }  // namespace
 
@@ -186,7 +181,7 @@ Result<mr::Dataset> Pipeline::Run(const mr::Dataset& input) {
       std::vector<mr::Dataset> reduced(num_partitions_);
       std::vector<Status> reduce_status(num_partitions_);
       pool_.ParallelFor(num_partitions_, [&](size_t p) {
-        SortByKey(&next[p]);
+        mr::SortDatasetByKey(&next[p]);
         std::unique_ptr<mr::Reducer> reducer = wide.reducer();
         CallbackEmitter emitter([&reduced, p](mr::KeyValue kv) -> Status {
           reduced[p].push_back(std::move(kv));
@@ -194,7 +189,9 @@ Result<mr::Dataset> Pipeline::Run(const mr::Dataset& input) {
         });
         Status st = reducer->Setup();
         size_t i = 0;
-        std::vector<std::string> values;
+        // Values are views into the sorted partition's records: grouping
+        // performs no per-value copies (same contract as the MR engine).
+        std::vector<std::string_view> values;
         while (st.ok() && i < next[p].size()) {
           size_t j = i;
           values.clear();
@@ -202,7 +199,9 @@ Result<mr::Dataset> Pipeline::Run(const mr::Dataset& input) {
             values.push_back(next[p][j].value);
             ++j;
           }
-          st = reducer->Reduce(next[p][i].key, values, &emitter);
+          st = reducer->Reduce(next[p][i].key,
+                               mr::ValueList(values.data(), values.size()),
+                               &emitter);
           i = j;
         }
         if (st.ok()) st = reducer->Finish(&emitter);

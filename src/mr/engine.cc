@@ -1,10 +1,10 @@
 #include "mr/engine.h"
 
 #include <algorithm>
-#include <atomic>
 #include <mutex>
 #include <utility>
 
+#include "mr/shuffle.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -12,42 +12,64 @@ namespace fsjoin::mr {
 
 namespace {
 
-/// Emitter that routes pairs into per-reduce-partition buffers and counts
+/// Emitter that routes pairs into per-reduce-partition arenas and counts
 /// them. One instance per map task (single-threaded within the task).
+/// Record bytes are appended once here and never copied again until the
+/// reduce output materializes.
 class PartitionedEmitter : public Emitter {
  public:
   PartitionedEmitter(const Partitioner& partitioner, uint32_t num_partitions)
       : partitioner_(partitioner), buffers_(num_partitions) {}
 
-  void Emit(std::string key, std::string value) override {
+  void Emit(std::string_view key, std::string_view value) override {
     uint32_t p = partitioner_.Partition(
         key, static_cast<uint32_t>(buffers_.size()));
     FSJOIN_CHECK(p < buffers_.size());
     records_ += 1;
     bytes_ += key.size() + value.size();
-    buffers_[p].push_back(KeyValue{std::move(key), std::move(value)});
+    buffers_[p].Append(key, value);
   }
 
-  std::vector<Dataset>& buffers() { return buffers_; }
+  std::vector<KvBuffer>& buffers() { return buffers_; }
   uint64_t records() const { return records_; }
   uint64_t bytes() const { return bytes_; }
 
  private:
   const Partitioner& partitioner_;
-  std::vector<Dataset> buffers_;
+  std::vector<KvBuffer> buffers_;
   uint64_t records_ = 0;
   uint64_t bytes_ = 0;
 };
 
-/// Emitter appending to a flat dataset (reduce output, combiner output).
+/// Emitter appending to a single arena (combiner output).
+class BufferEmitter : public Emitter {
+ public:
+  explicit BufferEmitter(KvBuffer* out) : out_(out) {}
+
+  void Emit(std::string_view key, std::string_view value) override {
+    records_ += 1;
+    bytes_ += key.size() + value.size();
+    out_->Append(key, value);
+  }
+
+  uint64_t records() const { return records_; }
+  uint64_t bytes() const { return bytes_; }
+
+ private:
+  KvBuffer* out_;
+  uint64_t records_ = 0;
+  uint64_t bytes_ = 0;
+};
+
+/// Emitter materializing records into a flat dataset (reduce output).
 class VectorEmitter : public Emitter {
  public:
   explicit VectorEmitter(Dataset* out) : out_(out) {}
 
-  void Emit(std::string key, std::string value) override {
+  void Emit(std::string_view key, std::string_view value) override {
     records_ += 1;
     bytes_ += key.size() + value.size();
-    out_->push_back(KeyValue{std::move(key), std::move(value)});
+    out_->push_back(KeyValue{std::string(key), std::string(value)});
   }
 
   uint64_t records() const { return records_; }
@@ -59,41 +81,25 @@ class VectorEmitter : public Emitter {
   uint64_t bytes_ = 0;
 };
 
-void SortByKey(Dataset* data) {
-  std::stable_sort(data->begin(), data->end(),
-                   [](const KeyValue& a, const KeyValue& b) {
-                     return a.key < b.key;
-                   });
-}
-
-/// Runs `reducer` over key-grouped `input` (must be sorted by key). Tracks
-/// the largest group's byte size in *max_group_bytes when non-null.
-Status RunGroupedReduce(Reducer* reducer, const Dataset& input, Emitter* out,
-                        uint64_t* max_group_bytes = nullptr) {
-  FSJOIN_RETURN_NOT_OK(reducer->Setup());
-  size_t i = 0;
-  std::vector<std::string> values;
-  while (i < input.size()) {
-    size_t j = i;
-    values.clear();
-    uint64_t group_bytes = 0;
-    while (j < input.size() && input[j].key == input[i].key) {
-      values.push_back(input[j].value);
-      group_bytes += input[j].SizeBytes();
-      ++j;
-    }
-    if (max_group_bytes != nullptr) {
-      *max_group_bytes = std::max(*max_group_bytes, group_bytes);
-    }
-    FSJOIN_RETURN_NOT_OK(reducer->Reduce(input[i].key, values, out));
-    i = j;
-  }
-  return reducer->Finish(out);
+/// Sorts and combines one map-task partition buffer in place.
+Status CombineBuffer(const ReducerFactory& combiner_factory, KvBuffer* buffer,
+                     uint64_t* out_records, uint64_t* out_bytes) {
+  ShuffleShard shard;
+  shard.AddBuffer(std::move(*buffer));
+  shard.SortByKey();
+  KvBuffer combined;
+  BufferEmitter out(&combined);
+  std::unique_ptr<Reducer> combiner = combiner_factory();
+  FSJOIN_RETURN_NOT_OK(ReduceShard(combiner.get(), shard, &out));
+  *out_records += out.records();
+  *out_bytes += out.bytes();
+  *buffer = std::move(combined);
+  return Status::OK();
 }
 
 }  // namespace
 
-uint32_t PrefixIdPartitioner::Partition(const std::string& key,
+uint32_t PrefixIdPartitioner::Partition(std::string_view key,
                                         uint32_t num_partitions) const {
   if (key.size() < 4) {
     return static_cast<uint32_t>(Fnv1a64(key) % num_partitions);
@@ -138,7 +144,7 @@ Status Engine::Run(const JobConfig& config, const Dataset& input,
 
   // ---- Map phase -----------------------------------------------------
   // Each task gets a contiguous split of the input (Hadoop block split).
-  std::vector<std::vector<Dataset>> task_buffers(num_maps);
+  std::vector<std::vector<KvBuffer>> task_buffers(num_maps);
   std::vector<TaskMetrics> map_task_metrics(num_maps);
   std::vector<uint64_t> combine_inputs(num_maps, 0);
   std::vector<Status> task_status(num_maps);
@@ -169,16 +175,10 @@ Status Engine::Run(const JobConfig& config, const Dataset& input,
       combine_inputs[task] = out_records;
       out_records = 0;
       out_bytes = 0;
-      for (Dataset& buffer : emitter.buffers()) {
-        SortByKey(&buffer);
-        Dataset combined;
-        VectorEmitter combined_out(&combined);
-        std::unique_ptr<Reducer> combiner = config.combiner_factory();
-        st = RunGroupedReduce(combiner.get(), buffer, &combined_out);
+      for (KvBuffer& buffer : emitter.buffers()) {
+        st = CombineBuffer(config.combiner_factory, &buffer, &out_records,
+                           &out_bytes);
         if (!st.ok()) break;
-        out_records += combined_out.records();
-        out_bytes += combined_out.bytes();
-        buffer = std::move(combined);
       }
     }
 
@@ -207,20 +207,18 @@ Status Engine::Run(const JobConfig& config, const Dataset& input,
   jm.map_tasks = std::move(map_task_metrics);
 
   // ---- Shuffle -------------------------------------------------------
-  std::vector<Dataset> reduce_inputs(num_reds);
-  for (uint32_t r = 0; r < num_reds; ++r) {
-    size_t total = 0;
+  // Each reducer's shard takes ownership of its arena from every map task:
+  // a merge of buffer moves, no record ever copied. Merged in parallel
+  // across reducers.
+  std::vector<ShuffleShard> shards(num_reds);
+  pool_.ParallelFor(num_reds, [&](size_t r) {
     for (uint32_t m = 0; m < num_maps; ++m) {
-      total += task_buffers[m][r].size();
+      shards[r].AddBuffer(std::move(task_buffers[m][r]));
     }
-    reduce_inputs[r].reserve(total);
-    for (uint32_t m = 0; m < num_maps; ++m) {
-      Dataset& src = task_buffers[m][r];
-      std::move(src.begin(), src.end(), std::back_inserter(reduce_inputs[r]));
-      Dataset().swap(src);
-    }
-    jm.shuffle_records += reduce_inputs[r].size();
-    jm.shuffle_bytes += DatasetBytes(reduce_inputs[r]);
+  });
+  for (const ShuffleShard& shard : shards) {
+    jm.shuffle_records += shard.NumRecords();
+    jm.shuffle_bytes += shard.PayloadBytes();
   }
 
   // ---- Reduce phase ----------------------------------------------------
@@ -229,16 +227,15 @@ Status Engine::Run(const JobConfig& config, const Dataset& input,
   std::vector<Status> reduce_status(num_reds);
   pool_.ParallelFor(num_reds, [&](size_t r) {
     WallTimer timer;
-    Dataset& rin = reduce_inputs[r];
+    ShuffleShard& shard = shards[r];
     TaskMetrics& tm = reduce_task_metrics[r];
-    tm.input_records = rin.size();
-    tm.input_bytes = DatasetBytes(rin);
+    tm.input_records = shard.NumRecords();
+    tm.input_bytes = shard.PayloadBytes();
 
-    SortByKey(&rin);
+    shard.SortByKey();
     VectorEmitter out(&reduce_outputs[r]);
     std::unique_ptr<Reducer> reducer = config.reducer_factory();
-    Status st =
-        RunGroupedReduce(reducer.get(), rin, &out, &tm.max_group_bytes);
+    Status st = ReduceShard(reducer.get(), shard, &out, &tm.max_group_bytes);
 
     tm.wall_micros = timer.ElapsedMicros();
     tm.output_records = out.records();

@@ -18,6 +18,12 @@ namespace fsjoin::mr {
 /// every phase is instrumented so algorithmic costs (duplicates, shuffle
 /// bytes, reducer skew) are measured exactly. Cluster-size effects are
 /// replayed from the per-task metrics by ClusterSimulator.
+///
+/// Data plane: emitted records land in per-partition byte arenas (KvBuffer),
+/// the shuffle moves arenas rather than records, keys are sorted via an
+/// 8-byte integer tag (mr/shuffle.h), and reducers see string_view windows
+/// over the sorted arena — a record's bytes are copied exactly twice per
+/// job: map emit into the arena, reduce emit out of it.
 class Engine {
  public:
   /// \param num_threads worker threads for running tasks (0 = inline).

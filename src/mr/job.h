@@ -4,7 +4,9 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "mr/kv.h"
@@ -13,11 +15,13 @@
 
 namespace fsjoin::mr {
 
-/// Sink for key/value pairs produced by a mapper or reducer.
+/// Sink for key/value pairs produced by a mapper or reducer. The engine's
+/// emitters append the bytes into an arena (mr/kv.h), so callers may pass
+/// views of transient buffers; the bytes are copied out during the call.
 class Emitter {
  public:
   virtual ~Emitter() = default;
-  virtual void Emit(std::string key, std::string value) = 0;
+  virtual void Emit(std::string_view key, std::string_view value) = 0;
 };
 
 /// Hadoop-style map task: invoked once per input record of the task's
@@ -37,16 +41,22 @@ class Mapper {
   virtual Status Finish(Emitter* /*out*/) { return Status::OK(); }
 };
 
+/// The values of one key group: non-owning views into the engine's shuffle
+/// arena, valid only for the duration of the Reduce call. A reducer that
+/// needs a value beyond the call must copy it explicitly.
+using ValueList = std::span<const std::string_view>;
+
 /// Hadoop-style reduce task: invoked once per distinct key with every value
-/// shuffled for it. Also used as the combiner interface.
+/// shuffled for it. Also used as the combiner interface. Key and values are
+/// windows over the sorted shuffle arena — grouping performs no per-value
+/// copies.
 class Reducer {
  public:
   virtual ~Reducer() = default;
 
   virtual Status Setup() { return Status::OK(); }
 
-  virtual Status Reduce(const std::string& key,
-                        const std::vector<std::string>& values,
+  virtual Status Reduce(std::string_view key, ValueList values,
                         Emitter* out) = 0;
 
   virtual Status Finish(Emitter* /*out*/) { return Status::OK(); }
@@ -56,14 +66,14 @@ class Reducer {
 class Partitioner {
  public:
   virtual ~Partitioner() = default;
-  virtual uint32_t Partition(const std::string& key,
+  virtual uint32_t Partition(std::string_view key,
                              uint32_t num_partitions) const = 0;
 };
 
 /// Default partitioner: stable byte hash of the whole key.
 class HashPartitioner : public Partitioner {
  public:
-  uint32_t Partition(const std::string& key,
+  uint32_t Partition(std::string_view key,
                      uint32_t num_partitions) const override {
     return static_cast<uint32_t>(Fnv1a64(key) % num_partitions);
   }
@@ -74,7 +84,7 @@ class HashPartitioner : public Partitioner {
 /// Falls back to hashing for short keys.
 class PrefixIdPartitioner : public Partitioner {
  public:
-  uint32_t Partition(const std::string& key,
+  uint32_t Partition(std::string_view key,
                      uint32_t num_partitions) const override;
 };
 

@@ -1,0 +1,118 @@
+#include "mr/shuffle.h"
+
+#include <algorithm>
+
+namespace fsjoin::mr {
+
+uint64_t KeyTag(std::string_view key) {
+  uint64_t tag = 0;
+  const size_t n = std::min<size_t>(key.size(), 8);
+  for (size_t i = 0; i < n; ++i) {
+    tag |= static_cast<uint64_t>(static_cast<unsigned char>(key[i]))
+           << (56 - 8 * i);
+  }
+  return tag;
+}
+
+void ShuffleShard::AddBuffer(KvBuffer buffer) {
+  if (buffer.empty()) return;
+  const uint32_t b = static_cast<uint32_t>(buffers_.size());
+  refs_.reserve(refs_.size() + buffer.size());
+  for (size_t i = 0; i < buffer.size(); ++i) {
+    const std::string_view key = buffer.key(i);
+    refs_.push_back(Ref{KeyTag(key), b, static_cast<uint32_t>(i),
+                        static_cast<uint32_t>(key.size())});
+  }
+  payload_bytes_ += buffer.PayloadBytes();
+  buffers_.push_back(std::move(buffer));
+}
+
+bool ShuffleShard::RefLess(const Ref& a, const Ref& b) const {
+  if (a.tag != b.tag) return a.tag < b.tag;
+  if (a.key_len <= 8 || b.key_len <= 8) {
+    // Tag-equal with a short key on at least one side: the shorter key's
+    // zero-padded 8-byte form matches the longer's first 8 bytes, meaning
+    // the shorter key is a strict prefix — length alone decides the order,
+    // with no arena access.
+    if (a.key_len != b.key_len) return a.key_len < b.key_len;
+  } else {
+    // Both keys exceed the tag and agree on their first 8 bytes: compare
+    // the rest.
+    const std::string_view ka = buffers_[a.buffer].key(a.index);
+    const std::string_view kb = buffers_[b.buffer].key(b.index);
+    const int c = ka.substr(8).compare(kb.substr(8));
+    if (c != 0) return c < 0;
+  }
+  // Equal keys: arrival order, reproducing the seed's stable_sort.
+  if (a.buffer != b.buffer) return a.buffer < b.buffer;
+  return a.index < b.index;
+}
+
+void ShuffleShard::SortByKey() {
+  std::sort(refs_.begin(), refs_.end(),
+            [this](const Ref& a, const Ref& b) { return RefLess(a, b); });
+}
+
+Status ReduceShard(Reducer* reducer, const ShuffleShard& shard, Emitter* out,
+                   uint64_t* max_group_bytes) {
+  FSJOIN_RETURN_NOT_OK(reducer->Setup());
+  std::vector<std::string_view> values;
+  const size_t n = shard.NumRecords();
+  size_t i = 0;
+  while (i < n) {
+    const std::string_view group_key = shard.key(i);
+    values.clear();
+    uint64_t group_bytes = 0;
+    size_t j = i;
+    while (j < n && shard.key(j) == group_key) {
+      values.push_back(shard.value(j));
+      group_bytes += shard.RecordBytes(j);
+      ++j;
+    }
+    if (max_group_bytes != nullptr) {
+      *max_group_bytes = std::max(*max_group_bytes, group_bytes);
+    }
+    FSJOIN_RETURN_NOT_OK(
+        reducer->Reduce(group_key, ValueList(values.data(), values.size()),
+                        out));
+    i = j;
+  }
+  return reducer->Finish(out);
+}
+
+void SortDatasetByKey(Dataset* data) {
+  struct Ref {
+    uint64_t tag;
+    uint32_t index;
+    uint32_t key_len;
+  };
+  const size_t n = data->size();
+  std::vector<Ref> refs;
+  refs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const std::string& key = (*data)[i].key;
+    refs.push_back(Ref{KeyTag(key), static_cast<uint32_t>(i),
+                       static_cast<uint32_t>(key.size())});
+  }
+  std::sort(refs.begin(), refs.end(), [data](const Ref& a, const Ref& b) {
+    if (a.tag != b.tag) return a.tag < b.tag;
+    if (a.key_len <= 8 || b.key_len <= 8) {
+      // See ShuffleShard::RefLess: a tag tie with a short key means the
+      // shorter key is a strict prefix of the longer.
+      if (a.key_len != b.key_len) return a.key_len < b.key_len;
+    } else {
+      const int c = std::string_view((*data)[a.index].key)
+                        .substr(8)
+                        .compare(std::string_view((*data)[b.index].key)
+                                     .substr(8));
+      if (c != 0) return c < 0;
+    }
+    return a.index < b.index;
+  });
+  Dataset sorted;
+  sorted.reserve(n);
+  for (const Ref& r : refs) sorted.push_back(std::move((*data)[r.index]));
+  *data = std::move(sorted);
+}
+
+}  // namespace fsjoin::mr

@@ -1,0 +1,90 @@
+#ifndef FSJOIN_MR_SHUFFLE_H_
+#define FSJOIN_MR_SHUFFLE_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "mr/job.h"
+#include "mr/kv.h"
+#include "util/status.h"
+
+namespace fsjoin::mr {
+
+/// The shuffle data plane: arena-backed record batches sorted by a
+/// fixed-width key tag and reduced through windows over the sorted arena
+/// (see DESIGN.md "Shuffle data layout").
+
+/// First 8 key bytes as a big-endian integer, zero-padded for shorter keys.
+/// Comparing tags equals comparing the keys' first 8 bytes bytewise, so a
+/// sort on (tag, full-key-on-tie) orders keys exactly like bytewise
+/// comparison — and every FS-Join key is a 4- or 8-byte big-endian prefix,
+/// so ties beyond the tag are almost always true key equality.
+uint64_t KeyTag(std::string_view key);
+
+/// Everything shuffled to one reduce task: the arenas moved from each map
+/// task plus a sort index of (tag, key length, buffer, entry) references.
+/// Sorting moves small references and compares integers; record bytes never
+/// move, and keys at most 8 bytes long (every core FS-Join key) are ordered
+/// without touching the arena at all.
+class ShuffleShard {
+ public:
+  /// Takes ownership of one map task's partition buffer. Empty buffers are
+  /// dropped. Must not be called after SortByKey().
+  void AddBuffer(KvBuffer buffer);
+
+  size_t NumRecords() const { return refs_.size(); }
+  uint64_t PayloadBytes() const { return payload_bytes_; }
+
+  /// Sorts the index by key (bytewise order). Ties on equal keys keep
+  /// buffer-arrival then append order — the same order the seed engine's
+  /// stable_sort over concatenated buffers produced.
+  void SortByKey();
+
+  /// Key/value of the i-th record in index order (sorted after SortByKey).
+  std::string_view key(size_t i) const {
+    const Ref& r = refs_[i];
+    return buffers_[r.buffer].key(r.index);
+  }
+  std::string_view value(size_t i) const {
+    const Ref& r = refs_[i];
+    return buffers_[r.buffer].value(r.index);
+  }
+  uint64_t RecordBytes(size_t i) const {
+    const Ref& r = refs_[i];
+    return buffers_[r.buffer].RecordBytes(r.index);
+  }
+
+  /// The underlying arenas (for tests asserting zero-copy).
+  const std::vector<KvBuffer>& buffers() const { return buffers_; }
+
+ private:
+  struct Ref {
+    uint64_t tag;
+    uint32_t buffer;
+    uint32_t index;
+    uint32_t key_len;
+  };
+
+  bool RefLess(const Ref& a, const Ref& b) const;
+
+  std::vector<KvBuffer> buffers_;
+  std::vector<Ref> refs_;
+  uint64_t payload_bytes_ = 0;
+};
+
+/// Runs `reducer` over the key groups of a sorted shard. Values are
+/// string_views into the shard's arenas — zero per-value copies. Tracks the
+/// largest group's key+value byte size in *max_group_bytes when non-null.
+Status ReduceShard(Reducer* reducer, const ShuffleShard& shard, Emitter* out,
+                   uint64_t* max_group_bytes = nullptr);
+
+/// Sorts a materialized Dataset by key with the same tag fast path:
+/// sorts (tag, index) pairs, then applies the permutation with string
+/// moves. Stable (equal keys keep their relative order), replacing
+/// bytewise std::stable_sort at the dataflow layer.
+void SortDatasetByKey(Dataset* data);
+
+}  // namespace fsjoin::mr
+
+#endif  // FSJOIN_MR_SHUFFLE_H_

@@ -4,7 +4,27 @@
 
 namespace fsjoin {
 
-uint64_t SortedOverlap(const std::vector<uint32_t>& a,
+namespace {
+
+/// First index in [from, n) with data[idx] >= x. Doubles the probe distance
+/// from `from` until it brackets x, then binary-searches the bracket:
+/// O(log d) where d is the distance to the answer, so consecutive probes for
+/// an ascending sequence of needles stay cheap.
+size_t GallopLowerBound(const uint32_t* data, size_t n, size_t from,
+                        uint32_t x) {
+  if (from >= n || data[from] >= x) return from;
+  // data[from] < x; widen until data[from + bound] >= x or past the end.
+  size_t bound = 1;
+  while (from + bound < n && data[from + bound] < x) bound *= 2;
+  // The answer lies in (from + bound/2, from + bound]; bound/2 was probed.
+  const size_t lo = from + bound / 2 + 1;
+  const size_t hi = std::min(from + bound, n);
+  return static_cast<size_t>(std::lower_bound(data + lo, data + hi, x) - data);
+}
+
+}  // namespace
+
+uint64_t LinearOverlap(const std::vector<uint32_t>& a,
                        const std::vector<uint32_t>& b) {
   uint64_t count = 0;
   size_t i = 0, j = 0;
@@ -20,6 +40,35 @@ uint64_t SortedOverlap(const std::vector<uint32_t>& a,
     }
   }
   return count;
+}
+
+uint64_t GallopingOverlap(const std::vector<uint32_t>& a,
+                          const std::vector<uint32_t>& b) {
+  const std::vector<uint32_t>& small = a.size() <= b.size() ? a : b;
+  const std::vector<uint32_t>& large = a.size() <= b.size() ? b : a;
+  const uint32_t* data = large.data();
+  const size_t n = large.size();
+  uint64_t count = 0;
+  size_t j = 0;
+  for (uint32_t x : small) {
+    j = GallopLowerBound(data, n, j, x);
+    if (j == n) break;
+    if (data[j] == x) {
+      ++count;
+      ++j;
+    }
+  }
+  return count;
+}
+
+uint64_t SortedOverlap(const std::vector<uint32_t>& a,
+                       const std::vector<uint32_t>& b) {
+  const size_t small = std::min(a.size(), b.size());
+  const size_t large = std::max(a.size(), b.size());
+  if (small > 0 && large / small >= kGallopRatio) {
+    return GallopingOverlap(a, b);
+  }
+  return LinearOverlap(a, b);
 }
 
 uint64_t SortedOverlapAtLeast(const std::vector<uint32_t>& a,

@@ -10,9 +10,31 @@ namespace fsjoin {
 /// Kernels over sorted, duplicate-free uint32 sequences (token sets ordered
 /// by the global ordering). These are the hot loops of every join.
 
-/// |a ∩ b| by linear merge. O(|a| + |b|).
+/// Size-skew crossover for SortedOverlap: once one input is at least this
+/// many times longer than the other, probing the long side by exponential
+/// search beats scanning it linearly (measured in bench_micro_kernels; the
+/// galloping win appears past ~10x skew, so 32 keeps a comfortable margin
+/// against its worse constant factor near the break-even point).
+inline constexpr std::size_t kGallopRatio = 32;
+
+/// |a ∩ b|. Dispatches between the linear merge and the galloping probe
+/// based on kGallopRatio, so heavily skewed pairs (a short fragment against
+/// a long record) cost O(|small| * log(|large|/|small|)) instead of
+/// O(|a| + |b|).
 uint64_t SortedOverlap(const std::vector<uint32_t>& a,
                        const std::vector<uint32_t>& b);
+
+/// |a ∩ b| by linear merge, O(|a| + |b|), regardless of skew. Exposed so
+/// benchmarks can measure both strategies; prefer SortedOverlap.
+uint64_t LinearOverlap(const std::vector<uint32_t>& a,
+                       const std::vector<uint32_t>& b);
+
+/// |a ∩ b| by galloping (exponential) search: walks the smaller input and
+/// locates each element in the larger one with doubling probes followed by a
+/// binary search over the bracketed range. Exposed so benchmarks can measure
+/// both strategies; prefer SortedOverlap.
+uint64_t GallopingOverlap(const std::vector<uint32_t>& a,
+                          const std::vector<uint32_t>& b);
 
 /// Like SortedOverlap but bails out early (returning 0) as soon as the
 /// remaining elements cannot reach `required` — the positional cutoff used

@@ -52,10 +52,10 @@ class UpperMapper : public mr::Mapper {
 
 class SumReducer : public mr::Reducer {
  public:
-  Status Reduce(const std::string& key, const std::vector<std::string>& values,
+  Status Reduce(std::string_view key, mr::ValueList values,
                 mr::Emitter* out) override {
     uint64_t total = 0;
-    for (const auto& v : values) {
+    for (std::string_view v : values) {
       Decoder dec(v);
       uint64_t x = 0;
       FSJOIN_RETURN_NOT_OK(dec.GetVarint64(&x));
@@ -142,8 +142,7 @@ TEST(DataflowTest, ErrorsPropagate) {
 
   class FailingReducer : public mr::Reducer {
    public:
-    Status Reduce(const std::string&, const std::vector<std::string>&,
-                  mr::Emitter*) override {
+    Status Reduce(std::string_view, mr::ValueList, mr::Emitter*) override {
       return Status::Internal("reduce fail");
     }
   };

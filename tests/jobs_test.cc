@@ -4,11 +4,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "baselines/baseline.h"
 #include "core/fsjoin.h"
 #include "core/jobs.h"
 #include "mr/engine.h"
 #include "test_util.h"
+#include "text/generator.h"
+#include "util/hash.h"
 #include "util/serde.h"
 
 namespace fsjoin {
@@ -93,6 +97,36 @@ TEST(FragmentPartitionerTest, SpreadsFragmentsRoundRobin) {
   EXPECT_EQ(partitioner.Partition(key(2, 2), 3), 1u);
   // Malformed keys fall back to hashing, never crash.
   (void)partitioner.Partition("xy", 3);
+}
+
+TEST(FragmentPartitionerTest, ShortKeysFallBackToStableHash) {
+  FragmentPartitioner partitioner(/*num_vertical=*/4);
+  // Anything shorter than the 8-byte (h, v) prefix — including a key that
+  // decodes h but runs out mid-v — hashes instead of decoding.
+  for (std::string_view key : {std::string_view(""), std::string_view("a"),
+                               std::string_view("abcd"),
+                               std::string_view("abcdefg")}) {
+    const uint32_t part = partitioner.Partition(key, 3);
+    EXPECT_LT(part, 3u);
+    EXPECT_EQ(part, Fnv1a64(key) % 3) << "key size " << key.size();
+  }
+}
+
+TEST(FragmentPartitionerTest, SinglePartitionAndWrapAround) {
+  FragmentPartitioner partitioner(/*num_vertical=*/4);
+  auto key = [](uint32_t h, uint32_t v) {
+    std::string k;
+    PutFixed32BE(&k, h);
+    PutFixed32BE(&k, v);
+    return k;
+  };
+  // One partition absorbs everything, on both the decode and hash paths.
+  EXPECT_EQ(partitioner.Partition(key(3, 2), 1), 0u);
+  EXPECT_EQ(partitioner.Partition("x", 1), 0u);
+  // Fragment ids far beyond the partition count wrap via modulo.
+  EXPECT_EQ(partitioner.Partition(key(1000000, 3), 7), (1000000u * 4 + 3) % 7);
+  EXPECT_EQ(partitioner.Partition(key(0xFFFFFFFFu, 0), 3),
+            (0xFFFFFFFFu * 4u) % 3);
 }
 
 TEST(PartialOverlapTest, EncodingMatchesVerificationInput) {
@@ -241,6 +275,83 @@ TEST(FsJoinRsTest, IdenticalCollectionsMatchEverywhere) {
     EXPECT_EQ(p.b - 2u, p.a);
     EXPECT_NEAR(p.similarity, 1.0, 1e-12);
   }
+}
+
+// ---- Metrics regression ---------------------------------------------------
+
+// The zero-copy shuffle must keep JobMetrics accounting byte-identical to
+// the seed engine's per-record path, so perf numbers stay comparable across
+// revisions. Expected counters were captured from the seed implementation on
+// this fixed-seed corpus and configuration; any drift here means the data
+// plane changed what it counts, not just how it stores bytes.
+TEST(MetricsRegressionTest, CountersMatchSeedEngine) {
+  SyntheticCorpusConfig cfg;
+  cfg.num_records = 300;
+  cfg.vocab_size = 400;
+  cfg.zipf_skew = 1.0;
+  cfg.avg_len = 12;
+  cfg.len_sigma = 0.7;
+  cfg.min_len = 1;
+  cfg.max_len = 56;
+  cfg.near_duplicate_fraction = 0.35;
+  cfg.mutation_rate = 0.12;
+  cfg.seed = 4242;
+  Corpus corpus = GenerateCorpus(cfg);
+
+  FsJoinConfig config;
+  config.theta = 0.8;
+  config.num_vertical_partitions = 6;
+  config.num_map_tasks = 4;
+  config.num_reduce_tasks = 5;
+  config.num_horizontal_partitions = 2;
+  Result<FsJoinOutput> out = FsJoin(config).Run(corpus);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+
+  auto max_group_bytes = [](const mr::JobMetrics& m) {
+    uint64_t max_group = 0;
+    for (const mr::TaskMetrics& t : m.reduce_tasks) {
+      max_group = std::max(max_group, t.max_group_bytes);
+    }
+    return max_group;
+  };
+
+  const mr::JobMetrics& ord = out->report.ordering_job;
+  EXPECT_EQ(ord.map_input_records, 300u);
+  EXPECT_EQ(ord.map_input_bytes, 6677u);
+  EXPECT_EQ(ord.map_output_records, 992u);
+  EXPECT_EQ(ord.map_output_bytes, 4960u);
+  EXPECT_EQ(ord.combine_input_records, 4208u);
+  EXPECT_EQ(ord.shuffle_records, 992u);
+  EXPECT_EQ(ord.shuffle_bytes, 4960u);
+  EXPECT_EQ(ord.reduce_output_records, 375u);
+  EXPECT_EQ(ord.reduce_output_bytes, 1878u);
+  EXPECT_EQ(max_group_bytes(ord), 20u);
+
+  const mr::JobMetrics& fil = out->report.filtering_job;
+  EXPECT_EQ(fil.map_input_records, 300u);
+  EXPECT_EQ(fil.map_input_bytes, 6677u);
+  EXPECT_EQ(fil.map_output_records, 2382u);
+  EXPECT_EQ(fil.map_output_bytes, 42332u);
+  EXPECT_EQ(fil.combine_input_records, 0u);
+  EXPECT_EQ(fil.shuffle_records, 2382u);
+  EXPECT_EQ(fil.shuffle_bytes, 42332u);
+  EXPECT_EQ(fil.reduce_output_records, 5628u);
+  EXPECT_EQ(fil.reduce_output_bytes, 61908u);
+  EXPECT_EQ(max_group_bytes(fil), 2120u);
+
+  const mr::JobMetrics& ver = out->report.verification_job;
+  EXPECT_EQ(ver.map_input_records, 5628u);
+  EXPECT_EQ(ver.map_input_bytes, 61908u);
+  EXPECT_EQ(ver.map_output_records, 5628u);
+  EXPECT_EQ(ver.map_output_bytes, 61908u);
+  EXPECT_EQ(ver.shuffle_records, 5628u);
+  EXPECT_EQ(ver.shuffle_bytes, 61908u);
+  EXPECT_EQ(ver.reduce_output_records, 71u);
+  EXPECT_EQ(ver.reduce_output_bytes, 1136u);
+  EXPECT_EQ(max_group_bytes(ver), 66u);
+
+  EXPECT_EQ(out->report.result_pairs, 71u);
+  EXPECT_EQ(out->report.candidate_pairs, 4471u);
 }
 
 // ---- Emission budget ------------------------------------------------------

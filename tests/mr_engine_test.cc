@@ -11,6 +11,7 @@
 #include "mr/cluster_sim.h"
 #include "mr/engine.h"
 #include "mr/pipeline.h"
+#include "util/hash.h"
 #include "util/serde.h"
 
 namespace fsjoin::mr {
@@ -39,10 +40,10 @@ class WordCountMapper : public Mapper {
 
 class SumReducer : public Reducer {
  public:
-  Status Reduce(const std::string& key, const std::vector<std::string>& values,
+  Status Reduce(std::string_view key, ValueList values,
                 Emitter* out) override {
     uint64_t total = 0;
-    for (const auto& v : values) {
+    for (std::string_view v : values) {
       Decoder dec(v);
       uint64_t x = 0;
       FSJOIN_RETURN_NOT_OK(dec.GetVarint64(&x));
@@ -150,12 +151,12 @@ TEST(EngineTest, ReduceInputIsKeySorted) {
   // A reducer that checks its keys arrive in sorted order per partition.
   class OrderCheckReducer : public Reducer {
    public:
-    Status Reduce(const std::string& key, const std::vector<std::string>&,
+    Status Reduce(std::string_view key, ValueList,
                   Emitter* out) override {
       if (!last_.empty() && key < last_) {
         return Status::Internal("keys out of order");
       }
-      last_ = key;
+      last_ = std::string(key);
       out->Emit(key, "");
       return Status::OK();
     }
@@ -192,8 +193,7 @@ TEST(EngineTest, MapErrorAbortsJob) {
 TEST(EngineTest, ReduceErrorAbortsJob) {
   class FailingReducer : public Reducer {
    public:
-    Status Reduce(const std::string&, const std::vector<std::string>&,
-                  Emitter*) override {
+    Status Reduce(std::string_view, ValueList, Emitter*) override {
       return Status::OutOfRange("bad reduce");
     }
   };
@@ -245,7 +245,7 @@ TEST(PartitionerTest, CustomPartitionerIsHonored) {
   // Route everything to partition 0; reduce task 1.. must see nothing.
   class ZeroPartitioner : public Partitioner {
    public:
-    uint32_t Partition(const std::string&, uint32_t) const override {
+    uint32_t Partition(std::string_view, uint32_t) const override {
       return 0;
     }
   };
@@ -269,6 +269,32 @@ TEST(PartitionerTest, PrefixIdPartitioner) {
   EXPECT_EQ(p.Partition(key, 4), 7u % 4);
   // Short keys fall back to hashing without crashing.
   (void)p.Partition("ab", 4);
+}
+
+TEST(PartitionerTest, PrefixIdPartitionerShortKeysUseStableHash) {
+  PrefixIdPartitioner p;
+  // Keys under 4 bytes can't carry a record id; they hash deterministically
+  // and always land in range.
+  for (std::string_view key : {std::string_view(""), std::string_view("a"),
+                               std::string_view("ab"),
+                               std::string_view("abc")}) {
+    const uint32_t part = p.Partition(key, 5);
+    EXPECT_LT(part, 5u);
+    EXPECT_EQ(part, Fnv1a64(key) % 5) << "key size " << key.size();
+  }
+}
+
+TEST(PartitionerTest, PrefixIdPartitionerSingleAndWrapAround) {
+  PrefixIdPartitioner p;
+  std::string key;
+  PutFixed32BE(&key, 0xFFFFFFFFu);
+  // Ids far past the partition count wrap via modulo.
+  EXPECT_EQ(p.Partition(key, 7), 0xFFFFFFFFu % 7);
+  // A single partition absorbs everything, on both paths.
+  EXPECT_EQ(p.Partition(key, 1), 0u);
+  EXPECT_EQ(p.Partition("", 1), 0u);
+  // Bytes after the 4-byte id prefix don't affect routing.
+  EXPECT_EQ(p.Partition(key + "trailing-token-bytes", 7), p.Partition(key, 7));
 }
 
 // ---- MiniDfs / Pipeline ------------------------------------------------
@@ -461,8 +487,7 @@ TEST(EngineTest, SetupErrorAborts) {
 TEST(EngineTest, CombinerErrorAborts) {
   class BadCombiner : public Reducer {
    public:
-    Status Reduce(const std::string&, const std::vector<std::string>&,
-                  Emitter*) override {
+    Status Reduce(std::string_view, ValueList, Emitter*) override {
       return Status::Internal("combiner boom");
     }
   };

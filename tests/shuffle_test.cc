@@ -1,0 +1,267 @@
+// The zero-copy shuffle data plane: KvBuffer arenas, the fixed-width key
+// tag sort, grouped reduce over string_view windows (no per-value copies),
+// and the tag-based dataset sort used by the dataflow layer.
+
+#include "mr/shuffle.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "mr/job.h"
+#include "mr/kv.h"
+#include "util/random.h"
+
+namespace fsjoin::mr {
+namespace {
+
+TEST(KvBufferTest, StoresRecordsContiguously) {
+  KvBuffer buffer;
+  EXPECT_TRUE(buffer.empty());
+  buffer.Append("key1", "value1");
+  buffer.Append("", "v");
+  buffer.Append("k", "");
+  ASSERT_EQ(buffer.size(), 3u);
+  EXPECT_EQ(buffer.key(0), "key1");
+  EXPECT_EQ(buffer.value(0), "value1");
+  EXPECT_EQ(buffer.key(1), "");
+  EXPECT_EQ(buffer.value(1), "v");
+  EXPECT_EQ(buffer.key(2), "k");
+  EXPECT_EQ(buffer.value(2), "");
+  EXPECT_EQ(buffer.RecordBytes(0), 10u);
+  EXPECT_EQ(buffer.PayloadBytes(), 10u + 1u + 1u);
+}
+
+TEST(KvBufferTest, ViewsSurviveArenaGrowth) {
+  // Offsets (not pointers) back the entries, so views read after thousands
+  // of reallocating appends are still correct.
+  KvBuffer buffer;
+  for (int i = 0; i < 5000; ++i) {
+    buffer.Append("key" + std::to_string(i), std::string(i % 37, 'x'));
+  }
+  for (int i : {0, 1, 999, 4999}) {
+    EXPECT_EQ(buffer.key(i), "key" + std::to_string(i));
+    EXPECT_EQ(buffer.value(i), std::string(i % 37, 'x'));
+  }
+}
+
+TEST(KeyTagTest, OrdersLikeBytewiseComparison) {
+  const std::vector<std::string> keys = {
+      std::string(),
+      std::string("a"),
+      std::string("ab"),
+      std::string("ab\0", 3),  // embedded NUL: longer key, same tag prefix
+      std::string("abc"),
+      std::string("abcdefgh"),     // exactly 8 bytes
+      std::string("abcdefghi"),    // shares the full 8-byte tag with above
+      std::string("abcdefghj"),
+      std::string("\x80\xff high bytes"),
+      std::string("\xff\xff\xff\xff\xff\xff\xff\xff"),
+  };
+  for (const std::string& a : keys) {
+    for (const std::string& b : keys) {
+      if (KeyTag(a) < KeyTag(b)) {
+        EXPECT_LT(a, b) << "tag order disagrees with bytewise order";
+      }
+      if (a < b) {
+        EXPECT_LE(KeyTag(a), KeyTag(b)) << "bytewise order disagrees with tag";
+      }
+    }
+  }
+}
+
+// Random keys drawn from a 2-letter alphabet with lengths 0..12: plenty of
+// duplicates, shared prefixes, and keys longer than the 8-byte tag.
+std::vector<KeyValue> RandomRecords(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<KeyValue> records;
+  records.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::string key;
+    const size_t len = rng.NextBounded(13);
+    for (size_t j = 0; j < len; ++j) {
+      key.push_back(rng.NextBounded(2) == 0 ? 'a' : 'b');
+    }
+    records.push_back(KeyValue{std::move(key), "v" + std::to_string(i)});
+  }
+  return records;
+}
+
+TEST(ShuffleShardTest, SortMatchesStableSortOverConcatenatedBuffers) {
+  const std::vector<KeyValue> records = RandomRecords(500, 77);
+
+  // Distribute across three "map task" buffers round-robin, like the
+  // engine's shuffle receives them.
+  ShuffleShard shard;
+  {
+    std::vector<KvBuffer> buffers(3);
+    for (size_t i = 0; i < records.size(); ++i) {
+      buffers[i % 3].Append(records[i].key, records[i].value);
+    }
+    for (KvBuffer& b : buffers) shard.AddBuffer(std::move(b));
+  }
+  ASSERT_EQ(shard.NumRecords(), records.size());
+  shard.SortByKey();
+
+  // Reference: the seed engine's semantics — concatenate buffers in the
+  // same order, bytewise stable_sort.
+  Dataset reference;
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t i = r; i < records.size(); i += 3) {
+      reference.push_back(records[i]);
+    }
+  }
+  std::stable_sort(reference.begin(), reference.end(),
+                   [](const KeyValue& a, const KeyValue& b) {
+                     return a.key < b.key;
+                   });
+
+  for (size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(shard.key(i), reference[i].key) << "at " << i;
+    EXPECT_EQ(shard.value(i), reference[i].value) << "at " << i;
+  }
+}
+
+TEST(ShuffleShardTest, DropsEmptyBuffersAndCountsPayload) {
+  ShuffleShard shard;
+  KvBuffer a;
+  a.Append("k", "vv");
+  shard.AddBuffer(std::move(a));
+  shard.AddBuffer(KvBuffer());  // empty: dropped
+  KvBuffer b;
+  b.Append("j", "w");
+  shard.AddBuffer(std::move(b));
+  EXPECT_EQ(shard.NumRecords(), 2u);
+  EXPECT_EQ(shard.PayloadBytes(), 5u);
+  EXPECT_EQ(shard.buffers().size(), 2u);
+}
+
+/// Reducer asserting every key/value it sees aliases a shard arena — the
+/// zero-copy contract: grouping never duplicates record bytes.
+class ViewCheckingReducer : public Reducer {
+ public:
+  explicit ViewCheckingReducer(const ShuffleShard* shard) : shard_(shard) {}
+
+  Status Reduce(std::string_view key, ValueList values,
+                Emitter* out) override {
+    if (!PointsIntoArena(key)) {
+      return Status::Internal("key copied out of the arena");
+    }
+    for (std::string_view v : values) {
+      if (!v.empty() && !PointsIntoArena(v)) {
+        return Status::Internal("value copied out of the arena");
+      }
+      total_value_bytes_ += v.size();
+    }
+    out->Emit(key, "");
+    ++groups_;
+    return Status::OK();
+  }
+
+  int groups() const { return groups_; }
+  uint64_t total_value_bytes() const { return total_value_bytes_; }
+
+ private:
+  bool PointsIntoArena(std::string_view s) const {
+    if (s.empty()) return true;  // empty views carry no bytes to alias
+    for (const KvBuffer& buffer : shard_->buffers()) {
+      const std::string_view arena = buffer.arena();
+      if (s.data() >= arena.data() &&
+          s.data() + s.size() <= arena.data() + arena.size()) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  const ShuffleShard* shard_;
+  int groups_ = 0;
+  uint64_t total_value_bytes_ = 0;
+};
+
+class NullEmitter : public Emitter {
+ public:
+  void Emit(std::string_view, std::string_view) override {}
+};
+
+TEST(ReduceShardTest, ValuesAreViewsIntoTheArena) {
+  ShuffleShard shard;
+  std::vector<KvBuffer> buffers(2);
+  const std::vector<KeyValue> records = RandomRecords(200, 13);
+  uint64_t value_bytes = 0;
+  for (size_t i = 0; i < records.size(); ++i) {
+    buffers[i % 2].Append(records[i].key, records[i].value);
+    value_bytes += records[i].value.size();
+  }
+  for (KvBuffer& b : buffers) shard.AddBuffer(std::move(b));
+  shard.SortByKey();
+
+  ViewCheckingReducer reducer(&shard);
+  NullEmitter out;
+  ASSERT_TRUE(ReduceShard(&reducer, shard, &out).ok());
+  EXPECT_GT(reducer.groups(), 0);
+  EXPECT_EQ(reducer.total_value_bytes(), value_bytes);
+}
+
+/// Records each group it receives for later inspection.
+class RecordingReducer : public Reducer {
+ public:
+  Status Reduce(std::string_view key, ValueList values,
+                Emitter*) override {
+    groups_.emplace_back(std::string(key), std::vector<std::string>());
+    for (std::string_view v : values) groups_.back().second.emplace_back(v);
+    return Status::OK();
+  }
+
+  const std::vector<std::pair<std::string, std::vector<std::string>>>& groups()
+      const {
+    return groups_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::vector<std::string>>> groups_;
+};
+
+TEST(ReduceShardTest, GroupsByKeyAndTracksLargestGroup) {
+  KvBuffer buffer;
+  buffer.Append("b", "only");
+  buffer.Append("aa", "first");
+  buffer.Append("aa", "second");
+  buffer.Append("aa", "third!");
+  ShuffleShard shard;
+  shard.AddBuffer(std::move(buffer));
+  shard.SortByKey();
+
+  RecordingReducer reducer;
+  NullEmitter out;
+  uint64_t max_group_bytes = 0;
+  ASSERT_TRUE(ReduceShard(&reducer, shard, &out, &max_group_bytes).ok());
+  ASSERT_EQ(reducer.groups().size(), 2u);
+  EXPECT_EQ(reducer.groups()[0].first, "aa");
+  EXPECT_EQ(reducer.groups()[0].second,
+            (std::vector<std::string>{"first", "second", "third!"}));
+  EXPECT_EQ(reducer.groups()[1].first, "b");
+  EXPECT_EQ(reducer.groups()[1].second, std::vector<std::string>{"only"});
+  // Largest group: 3 * (2 key bytes) + 5 + 6 + 6 value bytes.
+  EXPECT_EQ(max_group_bytes, 23u);
+}
+
+TEST(SortDatasetByKeyTest, MatchesBytewiseStableSort) {
+  Dataset data = RandomRecords(400, 99);
+  Dataset reference = data;
+  std::stable_sort(reference.begin(), reference.end(),
+                   [](const KeyValue& a, const KeyValue& b) {
+                     return a.key < b.key;
+                   });
+  SortDatasetByKey(&data);
+  ASSERT_EQ(data.size(), reference.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(data[i].key, reference[i].key) << "at " << i;
+    EXPECT_EQ(data[i].value, reference[i].value) << "at " << i;
+  }
+}
+
+}  // namespace
+}  // namespace fsjoin::mr

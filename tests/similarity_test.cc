@@ -144,6 +144,38 @@ TEST(SetOpsTest, SuffixOverlap) {
   EXPECT_EQ(SortedSuffixOverlap(a, 4, b, 0), 0u);
 }
 
+TEST(SetOpsTest, GallopingOverlapMatchesLinearMerge) {
+  Rng rng(88);
+  for (int iter = 0; iter < 200; ++iter) {
+    // Skewed sizes: a short probe set against a much longer one, so the
+    // galloping path (and SortedOverlap's dispatch into it) is exercised.
+    std::vector<uint32_t> small, large;
+    for (uint32_t v = 0; v < 2000; ++v) {
+      if (rng.NextBool(0.005)) small.push_back(v);
+      if (rng.NextBool(0.6)) large.push_back(v);
+    }
+    const uint64_t expected = LinearOverlap(small, large);
+    EXPECT_EQ(GallopingOverlap(small, large), expected);
+    EXPECT_EQ(GallopingOverlap(large, small), expected);  // order-insensitive
+    EXPECT_EQ(SortedOverlap(small, large), expected);
+  }
+}
+
+TEST(SetOpsTest, GallopingOverlapEdgeCases) {
+  const std::vector<uint32_t> empty;
+  const std::vector<uint32_t> one = {5};
+  std::vector<uint32_t> big(1000);
+  for (uint32_t i = 0; i < 1000; ++i) big[i] = 2 * i;
+  EXPECT_EQ(GallopingOverlap(empty, big), 0u);
+  EXPECT_EQ(GallopingOverlap(one, big), 0u);  // 5 is odd: no match
+  EXPECT_EQ(GallopingOverlap({10}, big), 1u);
+  EXPECT_EQ(GallopingOverlap({1998}, big), 1u);  // last element
+  EXPECT_EQ(GallopingOverlap({5000}, big), 0u);  // past the end
+  EXPECT_EQ(GallopingOverlap(big, big), 1000u);
+  // Needles beyond the largest element stop the walk early, not crash it.
+  EXPECT_EQ(GallopingOverlap({0, 1998, 9999}, big), 2u);
+}
+
 TEST(SetOpsTest, OverlapAtLeastAgreesWhenReachable) {
   Rng rng(77);
   for (int iter = 0; iter < 500; ++iter) {
