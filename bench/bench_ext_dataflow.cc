@@ -1,77 +1,98 @@
 // Extension (paper §VII future work: "other Big Data platforms, like
-// Spark"): FS-Join on the Hadoop-style MR engine vs the Spark-style fused
-// dataflow engine. Expected shape: identical results, but the dataflow run
-// eliminates the verification job's identity-map pass and the between-job
-// materializations, so it is faster and moves fewer bytes — the well-known
-// Spark-over-Hadoop effect for multi-job pipelines.
+// Spark"): the same FS-Join logical plans executed on the Hadoop-style MR
+// backend vs the Spark-style fused dataflow backend. Expected shape:
+// identical results, but the dataflow run eliminates the verification
+// stage's identity-map pass and the between-job materializations, so it is
+// faster and moves fewer bytes — the well-known Spark-over-Hadoop effect
+// for multi-job pipelines.
+//
+// Flags: --warmup=N --repeat=N --json[=PATH]
 
 #include <cstdio>
 #include <iostream>
+#include <optional>
 
 #include "bench_util.h"
-#include "flow/fsjoin_flow.h"
+#include "exec/exec_config.h"
 #include "sim/join_result.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
-#include "util/timer.h"
 
 namespace fsjoin::bench {
 namespace {
 
-void Run() {
+void Run(const BenchOptions& options) {
   PrintBanner("Extension — Spark-style dataflow vs Hadoop-style MR "
               "(paper §VII future work)",
-              "same results; fused pipelines cut passes and "
+              "same plans, same results; the fused backend cuts passes and "
               "materialization");
 
   const double theta = 0.8;
+  std::vector<BenchRecord> records;
   for (Workload& w : AllWorkloads(0.5)) {
     std::printf("\n[%s] %zu records, theta = %.2f\n", w.name.c_str(),
                 w.corpus.NumRecords(), theta);
-    TablePrinter table({"engine", "wall (ms)", "shuffle", "materialized",
+    TablePrinter table({"backend", "wall (ms)", "shuffle", "materialized",
                         "results", "same pairs"});
 
-    FsJoinConfig config = DefaultFsConfig(theta);
-    WallTimer timer;
-    Result<FsJoinOutput> mr_out = FsJoin(config).Run(w.corpus);
-    double mr_ms = timer.ElapsedMillis();
-    timer.Restart();
-    Result<flow::FlowJoinOutput> flow_out =
-        flow::RunFsJoinOnFlow(w.corpus, config);
-    double flow_ms = timer.ElapsedMillis();
-    if (!mr_out.ok() || !flow_out.ok()) {
-      std::printf("FAIL\n");
-      continue;
-    }
+    JoinResultSet mr_pairs;
+    bool have_mr_pairs = false;
+    for (exec::BackendKind kind :
+         {exec::BackendKind::kMapReduce, exec::BackendKind::kFusedFlow}) {
+      FsJoinConfig config = DefaultFsConfig(theta);
+      config.exec.backend = kind;
+      std::optional<Result<FsJoinOutput>> result;
+      double wall_micros = MinWallMicros(
+          options, [&] { result.emplace(FsJoin(config).Run(w.corpus)); });
+      Result<FsJoinOutput>& out = *result;
+      if (!out.ok()) {
+        std::printf("FAIL: %s\n", out.status().ToString().c_str());
+        continue;
+      }
 
-    // MR materializes every job's input+output through the DFS.
-    uint64_t mr_shuffle = 0, mr_materialized = 0;
-    for (const mr::JobMetrics& j : mr_out->report.AllJobs()) {
-      mr_shuffle += j.shuffle_bytes;
-      mr_materialized += j.map_input_bytes + j.reduce_output_bytes;
-    }
-    uint64_t flow_shuffle = flow_out->report.ordering.shuffle_bytes +
-                            flow_out->report.join.shuffle_bytes;
-    uint64_t flow_materialized =
-        flow_out->report.ordering.materialized_bytes +
-        flow_out->report.join.materialized_bytes;
+      uint64_t shuffle = 0, materialized = 0;
+      if (kind == exec::BackendKind::kMapReduce) {
+        // MR materializes every job's input+output through the DFS.
+        for (const mr::JobMetrics& j : out->report.AllJobs()) {
+          shuffle += j.shuffle_bytes;
+          materialized += j.map_input_bytes + j.reduce_output_bytes;
+        }
+      } else {
+        for (const flow::Pipeline::Metrics& p : out->report.flow_pipelines) {
+          shuffle += p.shuffle_bytes;
+          materialized += p.materialized_bytes;
+        }
+      }
 
-    const bool same = SamePairs(mr_out->pairs, flow_out->pairs);
-    table.AddRow({"MapReduce (3 jobs)", StrFormat("%.0f", mr_ms),
-                  HumanBytes(mr_shuffle), HumanBytes(mr_materialized),
-                  WithThousandsSep(mr_out->pairs.size()), "-"});
-    table.AddRow({"Dataflow (2 pipelines)", StrFormat("%.0f", flow_ms),
-                  HumanBytes(flow_shuffle), HumanBytes(flow_materialized),
-                  WithThousandsSep(flow_out->pairs.size()),
-                  same ? "yes" : "NO!"});
+      const bool same = have_mr_pairs && SamePairs(mr_pairs, out->pairs);
+      if (kind == exec::BackendKind::kMapReduce) {
+        mr_pairs = out->pairs;
+        have_mr_pairs = true;
+      }
+      table.AddRow(
+          {kind == exec::BackendKind::kMapReduce ? "MapReduce (3 jobs)"
+                                                 : "Dataflow (2 pipelines)",
+           StrFormat("%.0f", wall_micros / 1000.0), HumanBytes(shuffle),
+           HumanBytes(materialized), WithThousandsSep(out->pairs.size()),
+           kind == exec::BackendKind::kMapReduce ? "-"
+                                                 : (same ? "yes" : "NO!")});
+
+      BenchRecord record;
+      record.name = w.name + "/" + exec::BackendKindName(kind);
+      record.wall_micros = wall_micros;
+      record.shuffle_bytes = shuffle;
+      records.push_back(std::move(record));
+    }
     table.Print(std::cout);
   }
+  WriteBenchJson(options, "ext_dataflow", records);
 }
 
 }  // namespace
 }  // namespace fsjoin::bench
 
-int main() {
-  fsjoin::bench::Run();
+int main(int argc, char** argv) {
+  fsjoin::bench::Run(
+      fsjoin::bench::ParseBenchOptions("ext_dataflow", argc, argv));
   return 0;
 }

@@ -29,7 +29,7 @@ void Run() {
       config.pivot_strategy = strategy;
       // One reduce task per fragment makes the fragment imbalance directly
       // visible as reducer skew (the paper's workload-balancing argument).
-      config.num_reduce_tasks = config.num_vertical_partitions;
+      config.exec.num_reduce_tasks = config.num_vertical_partitions;
       Result<FsJoinOutput> fs = FsJoin(config).Run(w.corpus);
       if (!fs.ok()) {
         std::printf("FAIL: %s\n", fs.status().ToString().c_str());

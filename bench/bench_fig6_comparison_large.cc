@@ -60,7 +60,7 @@ void Run() {
           20 * (fs->report.filtering_job.map_output_records +
                 fs->report.filtering_job.reduce_output_records + 1);
       BaselineConfig limited = DefaultBaselineConfig(theta);
-      limited.emission_limit = budget;
+      limited.exec.emission_limit = budget;
       Result<BaselineOutput> vs = RunVSmartJoin(w.corpus, limited);
       MassJoinConfig mj;
       static_cast<BaselineConfig&>(mj) = limited;

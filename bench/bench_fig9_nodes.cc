@@ -26,7 +26,7 @@ void Run() {
     double prev = 0.0;
     for (uint32_t nodes : node_counts) {
       FsJoinConfig config = DefaultFsConfig(0.8);
-      config.num_reduce_tasks = nodes * 3;  // paper: 3 reducers per node
+      config.exec.num_reduce_tasks = nodes * 3;  // paper: 3 reducers per node
       Result<FsJoinOutput> fs = FsJoin(config).Run(w.corpus);
       if (!fs.ok()) {
         std::printf("FAIL: %s\n", fs.status().ToString().c_str());

@@ -24,10 +24,14 @@ void AddRow(TablePrinter* table, const std::string& name, size_t jobs,
                  WithThousandsSep(results)});
 }
 
-double MaxReduceSkew(const std::vector<mr::JobMetrics>& jobs, size_t from) {
+double MaxReduceSkew(const std::vector<mr::JobMetrics>& jobs,
+                     const std::string& from_stage) {
   double skew = 1.0;
-  for (size_t i = from; i < jobs.size(); ++i) {
-    skew = std::max(skew, jobs[i].ReduceSkew());
+  bool seen = from_stage.empty();
+  for (const mr::JobMetrics& j : jobs) {
+    if (!seen && j.job_name != from_stage) continue;
+    seen = true;
+    skew = std::max(skew, j.ReduceSkew());
   }
   return skew;
 }
@@ -59,19 +63,20 @@ void Run() {
         static_cast<double>(fs->report.filtering_job.map_output_bytes) /
         static_cast<double>(fs->report.filtering_job.map_input_bytes);
     AddRow(&table, "FS-Join", 3, dup,
-           MaxReduceSkew(fs->report.AllJobs(), 1),
+           MaxReduceSkew(fs->report.AllJobs(), "filtering"),
            TotalShuffle(fs->report.JoinJobs()), fs->report.result_pairs);
   }
 
   auto add_baseline = [&](Result<BaselineOutput> r, size_t input_records) {
     if (!r.ok()) return;
     const BaselineReport& rep = r->report;
-    const mr::JobMetrics& sig = rep.jobs[rep.signature_job];
-    double dup = static_cast<double>(sig.map_output_bytes) /
-                 static_cast<double>(sig.map_input_bytes);
+    const mr::JobMetrics* sig = rep.SignatureJob();
+    if (sig == nullptr) return;
+    double dup = static_cast<double>(sig->map_output_bytes) /
+                 static_cast<double>(sig->map_input_bytes);
     (void)input_records;
     AddRow(&table, rep.algorithm, rep.jobs.size(), dup,
-           MaxReduceSkew(rep.jobs, rep.signature_job),
+           MaxReduceSkew(rep.jobs, rep.signature_stage),
            TotalShuffle(rep.jobs), rep.result_pairs);
   };
   add_baseline(RunVernicaJoin(w.corpus, DefaultBaselineConfig(theta)),

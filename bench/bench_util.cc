@@ -45,16 +45,16 @@ FsJoinConfig DefaultFsConfig(double theta) {
   FsJoinConfig config;
   config.theta = theta;
   config.num_vertical_partitions = 30;  // paper: 30 fragments
-  config.num_map_tasks = kMapTasks;
-  config.num_reduce_tasks = kReduceTasks;
+  config.exec.num_map_tasks = kMapTasks;
+  config.exec.num_reduce_tasks = kReduceTasks;
   return config;
 }
 
 BaselineConfig DefaultBaselineConfig(double theta) {
   BaselineConfig config;
   config.theta = theta;
-  config.num_map_tasks = kMapTasks;
-  config.num_reduce_tasks = kReduceTasks;
+  config.exec.num_map_tasks = kMapTasks;
+  config.exec.num_reduce_tasks = kReduceTasks;
   return config;
 }
 

@@ -53,8 +53,8 @@ int main(int argc, char** argv) {
   fsjoin::FsJoinConfig base;
   base.theta = 0.8;
   base.num_vertical_partitions = 30;
-  base.num_map_tasks = 30;
-  base.num_reduce_tasks = 30;
+  base.exec.num_map_tasks = 30;
+  base.exec.num_reduce_tasks = 30;
 
   fsjoin::TablePrinter table({"configuration", "wall ms", "sim10 ms",
                               "candidates", "results", "shuffle",

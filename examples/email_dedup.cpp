@@ -70,8 +70,8 @@ int main(int argc, char** argv) {
   config.theta = theta;
   config.num_vertical_partitions = 16;
   config.num_horizontal_partitions = 8;  // long-record corpora benefit most
-  config.num_map_tasks = 16;
-  config.num_reduce_tasks = 16;
+  config.exec.num_map_tasks = 16;
+  config.exec.num_reduce_tasks = 16;
 
   fsjoin::Result<fsjoin::FsJoinOutput> result =
       fsjoin::FsJoin(config).Run(corpus);

@@ -13,6 +13,7 @@
 //   --method NAME       loop | index | prefix                 [prefix]
 //   --aggressive        paper-aggressive segment prefixes (faster,
 //                       may miss borderline pairs)
+//   --backend NAME      mr | flow (execution backend)         [mr]
 //   --threads N         engine worker threads                 [0 = inline]
 //   --output PATH       write "idA idB similarity" lines      [stdout]
 //   --report            print the execution report to stderr
@@ -37,6 +38,7 @@ struct CliOptions {
   std::string tokenizer = "word";
   std::string method = "prefix";
   std::string function = "jaccard";
+  std::string backend = "mr";
   double theta = 0.8;
   uint32_t fragments = 30;
   uint32_t horizontal = 0;
@@ -50,7 +52,8 @@ int Usage(const char* argv0) {
                "usage: %s --input FILE [--rs FILE] [--theta X] "
                "[--function jaccard|dice|cosine] [--tokenizer "
                "word|whitespace|qgramN] [--fragments N] [--horizontal N] "
-               "[--method loop|index|prefix] [--aggressive] [--threads N] "
+               "[--method loop|index|prefix] [--aggressive] "
+               "[--backend mr|flow] [--threads N] "
                "[--output FILE] [--report]\n",
                argv0);
   return 2;
@@ -119,6 +122,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Usage(argv[0]);
       opts.horizontal = static_cast<uint32_t>(std::atoi(v));
+    } else if (arg == "--backend") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      opts.backend = v;
     } else if (arg == "--threads") {
       const char* v = next();
       if (!v) return Usage(argv[0]);
@@ -158,7 +165,15 @@ int main(int argc, char** argv) {
   config.theta = opts.theta;
   config.num_vertical_partitions = opts.fragments;
   config.num_horizontal_partitions = opts.horizontal;
-  config.num_threads = opts.threads;
+  config.exec.num_threads = opts.threads;
+  {
+    auto backend = fsjoin::exec::BackendKindFromName(opts.backend);
+    if (!backend.ok()) {
+      std::fprintf(stderr, "%s\n", backend.status().ToString().c_str());
+      return 1;
+    }
+    config.exec.backend = *backend;
+  }
   config.aggressive_segment_prefix = opts.aggressive;
   {
     auto fn = fsjoin::SimilarityFunctionFromName(opts.function);

@@ -11,15 +11,21 @@ Status BaselineConfig::Validate() const {
     return Status::InvalidArgument(
         StrFormat("theta must be in (0, 1], got %f", theta));
   }
-  if (num_map_tasks == 0 || num_reduce_tasks == 0) {
-    return Status::InvalidArgument("task counts must be >= 1");
+  return exec.Validate();
+}
+
+const mr::JobMetrics* BaselineReport::SignatureJob() const {
+  if (signature_stage.empty()) return nullptr;
+  for (const mr::JobMetrics& j : jobs) {
+    if (j.job_name == signature_stage) return &j;
   }
-  return Status::OK();
+  return nullptr;
 }
 
 double BaselineReport::DuplicationFactor(uint64_t input_records) const {
-  if (input_records == 0 || signature_job >= jobs.size()) return 0.0;
-  return static_cast<double>(jobs[signature_job].map_output_records) /
+  const mr::JobMetrics* signature = SignatureJob();
+  if (input_records == 0 || signature == nullptr) return 0.0;
+  return static_cast<double>(signature->map_output_records) /
          static_cast<double>(input_records);
 }
 

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/exec_config.h"
 #include "mr/metrics.h"
 #include "sim/join_result.h"
 #include "sim/similarity.h"
@@ -21,15 +22,10 @@ namespace fsjoin {
 struct BaselineConfig {
   double theta = 0.8;
   SimilarityFunction function = SimilarityFunction::kJaccard;
-  uint32_t num_map_tasks = 8;
-  uint32_t num_reduce_tasks = 8;
-  size_t num_threads = 0;
 
-  /// Abort with ResourceExhausted once a single job emits more than this
-  /// many intermediate records (0 = unlimited). Models the paper's
-  /// observation that MassJoin and V-Smart-Join "cannot run successfully"
-  /// on the large datasets: their intermediate data outgrows the cluster.
-  uint64_t emission_limit = 0;
+  /// Execution substrate and engine shape (backend, task counts, threads,
+  /// emission limit) — shared with FS-Join via exec::ExecConfig.
+  exec::ExecConfig exec;
 
   Status Validate() const;
 };
@@ -37,14 +33,19 @@ struct BaselineConfig {
 /// Execution record of one baseline run; same role as FsJoinReport.
 struct BaselineReport {
   std::string algorithm;
+  exec::BackendKind backend = exec::BackendKind::kMapReduce;
   std::vector<mr::JobMetrics> jobs;
-  /// Index into `jobs` of the signature/kernel job whose map output holds
-  /// the duplicated records (0 for V-Smart, 1 for the ordering-first
-  /// algorithms).
-  size_t signature_job = 0;
+  /// Name of the signature/kernel stage whose map output holds the
+  /// duplicated records ("vernica-kernel", "vsmart-join",
+  /// "massjoin-signatures").
+  std::string signature_stage;
   uint64_t candidate_pairs = 0;
   uint64_t result_pairs = 0;
   double total_wall_ms = 0.0;
+
+  /// Metrics of the signature stage, looked up by name in `jobs`;
+  /// nullptr when the stage is absent (e.g. the run aborted early).
+  const mr::JobMetrics* SignatureJob() const;
 
   /// Map-output records of the signature job divided by input records —
   /// the duplication the paper's Table I compares.

@@ -6,8 +6,8 @@
 #include <unordered_set>
 
 #include "core/jobs.h"
-#include "mr/engine.h"
-#include "mr/pipeline.h"
+#include "exec/backend.h"
+#include "exec/plan.h"
 #include "sim/global_order.h"
 #include "sim/set_ops.h"
 #include "util/hash.h"
@@ -291,14 +291,6 @@ class VerifyReducer : public mr::Reducer {
   std::shared_ptr<MassJoinContext> ctx_;
 };
 
-class PassThroughMapper : public mr::Mapper {
- public:
-  Status Map(const mr::KeyValue& record, mr::Emitter* out) override {
-    out->Emit(record.key, record.value);
-    return Status::OK();
-  }
-};
-
 mr::Dataset MakeRankedDataset(const Corpus& corpus, const GlobalOrder& order) {
   mr::Dataset dataset;
   dataset.reserve(corpus.records.size());
@@ -323,90 +315,64 @@ Result<BaselineOutput> RunMassJoin(const Corpus& corpus,
   FSJOIN_RETURN_NOT_OK(config.Validate());
   WallTimer timer;
 
-  mr::Engine engine(config.num_threads);
-  mr::MiniDfs dfs;
-  mr::Pipeline pipeline(&engine, &dfs);
-  dfs.Put("input", MakeCorpusDataset(corpus));
+  std::unique_ptr<exec::ExecutionBackend> backend =
+      exec::MakeBackend(config.exec);
+  mr::Dataset input = MakeCorpusDataset(corpus);
 
-  // Job 1: ordering.
-  FSJOIN_RETURN_NOT_OK(
-      pipeline.RunJob(MakeOrderingJobConfig(config.num_map_tasks,
-                                            config.num_reduce_tasks),
-                      "input", "frequencies"));
-  FSJOIN_ASSIGN_OR_RETURN(const mr::Dataset* freq, dfs.Get("frequencies"));
+  // Plan 1: ordering.
+  mr::JobConfig ordering_cfg = MakeOrderingJobConfig(
+      config.exec.num_map_tasks, config.exec.num_reduce_tasks);
+  exec::Plan ordering_plan("massjoin-ordering");
+  ordering_plan
+      .FlatMap("tokenize", ordering_cfg.mapper_factory)
+      .GroupByKey("ordering", ordering_cfg.reducer_factory,
+                  ordering_cfg.partitioner, ordering_cfg.combiner_factory);
+  FSJOIN_ASSIGN_OR_RETURN(mr::Dataset freq,
+                          backend->Execute(ordering_plan, input));
   FSJOIN_ASSIGN_OR_RETURN(
       GlobalOrder order,
-      BuildGlobalOrderFromJobOutput(*freq, corpus.dictionary.size()));
+      BuildGlobalOrderFromJobOutput(freq, corpus.dictionary.size()));
 
   auto ctx = std::make_shared<MassJoinContext>();
   ctx->config = config;
   ctx->order = std::make_shared<const GlobalOrder>(std::move(order));
-  ctx->budget = std::make_shared<EmissionBudget>(config.emission_limit);
+  ctx->budget = std::make_shared<EmissionBudget>(config.exec.emission_limit);
 
-  // Job 2: signatures -> candidate rid pairs.
-  mr::JobConfig signature_job;
-  signature_job.name = "massjoin-signatures";
-  signature_job.num_map_tasks = config.num_map_tasks;
-  signature_job.num_reduce_tasks = config.num_reduce_tasks;
-  signature_job.mapper_factory = [ctx] {
-    return std::make_unique<SignatureMapper>(ctx);
-  };
-  signature_job.reducer_factory = [ctx] {
-    return std::make_unique<CandidateReducer>(ctx);
-  };
-  FSJOIN_RETURN_NOT_OK(pipeline.RunJob(signature_job, "input", "candidates"));
+  // Plan 2: signatures -> candidates, then dedup + attach left content,
+  // then attach right content + verify. The merge and verify stages read
+  // the candidate stream side by side with the ranked record content,
+  // expressed as unions with a driver-materialized side dataset.
+  auto ranked = std::make_shared<const mr::Dataset>(
+      MakeRankedDataset(corpus, *ctx->order));
 
-  // Jobs 3 and 4 read candidates + ranked record content side by side.
-  mr::Dataset ranked = MakeRankedDataset(corpus, *ctx->order);
-  {
-    FSJOIN_ASSIGN_OR_RETURN(const mr::Dataset* candidates,
-                            dfs.Get("candidates"));
-    mr::Dataset merged = *candidates;
-    merged.insert(merged.end(), ranked.begin(), ranked.end());
-    dfs.Put("candidates+records", std::move(merged));
-  }
+  exec::Plan plan("massjoin");
+  plan.FlatMap("signatures",
+               [ctx] { return std::make_unique<SignatureMapper>(ctx); })
+      .GroupByKey("massjoin-signatures",
+                  [ctx] { return std::make_unique<CandidateReducer>(ctx); })
+      .UnionWith("ranked-records", ranked)
+      .FlatMap("merge-split", [] { return std::make_unique<MergeMapper>(); })
+      .GroupByKey("massjoin-merge",
+                  [ctx] { return std::make_unique<MergeReducer>(ctx); })
+      .UnionWith("ranked-records", ranked)
+      .GroupByKey("massjoin-verify",
+                  [ctx] { return std::make_unique<VerifyReducer>(ctx); });
+  FSJOIN_ASSIGN_OR_RETURN(mr::Dataset results, backend->Execute(plan, input));
 
-  mr::JobConfig merge_job;
-  merge_job.name = "massjoin-merge";
-  merge_job.num_map_tasks = config.num_map_tasks;
-  merge_job.num_reduce_tasks = config.num_reduce_tasks;
-  merge_job.mapper_factory = [] { return std::make_unique<MergeMapper>(); };
-  merge_job.reducer_factory = [ctx] {
-    return std::make_unique<MergeReducer>(ctx);
-  };
-  FSJOIN_RETURN_NOT_OK(
-      pipeline.RunJob(merge_job, "candidates+records", "partials"));
-
-  {
-    FSJOIN_ASSIGN_OR_RETURN(const mr::Dataset* partials, dfs.Get("partials"));
-    mr::Dataset merged = *partials;
-    merged.insert(merged.end(), ranked.begin(), ranked.end());
-    dfs.Put("partials+records", std::move(merged));
-  }
-
-  mr::JobConfig verify_job;
-  verify_job.name = "massjoin-verify";
-  verify_job.num_map_tasks = config.num_map_tasks;
-  verify_job.num_reduce_tasks = config.num_reduce_tasks;
-  verify_job.mapper_factory = [] {
-    return std::make_unique<PassThroughMapper>();
-  };
-  verify_job.reducer_factory = [ctx] {
-    return std::make_unique<VerifyReducer>(ctx);
-  };
-  FSJOIN_RETURN_NOT_OK(
-      pipeline.RunJob(verify_job, "partials+records", "results"));
-
-  FSJOIN_ASSIGN_OR_RETURN(const mr::Dataset* results, dfs.Get("results"));
   BaselineOutput output;
-  FSJOIN_ASSIGN_OR_RETURN(output.pairs, DecodeJoinResults(*results));
+  FSJOIN_ASSIGN_OR_RETURN(output.pairs, DecodeJoinResults(results));
   output.report.algorithm =
       config.length_group > 1 ? "MassJoin-Merge+Light" : "MassJoin-Merge";
-  output.report.jobs = pipeline.history();
-  output.report.signature_job = 1;
+  output.report.backend = backend->kind();
+  output.report.jobs = backend->history();
+  output.report.signature_stage = "massjoin-signatures";
   // Candidates = deduped (pair, left-content) records entering the verify
-  // job.
-  output.report.candidate_pairs = pipeline.history()[2].reduce_output_records;
+  // stage.
+  for (const mr::JobMetrics& j : output.report.jobs) {
+    if (j.job_name == "massjoin-merge") {
+      output.report.candidate_pairs = j.reduce_output_records;
+    }
+  }
   output.report.result_pairs = output.pairs.size();
   output.report.total_wall_ms = timer.ElapsedMillis();
   return output;

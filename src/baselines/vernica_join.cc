@@ -6,8 +6,8 @@
 #include <mutex>
 
 #include "core/jobs.h"
-#include "mr/engine.h"
-#include "mr/pipeline.h"
+#include "exec/backend.h"
+#include "exec/plan.h"
 #include "sim/global_order.h"
 #include "sim/set_ops.h"
 #include "util/serde.h"
@@ -162,43 +162,45 @@ Result<BaselineOutput> RunVernicaJoin(const Corpus& corpus,
   FSJOIN_RETURN_NOT_OK(config.Validate());
   WallTimer timer;
 
-  mr::Engine engine(config.num_threads);
-  mr::MiniDfs dfs;
-  mr::Pipeline pipeline(&engine, &dfs);
-  dfs.Put("input", MakeCorpusDataset(corpus));
+  std::unique_ptr<exec::ExecutionBackend> backend =
+      exec::MakeBackend(config.exec);
+  mr::Dataset input = MakeCorpusDataset(corpus);
 
-  // Job 1: ordering.
-  FSJOIN_RETURN_NOT_OK(
-      pipeline.RunJob(MakeOrderingJobConfig(config.num_map_tasks,
-                                            config.num_reduce_tasks),
-                      "input", "frequencies"));
-  FSJOIN_ASSIGN_OR_RETURN(const mr::Dataset* freq, dfs.Get("frequencies"));
+  // Plan 1: ordering.
+  mr::JobConfig ordering_cfg = MakeOrderingJobConfig(
+      config.exec.num_map_tasks, config.exec.num_reduce_tasks);
+  exec::Plan ordering_plan("vernica-ordering");
+  ordering_plan
+      .FlatMap("tokenize", ordering_cfg.mapper_factory)
+      .GroupByKey("ordering", ordering_cfg.reducer_factory,
+                  ordering_cfg.partitioner, ordering_cfg.combiner_factory);
+  FSJOIN_ASSIGN_OR_RETURN(mr::Dataset freq,
+                          backend->Execute(ordering_plan, input));
   FSJOIN_ASSIGN_OR_RETURN(
       GlobalOrder order,
-      BuildGlobalOrderFromJobOutput(*freq, corpus.dictionary.size()));
+      BuildGlobalOrderFromJobOutput(freq, corpus.dictionary.size()));
 
   auto ctx = std::make_shared<VernicaContext>();
   ctx->config = config;
   ctx->order = std::make_shared<const GlobalOrder>(std::move(order));
-  ctx->budget = std::make_shared<EmissionBudget>(config.emission_limit);
+  ctx->budget = std::make_shared<EmissionBudget>(config.exec.emission_limit);
 
-  // Job 2: RID-pairs kernel.
-  mr::JobConfig kernel;
-  kernel.name = "vernica-kernel";
-  kernel.num_map_tasks = config.num_map_tasks;
-  kernel.num_reduce_tasks = config.num_reduce_tasks;
-  kernel.mapper_factory = [ctx] { return std::make_unique<KernelMapper>(ctx); };
-  kernel.reducer_factory = [ctx] {
-    return std::make_unique<KernelReducer>(ctx);
-  };
-  FSJOIN_RETURN_NOT_OK(pipeline.RunJob(kernel, "input", "results"));
+  // Plan 2: RID-pairs kernel.
+  exec::Plan kernel_plan("vernica");
+  kernel_plan
+      .FlatMap("prefix-split",
+               [ctx] { return std::make_unique<KernelMapper>(ctx); })
+      .GroupByKey("vernica-kernel",
+                  [ctx] { return std::make_unique<KernelReducer>(ctx); });
+  FSJOIN_ASSIGN_OR_RETURN(mr::Dataset results,
+                          backend->Execute(kernel_plan, input));
 
-  FSJOIN_ASSIGN_OR_RETURN(const mr::Dataset* results, dfs.Get("results"));
   BaselineOutput output;
-  FSJOIN_ASSIGN_OR_RETURN(output.pairs, DecodeJoinResults(*results));
+  FSJOIN_ASSIGN_OR_RETURN(output.pairs, DecodeJoinResults(results));
   output.report.algorithm = "RIDPairsPPJoin";
-  output.report.jobs = pipeline.history();
-  output.report.signature_job = 1;
+  output.report.backend = backend->kind();
+  output.report.jobs = backend->history();
+  output.report.signature_stage = "vernica-kernel";
   output.report.candidate_pairs = ctx->candidate_pairs;
   output.report.result_pairs = output.pairs.size();
   output.report.total_wall_ms = timer.ElapsedMillis();

@@ -4,8 +4,8 @@
 
 #include "core/fragment_join.h"
 #include "core/jobs.h"
-#include "mr/engine.h"
-#include "mr/pipeline.h"
+#include "exec/backend.h"
+#include "exec/plan.h"
 #include "util/serde.h"
 #include "util/timer.h"
 
@@ -98,43 +98,37 @@ Result<BaselineOutput> RunVSmartJoin(const Corpus& corpus,
   FSJOIN_RETURN_NOT_OK(config.Validate());
   WallTimer timer;
 
-  mr::Engine engine(config.num_threads);
-  mr::MiniDfs dfs;
-  mr::Pipeline pipeline(&engine, &dfs);
-  dfs.Put("input", MakeCorpusDataset(corpus));
+  std::unique_ptr<exec::ExecutionBackend> backend =
+      exec::MakeBackend(config.exec);
+  mr::Dataset input = MakeCorpusDataset(corpus);
 
   auto ctx = std::make_shared<VSmartContext>();
   ctx->config = config;
-  ctx->budget = std::make_shared<EmissionBudget>(config.emission_limit);
+  ctx->budget = std::make_shared<EmissionBudget>(config.exec.emission_limit);
 
-  // Phase 1: join (token posting lists -> pair partial overlaps).
-  mr::JobConfig join_job;
-  join_job.name = "vsmart-join";
-  join_job.num_map_tasks = config.num_map_tasks;
-  join_job.num_reduce_tasks = config.num_reduce_tasks;
-  join_job.mapper_factory = [ctx] {
-    return std::make_unique<TokenListMapper>(ctx);
-  };
-  join_job.reducer_factory = [ctx] {
-    return std::make_unique<PairEnumerationReducer>(ctx);
-  };
-  FSJOIN_RETURN_NOT_OK(pipeline.RunJob(join_job, "input", "partials"));
-
-  // Phase 2: similarity (aggregate + threshold) — FS-Join's verification.
+  // One plan, two wide stages: join (token posting lists -> pair partial
+  // overlaps), then similarity (aggregate + threshold) — the latter reuses
+  // FS-Join's verification reducer.
   auto verification_ctx = std::make_shared<VerificationContext>();
   verification_ctx->config.theta = config.theta;
   verification_ctx->config.function = config.function;
-  verification_ctx->config.num_map_tasks = config.num_map_tasks;
-  verification_ctx->config.num_reduce_tasks = config.num_reduce_tasks;
-  FSJOIN_RETURN_NOT_OK(pipeline.RunJob(
-      MakeVerificationJobConfig(verification_ctx), "partials", "results"));
+  verification_ctx->config.exec = config.exec;
+  mr::JobConfig verification_cfg = MakeVerificationJobConfig(verification_ctx);
 
-  FSJOIN_ASSIGN_OR_RETURN(const mr::Dataset* results, dfs.Get("results"));
+  exec::Plan plan("vsmart");
+  plan.FlatMap("token-lists",
+               [ctx] { return std::make_unique<TokenListMapper>(ctx); })
+      .GroupByKey("vsmart-join",
+                  [ctx] { return std::make_unique<PairEnumerationReducer>(ctx); })
+      .GroupByKey("verification", verification_cfg.reducer_factory);
+  FSJOIN_ASSIGN_OR_RETURN(mr::Dataset results, backend->Execute(plan, input));
+
   BaselineOutput output;
-  FSJOIN_ASSIGN_OR_RETURN(output.pairs, DecodeJoinResults(*results));
+  FSJOIN_ASSIGN_OR_RETURN(output.pairs, DecodeJoinResults(results));
   output.report.algorithm = "V-Smart-Join";
-  output.report.jobs = pipeline.history();
-  output.report.signature_job = 0;
+  output.report.backend = backend->kind();
+  output.report.jobs = backend->history();
+  output.report.signature_stage = "vsmart-join";
   output.report.candidate_pairs = verification_ctx->candidate_pairs;
   output.report.result_pairs = output.pairs.size();
   output.report.total_wall_ms = timer.ElapsedMillis();

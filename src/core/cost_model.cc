@@ -89,8 +89,8 @@ FsJoinConfig AutoTuneConfig(const CorpusStats& stats, uint32_t num_workers,
     config.num_horizontal_partitions = 16;
   }
 
-  config.num_map_tasks = num_workers * 3;  // paper: 3 slots per node
-  config.num_reduce_tasks = num_workers * 3;
+  config.exec.num_map_tasks = num_workers * 3;  // paper: 3 slots per node
+  config.exec.num_reduce_tasks = num_workers * 3;
   return config;
 }
 

@@ -6,8 +6,8 @@
 
 #include "core/jobs.h"
 #include "core/pivots.h"
-#include "mr/engine.h"
-#include "mr/pipeline.h"
+#include "exec/backend.h"
+#include "exec/plan.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
@@ -53,24 +53,28 @@ Result<FsJoinOutput> FsJoin::Run(const Corpus& corpus) const {
   FSJOIN_RETURN_NOT_OK(config_.Validate());
   WallTimer timer;
 
-  mr::Engine engine(config_.num_threads);
-  mr::MiniDfs dfs;
-  mr::Pipeline pipeline(&engine, &dfs);
+  std::unique_ptr<exec::ExecutionBackend> backend =
+      exec::MakeBackend(config_.exec);
 
   FsJoinOutput output;
   output.report.config = config_;
+  output.report.backend = backend->kind();
 
-  // --- Job 1: ordering -------------------------------------------------
-  dfs.Put("input", MakeCorpusDataset(corpus));
-  FSJOIN_RETURN_NOT_OK(
-      pipeline.RunJob(MakeOrderingJobConfig(config_.num_map_tasks,
-                                            config_.num_reduce_tasks),
-                      "input", "frequencies"));
-  FSJOIN_ASSIGN_OR_RETURN(const mr::Dataset* freq_out,
-                          dfs.Get("frequencies"));
+  mr::Dataset input = MakeCorpusDataset(corpus);
+
+  // --- Plan 1: ordering -------------------------------------------------
+  mr::JobConfig ordering_cfg = MakeOrderingJobConfig(
+      config_.exec.num_map_tasks, config_.exec.num_reduce_tasks);
+  exec::Plan ordering_plan("ordering");
+  ordering_plan
+      .FlatMap("tokenize", ordering_cfg.mapper_factory)
+      .GroupByKey("ordering", ordering_cfg.reducer_factory,
+                  ordering_cfg.partitioner, ordering_cfg.combiner_factory);
+  FSJOIN_ASSIGN_OR_RETURN(mr::Dataset freq_out,
+                          backend->Execute(ordering_plan, input));
   FSJOIN_ASSIGN_OR_RETURN(
       GlobalOrder order,
-      BuildGlobalOrderFromJobOutput(*freq_out, corpus.dictionary.size()));
+      BuildGlobalOrderFromJobOutput(freq_out, corpus.dictionary.size()));
   auto shared_order = std::make_shared<const GlobalOrder>(std::move(order));
 
   // --- Pivot selection (driver-side, like the paper's setup() phase) ----
@@ -94,23 +98,29 @@ Result<FsJoinOutput> FsJoin::Run(const Corpus& corpus) const {
   output.report.pivots = filtering_ctx->pivots;
   output.report.length_pivots = filtering_ctx->horizontal.pivots();
 
-  // --- Job 2: filtering --------------------------------------------------
-  FSJOIN_RETURN_NOT_OK(pipeline.RunJob(MakeFilteringJobConfig(filtering_ctx),
-                                       "input", "partials"));
-
-  // --- Job 3: verification ------------------------------------------------
+  // --- Plan 2: filtering + verification ----------------------------------
+  // On the MR backend each GroupByKey materializes as one job (the paper's
+  // substrate); on the fused backend both shuffles run in one pipeline with
+  // no intermediate DFS round-trip.
   auto verification_ctx = std::make_shared<VerificationContext>();
   verification_ctx->config = config_;
-  FSJOIN_RETURN_NOT_OK(pipeline.RunJob(
-      MakeVerificationJobConfig(verification_ctx), "partials", "results"));
+  mr::JobConfig filtering_cfg = MakeFilteringJobConfig(filtering_ctx);
+  mr::JobConfig verification_cfg = MakeVerificationJobConfig(verification_ctx);
+  exec::Plan join_plan("join");
+  join_plan
+      .FlatMap("vertical-split", filtering_cfg.mapper_factory)
+      .GroupByKey("filtering", filtering_cfg.reducer_factory,
+                  filtering_cfg.partitioner)
+      .GroupByKey("verification", verification_cfg.reducer_factory);
+  FSJOIN_ASSIGN_OR_RETURN(mr::Dataset results_out,
+                          backend->Execute(join_plan, input));
+  FSJOIN_ASSIGN_OR_RETURN(output.pairs, DecodeJoinResults(results_out));
 
-  FSJOIN_ASSIGN_OR_RETURN(const mr::Dataset* results_out, dfs.Get("results"));
-  FSJOIN_ASSIGN_OR_RETURN(output.pairs, DecodeJoinResults(*results_out));
-
-  const std::vector<mr::JobMetrics>& history = pipeline.history();
+  const std::vector<mr::JobMetrics>& history = backend->history();
   output.report.ordering_job = history[0];
   output.report.filtering_job = history[1];
   output.report.verification_job = history[2];
+  output.report.flow_pipelines = backend->flow_history();
   output.report.filters = filtering_ctx->totals;
   output.report.candidate_pairs = verification_ctx->candidate_pairs;
   output.report.result_pairs = output.pairs.size();

@@ -6,6 +6,8 @@
 
 #include "core/fragment_join.h"
 #include "core/fsjoin_config.h"
+#include "exec/backend.h"
+#include "flow/dataflow.h"
 #include "mr/metrics.h"
 #include "sim/global_order.h"
 #include "sim/join_result.h"
@@ -18,12 +20,22 @@ namespace fsjoin {
 /// table and figure is computed from.
 struct FsJoinReport {
   FsJoinConfig config;
+  exec::BackendKind backend = exec::BackendKind::kMapReduce;
   std::vector<TokenRank> pivots;
   std::vector<uint32_t> length_pivots;
 
+  /// Per-wide-stage metrics, identical layout on every backend. On the
+  /// MapReduce backend these are the three materialized jobs' exact
+  /// counters (pinned by MetricsRegressionTest); on the fused backend they
+  /// are synthesized from the dataflow's per-shuffle counters (wall times
+  /// stay 0 — the pipeline wall is in flow_pipelines).
   mr::JobMetrics ordering_job;
   mr::JobMetrics filtering_job;
   mr::JobMetrics verification_job;
+
+  /// Fused backend only: raw dataflow counters of the executed pipelines
+  /// (ordering, then filter+verify) — fusion and materialization savings.
+  std::vector<flow::Pipeline::Metrics> flow_pipelines;
 
   FilterCounters filters;
   uint64_t candidate_pairs = 0;  ///< distinct pairs reaching verification
@@ -46,15 +58,18 @@ struct FsJoinOutput {
   FsJoinReport report;
 };
 
-/// FS-Join (§III–§V): a three-job MapReduce pipeline
-///   1. ordering      — token frequencies -> global ordering
-///   2. filtering     — vertical (+ horizontal) partitioning, fragment joins
-///   3. verification  — partial-overlap aggregation and thresholding
-/// run on the in-process MR engine.
+/// FS-Join (§III–§V), described as two logical plans
+///   1. ordering             — token frequencies -> global ordering
+///   2. filtering+verification — vertical (+ horizontal) partitioning,
+///      fragment joins, then partial-overlap aggregation and thresholding
+/// and executed on the backend selected by config.exec.backend: the
+/// Hadoop-style MapReduce engine (one materialized job per wide stage —
+/// the paper's substrate) or the Spark-style fused dataflow (§VII).
 ///
 /// Usage:
 ///   FsJoinConfig config;
 ///   config.theta = 0.8;
+///   config.exec.backend = exec::BackendKind::kFusedFlow;  // optional
 ///   FsJoin join(config);
 ///   FSJOIN_ASSIGN_OR_RETURN(FsJoinOutput out, join.Run(corpus));
 class FsJoin {

@@ -36,10 +36,7 @@ Status FsJoinConfig::Validate() const {
   if (num_vertical_partitions == 0) {
     return Status::InvalidArgument("num_vertical_partitions must be >= 1");
   }
-  if (num_map_tasks == 0 || num_reduce_tasks == 0) {
-    return Status::InvalidArgument("task counts must be >= 1");
-  }
-  return Status::OK();
+  return exec.Validate();
 }
 
 std::string FsJoinConfig::Summary() const {

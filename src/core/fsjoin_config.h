@@ -5,6 +5,7 @@
 #include <optional>
 #include <string>
 
+#include "exec/exec_config.h"
 #include "sim/similarity.h"
 #include "text/record.h"
 #include "util/status.h"
@@ -68,11 +69,9 @@ struct FsJoinConfig {
   bool use_segment_intersection_filter = true;  ///< SegI-Filter (Lemma 3)
   bool use_segment_difference_filter = true;    ///< SegD-Filter (Lemma 4)
 
-  /// MapReduce engine shape.
-  uint32_t num_map_tasks = 8;
-  uint32_t num_reduce_tasks = 8;
-  /// Worker threads for the in-process engine (0 = run inline).
-  size_t num_threads = 0;
+  /// Execution substrate and engine shape (backend, task counts, threads)
+  /// — shared with the baselines via exec::ExecConfig.
+  exec::ExecConfig exec;
 
   /// When set, runs an R-S join over a concatenated corpus: only pairs with
   /// exactly one record id below the boundary are produced.

@@ -280,8 +280,8 @@ mr::JobConfig MakeFilteringJobConfig(
     const std::shared_ptr<FilteringContext>& context) {
   mr::JobConfig config;
   config.name = "filtering";
-  config.num_map_tasks = context->config.num_map_tasks;
-  config.num_reduce_tasks = context->config.num_reduce_tasks;
+  config.num_map_tasks = context->config.exec.num_map_tasks;
+  config.num_reduce_tasks = context->config.exec.num_reduce_tasks;
   config.mapper_factory = [context] {
     return std::make_unique<FilteringMapper>(context);
   };
@@ -297,8 +297,8 @@ mr::JobConfig MakeVerificationJobConfig(
     const std::shared_ptr<VerificationContext>& context) {
   mr::JobConfig config;
   config.name = "verification";
-  config.num_map_tasks = context->config.num_map_tasks;
-  config.num_reduce_tasks = context->config.num_reduce_tasks;
+  config.num_map_tasks = context->config.exec.num_map_tasks;
+  config.num_reduce_tasks = context->config.exec.num_reduce_tasks;
   config.mapper_factory = [] { return std::make_unique<IdentityMapper>(); };
   // No combiner: a pair's partial overlaps come from different fragments
   // (different filtering reducers), so map-side splits of the partials

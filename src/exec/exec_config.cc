@@ -1,0 +1,31 @@
+#include "exec/exec_config.h"
+
+#include <string>
+
+namespace fsjoin::exec {
+
+const char* BackendKindName(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kMapReduce:
+      return "mr";
+    case BackendKind::kFusedFlow:
+      return "flow";
+  }
+  return "?";
+}
+
+Result<BackendKind> BackendKindFromName(std::string_view name) {
+  if (name == "mr" || name == "mapreduce") return BackendKind::kMapReduce;
+  if (name == "flow" || name == "fused") return BackendKind::kFusedFlow;
+  return Status::InvalidArgument("unknown backend: '" + std::string(name) +
+                                 "' (expected mr|flow)");
+}
+
+Status ExecConfig::Validate() const {
+  if (num_map_tasks == 0 || num_reduce_tasks == 0) {
+    return Status::InvalidArgument("task counts must be >= 1");
+  }
+  return Status::OK();
+}
+
+}  // namespace fsjoin::exec

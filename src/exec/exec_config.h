@@ -1,0 +1,49 @@
+#ifndef FSJOIN_EXEC_EXEC_CONFIG_H_
+#define FSJOIN_EXEC_EXEC_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace fsjoin::exec {
+
+/// Which execution substrate runs a logical plan.
+enum class BackendKind {
+  kMapReduce,  ///< Hadoop-style: one materialized MR job per wide stage
+  kFusedFlow,  ///< Spark-style: narrow chains fused, shuffles stay in memory
+};
+
+const char* BackendKindName(BackendKind kind);
+
+/// Parses "mr"/"mapreduce" and "flow"/"fused"; InvalidArgument otherwise.
+Result<BackendKind> BackendKindFromName(std::string_view name);
+
+/// Engine-shape knobs shared by every algorithm in the repo (FS-Join and
+/// the three baselines). Previously duplicated across FsJoinConfig and
+/// BaselineConfig; consolidated here so a driver describes *what* to run
+/// (the plan) and this struct describes *where and how wide*.
+struct ExecConfig {
+  BackendKind backend = BackendKind::kMapReduce;
+
+  /// Number of map tasks the input is split into (Hadoop: one per block).
+  /// MapReduce backend only; the fused backend splits by partition count.
+  uint32_t num_map_tasks = 8;
+  /// Number of reduce tasks == shuffle partitions (paper: 3 * #nodes).
+  uint32_t num_reduce_tasks = 8;
+  /// Worker threads for the in-process engines (0 = run inline).
+  size_t num_threads = 0;
+
+  /// Abort with ResourceExhausted once a run emits more than this many
+  /// intermediate records (0 = unlimited). Models the paper's observation
+  /// that MassJoin and V-Smart-Join "cannot run successfully" on the large
+  /// datasets: their intermediate data outgrows the cluster.
+  uint64_t emission_limit = 0;
+
+  Status Validate() const;
+};
+
+}  // namespace fsjoin::exec
+
+#endif  // FSJOIN_EXEC_EXEC_CONFIG_H_

@@ -50,17 +50,57 @@ Pipeline& Pipeline::FlatMap(std::string stage_name, mr::MapperFactory factory) {
 
 Pipeline& Pipeline::GroupByKey(
     std::string stage_name, mr::ReducerFactory factory,
-    std::shared_ptr<const mr::Partitioner> partitioner) {
+    std::shared_ptr<const mr::Partitioner> partitioner,
+    mr::ReducerFactory combiner) {
   Stage stage;
   stage.wide = true;
   stage.name = std::move(stage_name);
   stage.reducer = std::move(factory);
+  stage.combiner = std::move(combiner);
   stage.partitioner = partitioner != nullptr
                           ? std::move(partitioner)
                           : std::make_shared<mr::HashPartitioner>();
   stages_.push_back(std::move(stage));
   return *this;
 }
+
+namespace {
+
+/// Runs `combiner_factory` over one shuffle bucket in place: sort, group,
+/// combine — Spark's map-side combine, applied before the bucket ships.
+Status CombineBucket(const mr::ReducerFactory& combiner_factory,
+                     mr::Dataset* bucket) {
+  if (bucket->empty()) return Status::OK();
+  mr::SortDatasetByKey(bucket);
+  mr::Dataset combined;
+  CallbackEmitter emitter([&combined](mr::KeyValue kv) -> Status {
+    combined.push_back(std::move(kv));
+    return Status::OK();
+  });
+  std::unique_ptr<mr::Reducer> combiner = combiner_factory();
+  Status st = combiner->Setup();
+  std::vector<std::string_view> values;
+  size_t i = 0;
+  while (st.ok() && i < bucket->size()) {
+    size_t j = i;
+    values.clear();
+    while (j < bucket->size() && (*bucket)[j].key == (*bucket)[i].key) {
+      values.push_back((*bucket)[j].value);
+      ++j;
+    }
+    st = combiner->Reduce((*bucket)[i].key,
+                          mr::ValueList(values.data(), values.size()),
+                          &emitter);
+    i = j;
+  }
+  if (st.ok()) st = combiner->Finish(&emitter);
+  if (st.ok()) st = emitter.status();
+  FSJOIN_RETURN_NOT_OK(st);
+  *bucket = std::move(combined);
+  return Status::OK();
+}
+
+}  // namespace
 
 Result<mr::Dataset> Pipeline::Run(const mr::Dataset& input) {
   WallTimer timer;
@@ -90,11 +130,21 @@ Result<mr::Dataset> Pipeline::Run(const mr::Dataset& input) {
     }
     const bool has_wide = chain_end < stages_.size();
 
+    WideStageMetrics stage_metrics;
+    if (has_wide) {
+      stage_metrics.name = stages_[chain_end].name;
+      for (const mr::Dataset& p : partitions) {
+        stage_metrics.input_records += p.size();
+        stage_metrics.input_bytes += mr::DatasetBytes(p);
+      }
+    }
+
     // Per source-partition output buckets (either pass-through or keyed by
     // the wide stage's partitioner).
     std::vector<std::vector<mr::Dataset>> shuffled(
         num_partitions_, std::vector<mr::Dataset>(has_wide ? num_partitions_ : 1));
     std::vector<Status> statuses(num_partitions_);
+    std::vector<uint64_t> combine_counts(num_partitions_, 0);
 
     pool_.ParallelFor(num_partitions_, [&](size_t p) {
       // Build the fused chain back-to-front: the last sink either routes
@@ -150,6 +200,14 @@ Result<mr::Dataset> Pipeline::Run(const mr::Dataset& input) {
           if (st.ok()) st = emitter.status();
         }
       }
+      if (st.ok() && has_wide && stages_[chain_end].combiner) {
+        // Map-side combine: shrink each outgoing bucket before it ships.
+        for (mr::Dataset& bucket : sinks) {
+          combine_counts[p] += bucket.size();
+          st = CombineBucket(stages_[chain_end].combiner, &bucket);
+          if (!st.ok()) break;
+        }
+      }
       statuses[p] = st;
     });
     for (const Status& st : statuses) {
@@ -160,6 +218,9 @@ Result<mr::Dataset> Pipeline::Run(const mr::Dataset& input) {
     std::vector<mr::Dataset> next(num_partitions_);
     if (has_wide) {
       ++metrics_.num_shuffles;
+      for (uint64_t c : combine_counts) {
+        stage_metrics.combine_input_records += c;
+      }
       for (uint32_t dst = 0; dst < num_partitions_; ++dst) {
         size_t total = 0;
         for (uint32_t src = 0; src < num_partitions_; ++src) {
@@ -172,10 +233,12 @@ Result<mr::Dataset> Pipeline::Run(const mr::Dataset& input) {
                     std::back_inserter(bucket));
           mr::Dataset().swap(shuffled[src][dst]);
         }
-        metrics_.shuffle_records += bucket.size();
-        metrics_.shuffle_bytes += mr::DatasetBytes(bucket);
+        stage_metrics.shuffle_records += bucket.size();
+        stage_metrics.shuffle_bytes += mr::DatasetBytes(bucket);
         next[dst] = std::move(bucket);
       }
+      metrics_.shuffle_records += stage_metrics.shuffle_records;
+      metrics_.shuffle_bytes += stage_metrics.shuffle_bytes;
       // Grouped reduce per partition.
       const Stage& wide = stages_[chain_end];
       std::vector<mr::Dataset> reduced(num_partitions_);
@@ -212,6 +275,11 @@ Result<mr::Dataset> Pipeline::Run(const mr::Dataset& input) {
         FSJOIN_RETURN_NOT_OK(st);
       }
       next = std::move(reduced);
+      for (const mr::Dataset& p : next) {
+        stage_metrics.output_records += p.size();
+        stage_metrics.output_bytes += mr::DatasetBytes(p);
+      }
+      metrics_.wide_stages.push_back(std::move(stage_metrics));
       s = chain_end + 1;
     } else {
       for (uint32_t p = 0; p < num_partitions_; ++p) {

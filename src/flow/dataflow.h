@@ -49,13 +49,31 @@ class Pipeline {
   Pipeline& FlatMap(std::string stage_name, mr::MapperFactory factory);
 
   /// Appends a wide stage: hash-shuffle by key (default HashPartitioner),
-  /// sort-group within each partition, apply the reducer.
+  /// sort-group within each partition, apply the reducer. The optional
+  /// combiner runs on each shuffle bucket before it ships (Spark's
+  /// map-side combine) and must be result-compatible with the reducer.
   Pipeline& GroupByKey(
       std::string stage_name, mr::ReducerFactory factory,
-      std::shared_ptr<const mr::Partitioner> partitioner = nullptr);
+      std::shared_ptr<const mr::Partitioner> partitioner = nullptr,
+      mr::ReducerFactory combiner = nullptr);
 
   /// Executes the pipeline over `input`.
   Result<mr::Dataset> Run(const mr::Dataset& input);
+
+  /// Per-wide-stage counters: what crossed this stage's shuffle boundary
+  /// and what its reducers produced. One entry per GroupByKey, in stage
+  /// order — the fused analogue of one MR job's counters, letting callers
+  /// line the fused execution up against a per-job MapReduce history.
+  struct WideStageMetrics {
+    std::string name;
+    uint64_t input_records = 0;  ///< records entering the fused chain
+    uint64_t input_bytes = 0;
+    uint64_t combine_input_records = 0;  ///< 0 when no combiner configured
+    uint64_t shuffle_records = 0;        ///< post-combine, pre-shuffle
+    uint64_t shuffle_bytes = 0;
+    uint64_t output_records = 0;  ///< reducer output
+    uint64_t output_bytes = 0;
+  };
 
   /// Execution counters of the last Run().
   struct Metrics {
@@ -68,6 +86,7 @@ class Pipeline {
     /// relative to the MR engine (which materializes every job's output).
     uint64_t materialized_bytes = 0;
     int64_t wall_micros = 0;
+    std::vector<WideStageMetrics> wide_stages;
   };
   const Metrics& metrics() const { return metrics_; }
 
@@ -79,6 +98,7 @@ class Pipeline {
     std::string name;
     mr::MapperFactory mapper;
     mr::ReducerFactory reducer;
+    mr::ReducerFactory combiner;
     std::shared_ptr<const mr::Partitioner> partitioner;
   };
 

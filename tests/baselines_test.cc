@@ -22,8 +22,8 @@ using ::fsjoin::testing::RandomCorpus;
 BaselineConfig SmallConfig(double theta) {
   BaselineConfig config;
   config.theta = theta;
-  config.num_map_tasks = 3;
-  config.num_reduce_tasks = 5;
+  config.exec.num_map_tasks = 3;
+  config.exec.num_reduce_tasks = 5;
   return config;
 }
 
@@ -137,7 +137,7 @@ TEST(BaselineCostShape, FsJoinShufflesLessThanVSmart) {
 TEST(BaselineCostShape, EmissionLimitAbortsVSmart) {
   Corpus corpus = RandomCorpus(300, 100, 1.2, 15, 908);
   BaselineConfig config = SmallConfig(0.8);
-  config.emission_limit = 1000;  // far below the quadratic pair count
+  config.exec.emission_limit = 1000;  // far below the quadratic pair count
   Result<BaselineOutput> out = RunVSmartJoin(corpus, config);
   ASSERT_FALSE(out.ok());
   EXPECT_EQ(out.status().code(), StatusCode::kResourceExhausted);
@@ -147,7 +147,7 @@ TEST(BaselineCostShape, EmissionLimitAbortsMassJoin) {
   Corpus corpus = RandomCorpus(300, 100, 1.2, 15, 909);
   MassJoinConfig config;
   static_cast<BaselineConfig&>(config) = SmallConfig(0.8);
-  config.emission_limit = 2000;
+  config.exec.emission_limit = 2000;
   Result<BaselineOutput> out = RunMassJoin(corpus, config);
   ASSERT_FALSE(out.ok());
   EXPECT_EQ(out.status().code(), StatusCode::kResourceExhausted);

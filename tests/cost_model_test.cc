@@ -78,8 +78,8 @@ TEST(AutoTuneTest, FragmentsCoverWorkersAndMemory) {
   // Plenty of memory: fragment count driven by workers / cost optimum.
   FsJoinConfig roomy = AutoTuneConfig(stats, 10, 1ull << 30, 0.8);
   EXPECT_GE(roomy.num_vertical_partitions, 10u);
-  EXPECT_EQ(roomy.num_map_tasks, 30u);  // 3 slots per worker
-  EXPECT_EQ(roomy.num_reduce_tasks, 30u);
+  EXPECT_EQ(roomy.exec.num_map_tasks, 30u);  // 3 slots per worker
+  EXPECT_EQ(roomy.exec.num_reduce_tasks, 30u);
   EXPECT_TRUE(roomy.Validate().ok());
 
   // Tiny memory: enough fragments that one fragment fits (and horizontal
@@ -94,8 +94,8 @@ TEST(AutoTuneTest, TunedConfigActuallyRuns) {
   Corpus corpus = fsjoin::testing::RandomCorpus(120, 150, 1.0, 10, 4242);
   CorpusStats stats = ComputeStats(corpus);
   FsJoinConfig config = AutoTuneConfig(stats, 3, 1 << 20, 0.7);
-  config.num_map_tasks = 3;  // keep the test fast
-  config.num_reduce_tasks = 3;
+  config.exec.num_map_tasks = 3;  // keep the test fast
+  config.exec.num_reduce_tasks = 3;
   Result<FsJoinOutput> out = FsJoin(config).Run(corpus);
   ASSERT_TRUE(out.ok()) << out.status().ToString();
   // Exactness is independent of tuning.

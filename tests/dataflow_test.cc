@@ -8,7 +8,6 @@
 
 #include "core/fsjoin.h"
 #include "flow/dataflow.h"
-#include "flow/fsjoin_flow.h"
 #include "sim/serial_join.h"
 #include "test_util.h"
 #include "util/serde.h"
@@ -173,14 +172,16 @@ TEST(FsJoinOnFlowTest, MatchesMrDriverAndBruteForce) {
     FsJoinConfig config;
     config.theta = theta;
     config.num_vertical_partitions = 6;
-    config.num_map_tasks = 4;
-    config.num_reduce_tasks = 5;
+    config.exec.num_map_tasks = 4;
+    config.exec.num_reduce_tasks = 5;
     config.num_horizontal_partitions = 2;
 
     Result<FsJoinOutput> mr_out = FsJoin(config).Run(corpus);
-    Result<FlowJoinOutput> flow_out = RunFsJoinOnFlow(corpus, config);
+    config.exec.backend = exec::BackendKind::kFusedFlow;
+    Result<FsJoinOutput> flow_out = FsJoin(config).Run(corpus);
     ASSERT_TRUE(mr_out.ok());
     ASSERT_TRUE(flow_out.ok()) << flow_out.status().ToString();
+    EXPECT_EQ(flow_out->report.backend, exec::BackendKind::kFusedFlow);
     EXPECT_TRUE(SamePairs(mr_out->pairs, flow_out->pairs))
         << DiffResults(mr_out->pairs, flow_out->pairs);
 
@@ -195,18 +196,26 @@ TEST(FsJoinOnFlowTest, FusionSkipsTheIdentityJob) {
   FsJoinConfig config;
   config.theta = 0.8;
   Result<FsJoinOutput> mr_out = FsJoin(config).Run(corpus);
-  Result<FlowJoinOutput> flow_out = RunFsJoinOnFlow(corpus, config);
+  config.exec.backend = exec::BackendKind::kFusedFlow;
+  Result<FsJoinOutput> flow_out = FsJoin(config).Run(corpus);
   ASSERT_TRUE(mr_out.ok());
   ASSERT_TRUE(flow_out.ok());
-  // The MR driver re-reads partial overlaps as a whole extra job; the
-  // dataflow join pipeline shuffles the same records but never re-maps
-  // them: its join pipeline has exactly two shuffles.
-  EXPECT_EQ(flow_out->report.join.num_shuffles, 2u);
+  // The fused backend runs two pipelines (ordering, join); the join
+  // pipeline shuffles the same records as the MR driver's filtering +
+  // verification jobs but never re-maps them between the two shuffles.
+  ASSERT_EQ(flow_out->report.flow_pipelines.size(), 2u);
+  const Pipeline::Metrics& join = flow_out->report.flow_pipelines[1];
+  EXPECT_EQ(join.num_shuffles, 2u);
   // Shuffled volume across the flow join pipeline is bounded by the MR
   // driver's filtering + verification shuffles (same records).
-  EXPECT_LE(flow_out->report.join.shuffle_records,
+  EXPECT_LE(join.shuffle_records,
             mr_out->report.filtering_job.shuffle_records +
                 mr_out->report.verification_job.shuffle_records);
+  // Per-wide-stage counters line up with the MR jobs by name and order.
+  ASSERT_EQ(flow_out->report.filtering_job.job_name, "filtering");
+  ASSERT_EQ(flow_out->report.verification_job.job_name, "verification");
+  EXPECT_EQ(flow_out->report.verification_job.reduce_output_records,
+            mr_out->report.verification_job.reduce_output_records);
 }
 
 }  // namespace

@@ -21,8 +21,8 @@ FsJoinConfig BaseConfig(double theta) {
   FsJoinConfig config;
   config.theta = theta;
   config.num_vertical_partitions = 4;
-  config.num_map_tasks = 3;
-  config.num_reduce_tasks = 5;
+  config.exec.num_map_tasks = 3;
+  config.exec.num_reduce_tasks = 5;
   return config;
 }
 
@@ -209,7 +209,7 @@ INSTANTIATE_TEST_SUITE_P(Thresholds, FsJoinThetas,
 
 TEST(FsJoinCorrectness, ThreadedEngineMatches) {
   FsJoinConfig config = BaseConfig(0.7);
-  config.num_threads = 4;
+  config.exec.num_threads = 4;
   config.num_horizontal_partitions = 2;
   ExpectMatchesBruteForce(RandomCorpus(150, 200, 1.0, 10, 606), config);
 }
@@ -337,9 +337,9 @@ TEST(FsJoinCorrectness, ResultsInvariantToTaskAndThreadCounts) {
     for (uint32_t reduces : {1u, 7u}) {
       for (size_t threads : {size_t{0}, size_t{3}}) {
         FsJoinConfig config = BaseConfig(0.7);
-        config.num_map_tasks = maps;
-        config.num_reduce_tasks = reduces;
-        config.num_threads = threads;
+        config.exec.num_map_tasks = maps;
+        config.exec.num_reduce_tasks = reduces;
+        config.exec.num_threads = threads;
         config.num_horizontal_partitions = 2;
         Result<FsJoinOutput> out = FsJoin(config).Run(corpus);
         ASSERT_TRUE(out.ok());

@@ -162,8 +162,8 @@ TEST(VerificationJobTest, AggregatesAcrossFragments) {
   auto ctx = std::make_shared<VerificationContext>();
   ctx->config.theta = 0.7;
   ctx->config.function = SimilarityFunction::kJaccard;
-  ctx->config.num_map_tasks = 2;
-  ctx->config.num_reduce_tasks = 2;
+  ctx->config.exec.num_map_tasks = 2;
+  ctx->config.exec.num_reduce_tasks = 2;
   mr::Engine engine(0);
   mr::Dataset output;
   mr::JobMetrics metrics;
@@ -182,8 +182,8 @@ TEST(VerificationJobTest, AggregatesAcrossFragments) {
   // Below threshold with only one partial: no output.
   ctx = std::make_shared<VerificationContext>();
   ctx->config.theta = 0.7;
-  ctx->config.num_map_tasks = 1;
-  ctx->config.num_reduce_tasks = 1;
+  ctx->config.exec.num_map_tasks = 1;
+  ctx->config.exec.num_reduce_tasks = 1;
   mr::Dataset one(partials.begin(), partials.begin() + 1);
   ASSERT_TRUE(
       engine.Run(MakeVerificationJobConfig(ctx), one, &output, &metrics).ok());
@@ -204,7 +204,7 @@ TEST(FsJoinConfigTest, ValidationCatchesBadParameters) {
   config.num_vertical_partitions = 0;
   EXPECT_FALSE(config.Validate().ok());
   config.num_vertical_partitions = 4;
-  config.num_map_tasks = 0;
+  config.exec.num_map_tasks = 0;
   EXPECT_FALSE(config.Validate().ok());
 }
 
@@ -301,8 +301,8 @@ TEST(MetricsRegressionTest, CountersMatchSeedEngine) {
   FsJoinConfig config;
   config.theta = 0.8;
   config.num_vertical_partitions = 6;
-  config.num_map_tasks = 4;
-  config.num_reduce_tasks = 5;
+  config.exec.num_map_tasks = 4;
+  config.exec.num_reduce_tasks = 5;
   config.num_horizontal_partitions = 2;
   Result<FsJoinOutput> out = FsJoin(config).Run(corpus);
   ASSERT_TRUE(out.ok()) << out.status().ToString();
