@@ -1,11 +1,22 @@
 // Microbenchmarks (google-benchmark) for the hot kernels under everything:
 // sorted-set operations, serde, Zipf sampling, prefix math, segment
 // splitting and the fragment join.
+//
+// Two modes:
+//   (default)        google-benchmark suite, standard --benchmark_* flags.
+//   --json[=PATH]    focused kernel comparison written as BENCH_kernels.json
+//                    (scalar vs galloping vs word-packed overlap on short
+//                    segments; serial vs morsel-parallel JoinFragment on a
+//                    skewed fragment set). Honors --warmup/--repeat.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string_view>
+#include <thread>
 #include <vector>
 
+#include "bench_util.h"
 #include "core/fragment_join.h"
 #include "core/pivots.h"
 #include "core/segments.h"
@@ -14,6 +25,7 @@
 #include "text/generator.h"
 #include "util/random.h"
 #include "util/serde.h"
+#include "util/thread_pool.h"
 
 namespace fsjoin {
 namespace {
@@ -170,6 +182,100 @@ BENCHMARK(BM_FragmentJoin)
     ->Args({200, 2})   // prefix
     ->Args({1000, 2});  // prefix, larger fragment
 
+// Short segments (vertical partitioning leaves most segments a handful of
+// tokens) with fragment-local bucket bitmaps precomputed once, as
+// SegmentBatch::Seal does. With 4-token segments over 64 buckets ~3/4 of
+// random pairs are rejected by the single AND.
+struct ShortSegments {
+  std::vector<std::vector<uint32_t>> sets;
+  std::vector<uint64_t> bitmaps;
+};
+
+ShortSegments MakeShortSegments(Rng& rng, size_t count, size_t len,
+                                uint32_t domain) {
+  ShortSegments s;
+  const uint32_t shift = BitmapShiftForSpan(domain);
+  for (size_t i = 0; i < count; ++i) {
+    std::vector<uint32_t> v = RandomSortedSet(rng, len, domain);
+    s.bitmaps.push_back(TokenBitmap(v.data(), v.size(), 0, shift));
+    s.sets.push_back(std::move(v));
+  }
+  return s;
+}
+
+void BM_OverlapShortScalar(benchmark::State& state) {
+  Rng rng(42);
+  ShortSegments s = MakeShortSegments(rng, 1024, state.range(0), 1024);
+  size_t i = 0, j = 1;
+  for (auto _ : state) {
+    const auto& a = s.sets[i];
+    const auto& b = s.sets[j];
+    benchmark::DoNotOptimize(
+        LinearOverlap(a.data(), a.size(), b.data(), b.size()));
+    i = (i + 1) & 1023;
+    j = (j + 7) & 1023;
+  }
+}
+BENCHMARK(BM_OverlapShortScalar)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_OverlapShortGalloping(benchmark::State& state) {
+  Rng rng(42);
+  ShortSegments s = MakeShortSegments(rng, 1024, state.range(0), 1024);
+  size_t i = 0, j = 1;
+  for (auto _ : state) {
+    const auto& a = s.sets[i];
+    const auto& b = s.sets[j];
+    benchmark::DoNotOptimize(
+        GallopingOverlap(a.data(), a.size(), b.data(), b.size()));
+    i = (i + 1) & 1023;
+    j = (j + 7) & 1023;
+  }
+}
+BENCHMARK(BM_OverlapShortGalloping)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_OverlapShortPacked(benchmark::State& state) {
+  Rng rng(42);
+  ShortSegments s = MakeShortSegments(rng, 1024, state.range(0), 1024);
+  size_t i = 0, j = 1;
+  for (auto _ : state) {
+    const auto& a = s.sets[i];
+    const auto& b = s.sets[j];
+    benchmark::DoNotOptimize(PackedOverlap(a.data(), a.size(), s.bitmaps[i],
+                                           b.data(), b.size(), s.bitmaps[j]));
+    i = (i + 1) & 1023;
+    j = (j + 7) & 1023;
+  }
+}
+BENCHMARK(BM_OverlapShortPacked)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_FragmentJoinMorsel(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<SegmentRecord> fragment;
+  for (uint32_t i = 0; i < static_cast<uint32_t>(state.range(0)); ++i) {
+    SegmentRecord seg;
+    seg.rid = i;
+    seg.tokens = RandomSortedSet(rng, 12, 4096);
+    seg.head = 30;
+    seg.record_size = 30 + static_cast<uint32_t>(seg.tokens.size()) + 30;
+    fragment.push_back(std::move(seg));
+  }
+  ThreadPool pool(static_cast<size_t>(state.range(1)));
+  FragmentJoinOptions opts;
+  opts.theta = 0.8;
+  opts.morsel_pool = &pool;
+  opts.morsel_size = 64;
+  for (auto _ : state) {
+    std::vector<PartialOverlap> out;
+    FilterCounters counters;
+    JoinFragment(fragment, opts, &out, &counters);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_FragmentJoinMorsel)
+    ->Args({1000, 0})   // inline morsels (scheduling overhead floor)
+    ->Args({1000, 4})
+    ->Args({1000, 8});
+
 void BM_CorpusGeneration(benchmark::State& state) {
   for (auto _ : state) {
     SyntheticCorpusConfig cfg = WikiLikeConfig(0.02);
@@ -178,7 +284,156 @@ void BM_CorpusGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_CorpusGeneration);
 
+// ---- --json mode: focused kernel comparison -------------------------------
+
+// Sum of pairwise overlaps over a fixed pair schedule — identical work for
+// every kernel, and the checksum doubles as an equality check between them.
+template <typename OverlapFn>
+uint64_t SweepPairs(const ShortSegments& s, size_t pairs, OverlapFn&& fn) {
+  uint64_t sum = 0;
+  const size_t n = s.sets.size();
+  size_t i = 0, j = 1;
+  for (size_t p = 0; p < pairs; ++p) {
+    sum += fn(i, j);
+    i = i + 1 == n ? 0 : i + 1;
+    j = j + 7 >= n ? (j + 7) - n : j + 7;
+  }
+  return sum;
+}
+
+// Skewed fragment set: one oversized fragment plus a tail of small ones —
+// the shape that stalls a reduce wave without morsel parallelism.
+std::vector<std::vector<SegmentRecord>> MakeSkewedFragments(Rng& rng) {
+  std::vector<std::vector<SegmentRecord>> fragments;
+  auto make_fragment = [&rng](uint32_t n) {
+    std::vector<SegmentRecord> fragment;
+    for (uint32_t i = 0; i < n; ++i) {
+      SegmentRecord seg;
+      seg.rid = i;
+      seg.tokens = RandomSortedSet(rng, 12, 4096);
+      seg.head = 30;
+      seg.record_size = 30 + static_cast<uint32_t>(seg.tokens.size()) + 30;
+      fragment.push_back(std::move(seg));
+    }
+    return fragment;
+  };
+  fragments.push_back(make_fragment(2600));  // the straggler
+  for (int f = 0; f < 20; ++f) fragments.push_back(make_fragment(50));
+  return fragments;
+}
+
 }  // namespace
+
+int RunKernelComparison(int argc, char** argv) {
+  bench::BenchOptions options = bench::ParseBenchOptions("kernels", argc, argv);
+  std::vector<bench::BenchRecord> records;
+
+  // 1) Overlap kernels on short segments (4 tokens, 1024-rank fragment).
+  Rng rng(42);
+  const ShortSegments s = MakeShortSegments(rng, 4096, 4, 1024);
+  const size_t kPairs = 2'000'000;
+  uint64_t check_scalar = 0, check_gallop = 0, check_packed = 0;
+  const double scalar_us = bench::MinWallMicros(options, [&] {
+    check_scalar = SweepPairs(s, kPairs, [&s](size_t i, size_t j) {
+      return LinearOverlap(s.sets[i].data(), s.sets[i].size(),
+                           s.sets[j].data(), s.sets[j].size());
+    });
+  });
+  const double gallop_us = bench::MinWallMicros(options, [&] {
+    check_gallop = SweepPairs(s, kPairs, [&s](size_t i, size_t j) {
+      return GallopingOverlap(s.sets[i].data(), s.sets[i].size(),
+                              s.sets[j].data(), s.sets[j].size());
+    });
+  });
+  const double packed_us = bench::MinWallMicros(options, [&] {
+    check_packed = SweepPairs(s, kPairs, [&s](size_t i, size_t j) {
+      return PackedOverlap(s.sets[i].data(), s.sets[i].size(), s.bitmaps[i],
+                           s.sets[j].data(), s.sets[j].size(), s.bitmaps[j]);
+    });
+  });
+  if (check_scalar != check_gallop || check_scalar != check_packed) {
+    std::fprintf(stderr, "kernel mismatch: scalar=%llu gallop=%llu packed=%llu\n",
+                 static_cast<unsigned long long>(check_scalar),
+                 static_cast<unsigned long long>(check_gallop),
+                 static_cast<unsigned long long>(check_packed));
+    return 1;
+  }
+  records.push_back({"overlap_short/scalar", scalar_us});
+  records.push_back({"overlap_short/galloping", gallop_us});
+  records.push_back({"overlap_short/packed", packed_us});
+  std::printf("overlap_short (4-token segments, %zu pairs):\n", kPairs);
+  std::printf("  scalar    %10.0f us\n", scalar_us);
+  std::printf("  galloping %10.0f us\n", gallop_us);
+  std::printf("  packed    %10.0f us  (%.2fx vs galloping)\n", packed_us,
+              gallop_us / packed_us);
+
+  // 2) JoinFragment aggregate, serial vs morsel-parallel on 8 threads.
+  Rng frag_rng(6);
+  const std::vector<std::vector<SegmentRecord>> fragments =
+      MakeSkewedFragments(frag_rng);
+  FragmentJoinOptions serial_opts;
+  serial_opts.theta = 0.8;
+  uint64_t serial_emitted = 0, parallel_emitted = 0;
+  const double serial_us = bench::MinWallMicros(options, [&] {
+    serial_emitted = 0;
+    for (const auto& fragment : fragments) {
+      std::vector<PartialOverlap> out;
+      FilterCounters counters;
+      JoinFragment(fragment, serial_opts, &out, &counters);
+      serial_emitted += counters.emitted;
+    }
+  });
+  ThreadPool pool(8);
+  FragmentJoinOptions morsel_opts = serial_opts;
+  morsel_opts.morsel_pool = &pool;
+  morsel_opts.morsel_size = 64;
+  const double parallel_us = bench::MinWallMicros(options, [&] {
+    parallel_emitted = 0;
+    for (const auto& fragment : fragments) {
+      std::vector<PartialOverlap> out;
+      FilterCounters counters;
+      JoinFragment(fragment, morsel_opts, &out, &counters);
+      parallel_emitted += counters.emitted;
+    }
+  });
+  if (serial_emitted != parallel_emitted) {
+    std::fprintf(stderr, "fragment join mismatch: serial=%llu parallel=%llu\n",
+                 static_cast<unsigned long long>(serial_emitted),
+                 static_cast<unsigned long long>(parallel_emitted));
+    return 1;
+  }
+  records.push_back({"fragment_join/serial", serial_us});
+  records.push_back({"fragment_join/morsel_8t", parallel_us});
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("fragment_join (skewed fragments, prefix method, %u cores):\n",
+              cores);
+  std::printf("  serial    %10.0f us\n", serial_us);
+  std::printf("  morsel 8t %10.0f us  (%.2fx speedup)\n", parallel_us,
+              serial_us / parallel_us);
+  if (cores < 8) {
+    std::printf(
+        "  note: only %u hardware threads available; the 8-thread speedup "
+        "is bounded by the machine, not the morsel path.\n",
+        cores);
+  }
+
+  bench::WriteBenchJson(options, "kernels", records);
+  return 0;
+}
+
 }  // namespace fsjoin
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg.rfind("--json", 0) == 0 || arg.rfind("--warmup", 0) == 0 ||
+        arg.rfind("--repeat", 0) == 0) {
+      return fsjoin::RunKernelComparison(argc, argv);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

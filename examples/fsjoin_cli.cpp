@@ -15,6 +15,9 @@
 //                       may miss borderline pairs)
 //   --backend NAME      mr | flow (execution backend)         [mr]
 //   --threads N         engine worker threads                 [0 = inline]
+//   --parallel-join     morsel-parallel fragment joins (same results,
+//                       work-stealing over --threads workers)
+//   --morsel N          probe segments per morsel             [64]
 //   --output PATH       write "idA idB similarity" lines      [stdout]
 //   --report            print the execution report to stderr
 
@@ -43,6 +46,8 @@ struct CliOptions {
   uint32_t fragments = 30;
   uint32_t horizontal = 0;
   size_t threads = 0;
+  size_t morsel = 64;
+  bool parallel_join = false;
   bool aggressive = false;
   bool report = false;
 };
@@ -54,6 +59,7 @@ int Usage(const char* argv0) {
                "word|whitespace|qgramN] [--fragments N] [--horizontal N] "
                "[--method loop|index|prefix] [--aggressive] "
                "[--backend mr|flow] [--threads N] "
+               "[--parallel-join] [--morsel N] "
                "[--output FILE] [--report]\n",
                argv0);
   return 2;
@@ -130,6 +136,12 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Usage(argv[0]);
       opts.threads = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--parallel-join") {
+      opts.parallel_join = true;
+    } else if (arg == "--morsel") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      opts.morsel = static_cast<size_t>(std::atoi(v));
     } else if (arg == "--aggressive") {
       opts.aggressive = true;
     } else if (arg == "--report") {
@@ -166,6 +178,8 @@ int main(int argc, char** argv) {
   config.num_vertical_partitions = opts.fragments;
   config.num_horizontal_partitions = opts.horizontal;
   config.exec.num_threads = opts.threads;
+  config.exec.parallel_fragment_join = opts.parallel_join;
+  config.exec.join_morsel_size = opts.morsel;
   {
     auto backend = fsjoin::exec::BackendKindFromName(opts.backend);
     if (!backend.ok()) {

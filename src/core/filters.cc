@@ -19,17 +19,17 @@ bool StrLengthPrunes(SimilarityFunction fn, double theta, uint32_t size_a,
 }
 
 bool SegmentLengthPrunes(SimilarityFunction fn, double theta,
-                         const SegmentRecord& a, const SegmentRecord& b) {
+                         const SegmentView& a, const SegmentView& b) {
   const uint64_t required = MinOverlap(fn, theta, a.record_size, b.record_size);
   const uint64_t best_head = std::min(a.head, b.head);
   const uint64_t best_tail = std::min(a.Tail(), b.Tail());
-  const uint64_t best_seg = std::min(a.tokens.size(), b.tokens.size());
+  const uint64_t best_seg = std::min(a.num_tokens, b.num_tokens);
   // Even the most optimistic overlap decomposition cannot reach `required`.
   return best_head + best_seg + best_tail < required;
 }
 
 bool SegmentIntersectionPrunes(SimilarityFunction fn, double theta,
-                               const SegmentRecord& a, const SegmentRecord& b,
+                               const SegmentView& a, const SegmentView& b,
                                uint64_t seg_overlap) {
   const uint64_t required = MinOverlap(fn, theta, a.record_size, b.record_size);
   const uint64_t best_head = std::min(a.head, b.head);
@@ -38,7 +38,7 @@ bool SegmentIntersectionPrunes(SimilarityFunction fn, double theta,
 }
 
 bool SegmentDifferencePrunes(SimilarityFunction fn, double theta,
-                             const SegmentRecord& a, const SegmentRecord& b,
+                             const SegmentView& a, const SegmentView& b,
                              uint64_t seg_overlap) {
   const uint64_t required = MinOverlap(fn, theta, a.record_size, b.record_size);
   const uint64_t total = static_cast<uint64_t>(a.record_size) + b.record_size;
@@ -46,26 +46,26 @@ bool SegmentDifferencePrunes(SimilarityFunction fn, double theta,
   const uint64_t max_sym_diff =
       total >= 2 * required ? total - 2 * required : 0;
   const uint64_t seg_diff =
-      a.tokens.size() + b.tokens.size() - 2 * seg_overlap;
+      static_cast<uint64_t>(a.num_tokens) + b.num_tokens - 2 * seg_overlap;
   const uint64_t min_head_diff = AbsDiff(a.head, b.head);
   const uint64_t min_tail_diff = AbsDiff(a.Tail(), b.Tail());
   return seg_diff + min_head_diff + min_tail_diff > max_sym_diff;
 }
 
 uint64_t SegmentMinLocalOverlap(SimilarityFunction fn, double theta,
-                                const SegmentRecord& a) {
+                                const SegmentView& a) {
   const uint64_t outside = static_cast<uint64_t>(a.record_size) -
-                           a.tokens.size();  // head + tail
+                           a.num_tokens;  // head + tail
   const uint64_t required = MinOverlapSelf(fn, theta, a.record_size);
   const uint64_t local = required > outside ? required - outside : 0;
   return std::max<uint64_t>(local, 1);
 }
 
 uint64_t SegmentPrefixLength(SimilarityFunction fn, double theta,
-                             const SegmentRecord& a) {
+                             const SegmentView& a) {
   const uint64_t o = SegmentMinLocalOverlap(fn, theta, a);
-  if (o > a.tokens.size()) return 0;
-  return a.tokens.size() - o + 1;
+  if (o > a.num_tokens) return 0;
+  return a.num_tokens - o + 1;
 }
 
 }  // namespace fsjoin

@@ -15,7 +15,10 @@ namespace fsjoin {
 /// individually sufficient for sim < θ, which makes local pruning sound
 /// (see DESIGN.md "Per-fragment filter soundness").
 ///
-/// All functions return true when the pair can be *pruned*.
+/// All functions return true when the pair can be *pruned*. The primary
+/// forms take SegmentView (what the columnar join kernels hold); the
+/// SegmentRecord overloads are convenience wrappers for row-oriented
+/// callers and tests.
 
 /// Lemma 1 (StrL-Filter): prune when the shorter record is too short to
 /// reach θ with the longer one.
@@ -26,20 +29,20 @@ bool StrLengthPrunes(SimilarityFunction fn, double theta, uint32_t size_a,
 /// segment, plus the best-case head/tail overlaps, stays below the required
 /// minimum overlap.
 bool SegmentLengthPrunes(SimilarityFunction fn, double theta,
-                         const SegmentRecord& a, const SegmentRecord& b);
+                         const SegmentView& a, const SegmentView& b);
 
 /// Lemma 3 (SegI-Filter): as Lemma 2, but with the *actual* segment overlap
 /// `seg_overlap` (strictly stronger; applied after the intersection is
 /// computed).
 bool SegmentIntersectionPrunes(SimilarityFunction fn, double theta,
-                               const SegmentRecord& a, const SegmentRecord& b,
+                               const SegmentView& a, const SegmentView& b,
                                uint64_t seg_overlap);
 
 /// Lemma 4 (SegD-Filter): prune when the segment symmetric difference,
 /// plus the unavoidable head/tail differences, already exceeds the largest
 /// symmetric difference a θ-similar pair may have.
 bool SegmentDifferencePrunes(SimilarityFunction fn, double theta,
-                             const SegmentRecord& a, const SegmentRecord& b,
+                             const SegmentView& a, const SegmentView& b,
                              uint64_t seg_overlap);
 
 /// Minimum overlap this fragment must contribute for record `a` to be part
@@ -47,12 +50,45 @@ bool SegmentDifferencePrunes(SimilarityFunction fn, double theta,
 /// Drives the per-segment prefix length of the Prefix Join (§V-A "Prefix
 /// Based Index Join"); see DESIGN.md "Prefix Join exactness".
 uint64_t SegmentMinLocalOverlap(SimilarityFunction fn, double theta,
-                                const SegmentRecord& a);
+                                const SegmentView& a);
 
 /// Per-segment prefix length: |segment| − SegmentMinLocalOverlap + 1,
 /// clamped to [0, |segment|].
 uint64_t SegmentPrefixLength(SimilarityFunction fn, double theta,
-                             const SegmentRecord& a);
+                             const SegmentView& a);
+
+// ---- SegmentRecord wrappers ----------------------------------------------
+
+inline bool SegmentLengthPrunes(SimilarityFunction fn, double theta,
+                                const SegmentRecord& a,
+                                const SegmentRecord& b) {
+  return SegmentLengthPrunes(fn, theta, ViewOf(a), ViewOf(b));
+}
+
+inline bool SegmentIntersectionPrunes(SimilarityFunction fn, double theta,
+                                      const SegmentRecord& a,
+                                      const SegmentRecord& b,
+                                      uint64_t seg_overlap) {
+  return SegmentIntersectionPrunes(fn, theta, ViewOf(a), ViewOf(b),
+                                   seg_overlap);
+}
+
+inline bool SegmentDifferencePrunes(SimilarityFunction fn, double theta,
+                                    const SegmentRecord& a,
+                                    const SegmentRecord& b,
+                                    uint64_t seg_overlap) {
+  return SegmentDifferencePrunes(fn, theta, ViewOf(a), ViewOf(b), seg_overlap);
+}
+
+inline uint64_t SegmentMinLocalOverlap(SimilarityFunction fn, double theta,
+                                       const SegmentRecord& a) {
+  return SegmentMinLocalOverlap(fn, theta, ViewOf(a));
+}
+
+inline uint64_t SegmentPrefixLength(SimilarityFunction fn, double theta,
+                                    const SegmentRecord& a) {
+  return SegmentPrefixLength(fn, theta, ViewOf(a));
+}
 
 }  // namespace fsjoin
 

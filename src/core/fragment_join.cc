@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
+#include <utility>
 
 #include "core/filters.h"
 #include "sim/set_ops.h"
+#include "util/logging.h"
 
 namespace fsjoin {
 
@@ -22,12 +26,30 @@ void FilterCounters::Add(const FilterCounters& other) {
 
 namespace {
 
+/// |x ∩ y| for two batch rows. Short segments go through the word-packed
+/// bucket-bitmap reject first: one AND decides "provably disjoint" and
+/// skips the merge entirely (the empty_overlap case, which dominates sparse
+/// fragments). Longer segments saturate the 64-bit summary, so the gate is
+/// skipped and the size-skew-dispatching merge runs directly.
+inline uint64_t BatchOverlap(const SegmentBatch& batch, uint32_t i,
+                             uint32_t j) {
+  const uint32_t li = batch.length(i);
+  const uint32_t lj = batch.length(j);
+  if (std::min(li, lj) <= kPackedMaxTokens &&
+      (batch.bitmap(i) & batch.bitmap(j)) == 0) {
+    return 0;
+  }
+  return SortedOverlap(batch.tokens(i), li, batch.tokens(j), lj);
+}
+
 /// Runs the shared filter pipeline on one candidate segment pair and emits
 /// its partial overlap when it survives.
-void ProcessPair(const SegmentRecord& x, const SegmentRecord& y,
+void ProcessPair(const SegmentBatch& batch, uint32_t i, uint32_t j,
                  const FragmentJoinOptions& opts,
                  std::vector<PartialOverlap>* out, FilterCounters* counters) {
   ++counters->pairs_considered;
+  const SegmentView x = batch.View(i);
+  const SegmentView y = batch.View(j);
   if (opts.pair_allowed && !opts.pair_allowed(x, y)) {
     ++counters->pruned_role;
     return;
@@ -43,7 +65,7 @@ void ProcessPair(const SegmentRecord& x, const SegmentRecord& y,
     ++counters->pruned_segl;
     return;
   }
-  const uint64_t overlap = SortedOverlap(x.tokens, y.tokens);
+  const uint64_t overlap = BatchOverlap(batch, i, j);
   if (overlap == 0) {
     ++counters->empty_overlap;
     return;
@@ -80,116 +102,239 @@ void ProcessPair(const SegmentRecord& x, const SegmentRecord& y,
   ++counters->emitted;
 }
 
-void LoopJoin(const std::vector<SegmentRecord>& segments,
-              const FragmentJoinOptions& opts,
-              std::vector<PartialOverlap>* out, FilterCounters* counters) {
-  for (size_t i = 0; i < segments.size(); ++i) {
-    for (size_t j = i + 1; j < segments.size(); ++j) {
-      ProcessPair(segments[i], segments[j], opts, out, counters);
+/// Runs probes [0, probes) in morsels of opts.morsel_size on the shared
+/// pool; `fn(begin, end, out, counters)` must append the probe range's
+/// results in serial order. Each morsel writes its own buffers, merged in
+/// morsel-index order afterwards, so the concatenation equals the serial
+/// probe order and the counter sums are exact — output and counters are
+/// byte-identical to the serial run regardless of morsel size, thread
+/// count, or scheduling. Falls back to one serial call when morsels are
+/// disabled or the fragment fits in a single morsel.
+template <typename RangeFn>
+void RunMorsels(uint32_t probes, const FragmentJoinOptions& opts,
+                const RangeFn& fn, std::vector<PartialOverlap>* out,
+                FilterCounters* counters) {
+  const size_t morsel = opts.morsel_size;
+  if (opts.morsel_pool == nullptr || morsel == 0 || probes <= morsel) {
+    fn(0, probes, out, counters);
+    return;
+  }
+  const size_t num_morsels = (probes + morsel - 1) / morsel;
+  std::vector<std::vector<PartialOverlap>> morsel_out(num_morsels);
+  std::vector<FilterCounters> morsel_counters(num_morsels);
+  opts.morsel_pool->ParallelFor(
+      num_morsels, 1, [&](size_t begin_m, size_t end_m) {
+        for (size_t m = begin_m; m < end_m; ++m) {
+          const uint32_t begin = static_cast<uint32_t>(m * morsel);
+          const uint32_t end =
+              static_cast<uint32_t>(std::min<size_t>(probes, begin + morsel));
+          fn(begin, end, &morsel_out[m], &morsel_counters[m]);
+        }
+      });
+  size_t total = 0;
+  for (const auto& part : morsel_out) total += part.size();
+  out->reserve(out->size() + total);
+  for (size_t m = 0; m < num_morsels; ++m) {
+    counters->Add(morsel_counters[m]);
+    out->insert(out->end(), morsel_out[m].begin(), morsel_out[m].end());
+  }
+}
+
+void LoopJoinRange(const SegmentBatch& batch, const FragmentJoinOptions& opts,
+                   uint32_t begin, uint32_t end,
+                   std::vector<PartialOverlap>* out,
+                   FilterCounters* counters) {
+  const uint32_t n = batch.size();
+  for (uint32_t i = begin; i < end; ++i) {
+    for (uint32_t j = i + 1; j < n; ++j) {
+      ProcessPair(batch, i, j, opts, out, counters);
     }
   }
 }
 
-/// A posting list whose consumed front is trimmed as the probe size grows
-/// (AllPairs-style index minimization).
-struct PostingList {
-  std::vector<uint32_t> entries;
-  size_t start = 0;
+/// Prefix index over the whole batch, built once up front so probe morsels
+/// are independent. `order` sorts rows by ascending (record_size, rid);
+/// postings hold order *positions*, so each list ascends both in insertion
+/// position and in record size. A probe at position `oi` considers exactly
+/// the postings with position < oi and record_size above its length-filter
+/// bound — the same candidates, in the same order, as the incremental
+/// build-while-probing formulation (whose front-trimming this replaces
+/// with a stateless binary search; sound because the bound is monotone in
+/// the probe's record size).
+struct PrefixIndex {
+  std::vector<uint32_t> order;        ///< batch rows in probe order
+  std::vector<uint32_t> prefix_len;   ///< per order position
+  std::unordered_map<TokenRank, std::vector<uint32_t>> postings;
 };
 
-/// Shared core of the index and prefix joins: indexes the first
-/// `prefix_len(seg)` tokens of each segment and probes with the same
-/// prefix. A pair becomes a candidate when probing hits one of its indexed
-/// tokens; ProcessPair then computes the exact overlap.
-///
-/// Segments are processed in ascending record size so the string length
-/// filter can act at *generation* time: postings whose record is too short
-/// to ever again satisfy Lemma 1 are permanently trimmed off the front of
-/// each list (the probe's lower bound only grows).
 template <typename LenFn>
-void IndexedJoin(const std::vector<SegmentRecord>& segments,
-                 const FragmentJoinOptions& opts, LenFn prefix_len,
-                 std::vector<PartialOverlap>* out, FilterCounters* counters) {
-  std::vector<uint32_t> order(segments.size());
-  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
-    if (segments[a].record_size != segments[b].record_size) {
-      return segments[a].record_size < segments[b].record_size;
-    }
-    return segments[a].rid < segments[b].rid;
-  });
-
-  std::unordered_map<TokenRank, PostingList> index;
-  // Probe-stamp per already-indexed segment to deduplicate candidates.
-  std::vector<uint32_t> last_probe(segments.size(),
-                                   std::numeric_limits<uint32_t>::max());
-  for (uint32_t oi = 0; oi < order.size(); ++oi) {
-    const SegmentRecord& x = segments[order[oi]];
-    const uint64_t px = prefix_len(x);
-    const uint64_t min_partner =
-        opts.use_length_filter
-            ? PartnerSizeLowerBound(opts.function, opts.theta, x.record_size)
-            : 0;
-    for (uint64_t p = 0; p < px; ++p) {
-      auto it = index.find(x.tokens[p]);
-      if (it == index.end()) continue;
-      PostingList& list = it->second;
-      // Trim postings below the length-filter bound; record sizes ascend
-      // along the list, and the bound is monotone in |x|, so the trimmed
-      // front can never match a later probe either.
-      while (list.start < list.entries.size() &&
-             segments[list.entries[list.start]].record_size < min_partner) {
-        ++list.start;
-      }
-      for (size_t e = list.start; e < list.entries.size(); ++e) {
-        const uint32_t j = list.entries[e];
-        if (last_probe[j] == oi) continue;  // already a candidate this probe
-        last_probe[j] = oi;
-        ProcessPair(segments[j], x, opts, out, counters);
-      }
-    }
-    for (uint64_t p = 0; p < px; ++p) {
-      index[x.tokens[p]].entries.push_back(order[oi]);
+PrefixIndex BuildPrefixIndex(const SegmentBatch& batch, LenFn prefix_len) {
+  PrefixIndex index;
+  const uint32_t n = batch.size();
+  index.order.resize(n);
+  for (uint32_t i = 0; i < n; ++i) index.order[i] = i;
+  std::sort(index.order.begin(), index.order.end(),
+            [&](uint32_t a, uint32_t b) {
+              if (batch.record_size(a) != batch.record_size(b)) {
+                return batch.record_size(a) < batch.record_size(b);
+              }
+              return batch.rid(a) < batch.rid(b);
+            });
+  index.prefix_len.resize(n);
+  for (uint32_t oi = 0; oi < n; ++oi) {
+    const uint32_t row = index.order[oi];
+    const uint32_t px = static_cast<uint32_t>(prefix_len(row));
+    index.prefix_len[oi] = px;
+    const TokenRank* tokens = batch.tokens(row);
+    for (uint32_t p = 0; p < px; ++p) {
+      index.postings[tokens[p]].push_back(oi);
     }
   }
+  return index;
+}
+
+/// Per-morsel candidate-dedup scratch: probe-stamp arrays recycled across
+/// morsels. Stamps are order positions, unique per probe within one batch
+/// join, so a recycled array never needs resetting.
+class StampPool {
+ public:
+  explicit StampPool(size_t n) : n_(n) {}
+
+  std::unique_ptr<std::vector<uint32_t>> Acquire() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!free_.empty()) {
+        auto scratch = std::move(free_.back());
+        free_.pop_back();
+        return scratch;
+      }
+    }
+    return std::make_unique<std::vector<uint32_t>>(
+        n_, std::numeric_limits<uint32_t>::max());
+  }
+
+  void Release(std::unique_ptr<std::vector<uint32_t>> scratch) {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(std::move(scratch));
+  }
+
+ private:
+  size_t n_;
+  std::mutex mu_;
+  std::vector<std::unique_ptr<std::vector<uint32_t>>> free_;
+};
+
+void IndexedProbeRange(const SegmentBatch& batch,
+                       const FragmentJoinOptions& opts,
+                       const PrefixIndex& index, uint32_t begin, uint32_t end,
+                       std::vector<uint32_t>* last_probe,
+                       std::vector<PartialOverlap>* out,
+                       FilterCounters* counters) {
+  for (uint32_t oi = begin; oi < end; ++oi) {
+    const uint32_t xi = index.order[oi];
+    const uint32_t px = index.prefix_len[oi];
+    const uint64_t min_partner =
+        opts.use_length_filter
+            ? PartnerSizeLowerBound(opts.function, opts.theta,
+                                    batch.record_size(xi))
+            : 0;
+    const TokenRank* tokens = batch.tokens(xi);
+    for (uint32_t p = 0; p < px; ++p) {
+      auto it = index.postings.find(tokens[p]);
+      if (it == index.postings.end()) continue;
+      const std::vector<uint32_t>& list = it->second;
+      // Candidates: postings inserted before this probe whose record size
+      // passes the length-filter bound. Record sizes ascend along the list,
+      // so both bounds are binary searches.
+      auto first = list.begin();
+      if (min_partner > 0) {
+        first = std::lower_bound(
+            list.begin(), list.end(), min_partner,
+            [&](uint32_t e, uint64_t bound) {
+              return batch.record_size(index.order[e]) < bound;
+            });
+      }
+      auto last = std::lower_bound(first, list.end(), oi);
+      for (auto e = first; e != last; ++e) {
+        const uint32_t j = index.order[*e];
+        if ((*last_probe)[j] == oi) continue;  // already a candidate
+        (*last_probe)[j] = oi;
+        ProcessPair(batch, j, xi, opts, out, counters);
+      }
+    }
+  }
+}
+
+template <typename LenFn>
+void IndexedJoin(const SegmentBatch& batch, const FragmentJoinOptions& opts,
+                 LenFn prefix_len, std::vector<PartialOverlap>* out,
+                 FilterCounters* counters) {
+  const PrefixIndex index = BuildPrefixIndex(batch, prefix_len);
+  StampPool stamps(batch.size());
+  RunMorsels(
+      batch.size(), opts,
+      [&](uint32_t begin, uint32_t end, std::vector<PartialOverlap>* range_out,
+          FilterCounters* range_counters) {
+        auto scratch = stamps.Acquire();
+        IndexedProbeRange(batch, opts, index, begin, end, scratch.get(),
+                          range_out, range_counters);
+        stamps.Release(std::move(scratch));
+      },
+      out, counters);
 }
 
 }  // namespace
 
-void JoinFragment(const std::vector<SegmentRecord>& segments,
-                  const FragmentJoinOptions& opts,
-                  std::vector<PartialOverlap>* out, FilterCounters* counters) {
+void JoinFragmentBatch(const SegmentBatch& batch,
+                       const FragmentJoinOptions& opts,
+                       std::vector<PartialOverlap>* out,
+                       FilterCounters* counters) {
+  if (batch.empty()) return;
+  FSJOIN_CHECK(batch.sealed());  // bitmaps back the empty-overlap reject
   switch (opts.method) {
     case JoinMethod::kLoop:
-      LoopJoin(segments, opts, out, counters);
+      RunMorsels(
+          batch.size(), opts,
+          [&](uint32_t begin, uint32_t end,
+              std::vector<PartialOverlap>* range_out,
+              FilterCounters* range_counters) {
+            LoopJoinRange(batch, opts, begin, end, range_out, range_counters);
+          },
+          out, counters);
       return;
     case JoinMethod::kIndex:
       IndexedJoin(
-          segments, opts,
-          [](const SegmentRecord& s) { return s.tokens.size(); }, out,
-          counters);
+          batch, opts, [&batch](uint32_t row) { return batch.length(row); },
+          out, counters);
       return;
     case JoinMethod::kPrefix:
       if (opts.aggressive_segment_prefix) {
         // Paper §V-A: each segment filtered like an independent mini-join
         // at threshold θ. Fast but can drop partial counts (see header).
         IndexedJoin(
-            segments, opts,
-            [&opts](const SegmentRecord& s) {
+            batch, opts,
+            [&](uint32_t row) {
               return PrefixLength(opts.function, opts.theta,
-                                  s.tokens.size());
+                                  batch.length(row));
             },
             out, counters);
       } else {
         IndexedJoin(
-            segments, opts,
-            [&opts](const SegmentRecord& s) {
-              return SegmentPrefixLength(opts.function, opts.theta, s);
+            batch, opts,
+            [&](uint32_t row) {
+              return SegmentPrefixLength(opts.function, opts.theta,
+                                         batch.View(row));
             },
             out, counters);
       }
       return;
   }
+}
+
+void JoinFragment(const std::vector<SegmentRecord>& segments,
+                  const FragmentJoinOptions& opts,
+                  std::vector<PartialOverlap>* out, FilterCounters* counters) {
+  JoinFragmentBatch(SegmentBatch::FromRecords(segments), opts, out, counters);
 }
 
 }  // namespace fsjoin

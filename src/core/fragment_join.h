@@ -1,16 +1,21 @@
 #ifndef FSJOIN_CORE_FRAGMENT_JOIN_H_
 #define FSJOIN_CORE_FRAGMENT_JOIN_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <vector>
 
 #include "core/fsjoin_config.h"
 #include "core/segments.h"
+#include "util/thread_pool.h"
 
 namespace fsjoin {
 
 /// Pruning statistics from fragment joins — the raw data behind Table IV.
+/// Every counter is a plain sum, so Add is associative and commutative:
+/// counters merged over any morsel split of a fragment equal the serial
+/// counters exactly (tested in fragment_join_test).
 struct FilterCounters {
   uint64_t pairs_considered = 0;  ///< candidate segment pairs examined
   uint64_t pruned_role = 0;       ///< rejected by band/R-S pairing rules
@@ -47,12 +52,33 @@ struct FragmentJoinOptions {
   bool use_segment_difference_filter = true;
   /// Optional structural pairing rule (horizontal band role, R-S sides).
   /// When set, pairs for which it returns false are never joined.
-  std::function<bool(const SegmentRecord&, const SegmentRecord&)> pair_allowed;
+  std::function<bool(const SegmentView&, const SegmentView&)> pair_allowed;
+
+  /// Morsel-parallel execution (exec::ExecConfig::parallel_fragment_join):
+  /// when `morsel_pool` is set and `morsel_size` > 0, the probe loop is cut
+  /// into morsels of `morsel_size` probe segments scheduled onto the pool.
+  /// Each morsel appends to its own output/counter buffers, merged in
+  /// morsel-index order, so results and counters are byte-identical to the
+  /// serial run for every morsel size and thread count. Defaults preserve
+  /// the serial path. The pool is shared across concurrent fragment joins
+  /// (work-stealing across fragments *and* morsels); not owned.
+  ThreadPool* morsel_pool = nullptr;
+  size_t morsel_size = 0;  ///< probe segments per morsel; 0 = serial
 };
 
-/// Joins all segment pairs of one fragment (the reducer body of the
-/// filtering job, §V-A "Join Algorithms"), appending surviving partial
-/// overlaps to *out and pruning statistics to *counters.
+/// Joins all segment pairs of one fragment over columnar storage (the
+/// reducer body of the filtering job, §V-A "Join Algorithms"), appending
+/// surviving partial overlaps to *out and pruning statistics to *counters.
+/// The batch must be sealed. Output order is deterministic and independent
+/// of morsel size and thread count.
+void JoinFragmentBatch(const SegmentBatch& batch,
+                       const FragmentJoinOptions& options,
+                       std::vector<PartialOverlap>* out,
+                       FilterCounters* counters);
+
+/// Row-oriented adapter over JoinFragmentBatch: builds the columnar batch
+/// from `segments` and joins it. Semantics (results, order, counters) are
+/// identical to joining the rows directly.
 void JoinFragment(const std::vector<SegmentRecord>& segments,
                   const FragmentJoinOptions& options,
                   std::vector<PartialOverlap>* out, FilterCounters* counters);

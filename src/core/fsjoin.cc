@@ -81,6 +81,13 @@ Result<FsJoinOutput> FsJoin::Run(const Corpus& corpus) const {
   auto filtering_ctx = std::make_shared<FilteringContext>();
   filtering_ctx->config = config_;
   filtering_ctx->order = shared_order;
+  if (config_.exec.parallel_fragment_join) {
+    // One pool for the whole run: morsels steal work across fragments, so
+    // a skewed fragment is consumed by every worker. With num_threads == 0
+    // ParallelFor runs inline (deterministic-debug mode).
+    filtering_ctx->join_pool =
+        std::make_unique<ThreadPool>(config_.exec.num_threads);
+  }
   filtering_ctx->pivots =
       SelectPivots(*shared_order, config_.pivot_strategy,
                    config_.num_vertical_partitions > 0

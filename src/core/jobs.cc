@@ -104,13 +104,14 @@ class FilteringReducer : public mr::Reducer {
     FSJOIN_RETURN_NOT_OK(key_dec.GetFixed32BE(&group));
     FSJOIN_RETURN_NOT_OK(key_dec.GetFixed32BE(&fragment));
 
-    std::vector<SegmentRecord> segments;
-    segments.reserve(values.size());
+    // Columnar build: shuffle values decode straight into one flat token
+    // arena — no per-segment token vector is ever allocated.
+    SegmentBatch batch;
+    batch.Reserve(values.size(), 0);
     for (std::string_view v : values) {
-      SegmentRecord seg;
-      FSJOIN_RETURN_NOT_OK(DecodeSegment(v, &seg));
-      segments.push_back(std::move(seg));
+      FSJOIN_RETURN_NOT_OK(batch.AppendEncoded(v));
     }
+    batch.Seal();
 
     FragmentJoinOptions opts;
     const FsJoinConfig& cfg = ctx_->config;
@@ -126,7 +127,7 @@ class FilteringReducer : public mr::Reducer {
     const HorizontalScheme* horizontal = &ctx_->horizontal;
     const std::optional<RecordId> rs_boundary = cfg.rs_boundary;
     opts.pair_allowed = [group, horizontal, rs_boundary](
-                            const SegmentRecord& a, const SegmentRecord& b) {
+                            const SegmentView& a, const SegmentView& b) {
       if (a.rid == b.rid) return false;
       if (rs_boundary.has_value() &&
           (a.rid < *rs_boundary) == (b.rid < *rs_boundary)) {
@@ -135,10 +136,14 @@ class FilteringReducer : public mr::Reducer {
       return horizontal->ShouldJoinInGroup(group, a.record_size,
                                            b.record_size);
     };
+    if (ctx_->join_pool != nullptr && cfg.exec.parallel_fragment_join) {
+      opts.morsel_pool = ctx_->join_pool.get();
+      opts.morsel_size = cfg.exec.join_morsel_size;
+    }
 
     std::vector<PartialOverlap> partials;
     FilterCounters counters;
-    JoinFragment(segments, opts, &partials, &counters);
+    JoinFragmentBatch(batch, opts, &partials, &counters);
     {
       std::lock_guard<std::mutex> lock(ctx_->mu);
       ctx_->totals.Add(counters);

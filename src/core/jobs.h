@@ -15,6 +15,7 @@
 #include "sim/join_result.h"
 #include "text/corpus.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace fsjoin {
 
@@ -54,6 +55,12 @@ struct FilteringContext {
   std::shared_ptr<const GlobalOrder> order;
   std::vector<TokenRank> pivots;
   HorizontalScheme horizontal;
+
+  /// Morsel pool for parallel fragment joins, shared by every filtering
+  /// reducer of the run so morsels steal work across fragments (created by
+  /// the driver when config.exec.parallel_fragment_join is set; null =
+  /// serial joins).
+  std::unique_ptr<ThreadPool> join_pool;
 
   std::mutex mu;
   FilterCounters totals;

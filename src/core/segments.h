@@ -1,6 +1,7 @@
 #ifndef FSJOIN_CORE_SEGMENTS_H_
 #define FSJOIN_CORE_SEGMENTS_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -24,6 +25,93 @@ struct SegmentRecord {
   uint32_t Tail() const {
     return record_size - head - static_cast<uint32_t>(tokens.size());
   }
+};
+
+/// Non-owning view of one segment — the common currency of the filters and
+/// join kernels, cheap enough to build per candidate pair. Backed either by
+/// a SegmentRecord or by one row of a SegmentBatch.
+struct SegmentView {
+  RecordId rid = 0;
+  uint32_t record_size = 0;   ///< |s|
+  uint32_t head = 0;          ///< |s^h|
+  const TokenRank* tokens = nullptr;
+  uint32_t num_tokens = 0;
+
+  /// |s^e| = |s| - |s^h| - |segment|.
+  uint32_t Tail() const { return record_size - head - num_tokens; }
+};
+
+inline SegmentView ViewOf(const SegmentRecord& record) {
+  return SegmentView{record.rid, record.record_size, record.head,
+                     record.tokens.data(),
+                     static_cast<uint32_t>(record.tokens.size())};
+}
+
+/// Columnar storage for all segments of one fragment: a single flat token
+/// arena plus per-segment offset/rid/size/head columns. Built once per
+/// fragment from the shuffled rows, then joined in place — the join kernels
+/// index rows instead of chasing one heap-allocated token vector per
+/// segment (see DESIGN.md §5d).
+///
+/// Seal() finalizes the batch and precomputes a 64-bit word-packed bucket
+/// bitmap per segment (sim/set_ops.h) under a fragment-local (base, shift)
+/// mapping, enabling the one-AND empty-overlap reject in the join kernels.
+class SegmentBatch {
+ public:
+  SegmentBatch() { offsets_.push_back(0); }
+
+  /// Pre-sizes the columns (`num_tokens` counts tokens across segments).
+  void Reserve(size_t num_segments, size_t num_tokens);
+
+  /// Appends one segment; `tokens` must be sorted ascending.
+  void Append(RecordId rid, uint32_t record_size, uint32_t head,
+              const TokenRank* tokens, size_t num_tokens);
+  void Append(const SegmentRecord& record);
+
+  /// Decodes an EncodeSegment payload straight into the arena — the
+  /// shuffle-value fast path with no per-segment token vector.
+  Status AppendEncoded(std::string_view data);
+
+  /// Finalizes the batch: computes the per-segment bucket bitmaps. Must be
+  /// called before joining; appending afterwards unseals the batch.
+  void Seal();
+  bool sealed() const { return sealed_; }
+
+  uint32_t size() const { return static_cast<uint32_t>(rids_.size()); }
+  bool empty() const { return rids_.empty(); }
+  size_t total_tokens() const { return arena_.size(); }
+
+  RecordId rid(uint32_t i) const { return rids_[i]; }
+  uint32_t record_size(uint32_t i) const { return record_sizes_[i]; }
+  uint32_t head(uint32_t i) const { return heads_[i]; }
+  uint32_t length(uint32_t i) const {
+    return static_cast<uint32_t>(offsets_[i + 1] - offsets_[i]);
+  }
+  uint32_t Tail(uint32_t i) const {
+    return record_sizes_[i] - heads_[i] - length(i);
+  }
+  const TokenRank* tokens(uint32_t i) const {
+    return arena_.data() + offsets_[i];
+  }
+  /// Word-packed bucket bitmap of segment i (valid once sealed).
+  uint64_t bitmap(uint32_t i) const { return bitmaps_[i]; }
+
+  SegmentView View(uint32_t i) const {
+    return SegmentView{rids_[i], record_sizes_[i], heads_[i], tokens(i),
+                       length(i)};
+  }
+
+  /// Builds and seals a batch from row-oriented segments.
+  static SegmentBatch FromRecords(const std::vector<SegmentRecord>& records);
+
+ private:
+  std::vector<TokenRank> arena_;  ///< all segment tokens, back to back
+  std::vector<uint64_t> offsets_;  ///< arena offsets, size() + 1 entries
+  std::vector<RecordId> rids_;
+  std::vector<uint32_t> record_sizes_;
+  std::vector<uint32_t> heads_;
+  std::vector<uint64_t> bitmaps_;  ///< filled by Seal()
+  bool sealed_ = false;
 };
 
 /// A record's split into segments: segment `v` spans ranks

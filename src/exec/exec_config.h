@@ -35,6 +35,20 @@ struct ExecConfig {
   /// Worker threads for the in-process engines (0 = run inline).
   size_t num_threads = 0;
 
+  /// Morsel-parallel fragment joins (the filtering phase's reducer body):
+  /// when true, every fragment's probe loop is cut into morsels scheduled
+  /// onto a work-stealing pool of `num_threads` workers shared across
+  /// fragments, so one oversized fragment is consumed by many threads
+  /// instead of stalling a reduce wave. Results, counters and metrics are
+  /// byte-identical to the serial run (morsel outputs merge in
+  /// deterministic order). false preserves the seed behavior exactly.
+  bool parallel_fragment_join = false;
+  /// Probe segments per morsel when parallel_fragment_join is on. 0 falls
+  /// back to serial execution even when the flag is set. 64 balances
+  /// scheduling overhead against steal granularity on skewed fragments
+  /// (measured in bench_micro_kernels --json).
+  size_t join_morsel_size = 64;
+
   /// Abort with ResourceExhausted once a run emits more than this many
   /// intermediate records (0 = unlimited). Models the paper's observation
   /// that MassJoin and V-Smart-Join "cannot run successfully" on the large

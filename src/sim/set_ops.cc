@@ -24,11 +24,11 @@ size_t GallopLowerBound(const uint32_t* data, size_t n, size_t from,
 
 }  // namespace
 
-uint64_t LinearOverlap(const std::vector<uint32_t>& a,
-                       const std::vector<uint32_t>& b) {
+uint64_t LinearOverlap(const uint32_t* a, size_t na, const uint32_t* b,
+                       size_t nb) {
   uint64_t count = 0;
   size_t i = 0, j = 0;
-  while (i < a.size() && j < b.size()) {
+  while (i < na && j < nb) {
     if (a[i] == b[j]) {
       ++count;
       ++i;
@@ -42,15 +42,16 @@ uint64_t LinearOverlap(const std::vector<uint32_t>& a,
   return count;
 }
 
-uint64_t GallopingOverlap(const std::vector<uint32_t>& a,
-                          const std::vector<uint32_t>& b) {
-  const std::vector<uint32_t>& small = a.size() <= b.size() ? a : b;
-  const std::vector<uint32_t>& large = a.size() <= b.size() ? b : a;
-  const uint32_t* data = large.data();
-  const size_t n = large.size();
+uint64_t GallopingOverlap(const uint32_t* a, size_t na, const uint32_t* b,
+                          size_t nb) {
+  const uint32_t* small = na <= nb ? a : b;
+  const size_t small_n = na <= nb ? na : nb;
+  const uint32_t* data = na <= nb ? b : a;
+  const size_t n = na <= nb ? nb : na;
   uint64_t count = 0;
   size_t j = 0;
-  for (uint32_t x : small) {
+  for (size_t i = 0; i < small_n; ++i) {
+    const uint32_t x = small[i];
     j = GallopLowerBound(data, n, j, x);
     if (j == n) break;
     if (data[j] == x) {
@@ -61,14 +62,30 @@ uint64_t GallopingOverlap(const std::vector<uint32_t>& a,
   return count;
 }
 
-uint64_t SortedOverlap(const std::vector<uint32_t>& a,
-                       const std::vector<uint32_t>& b) {
-  const size_t small = std::min(a.size(), b.size());
-  const size_t large = std::max(a.size(), b.size());
+uint64_t SortedOverlap(const uint32_t* a, size_t na, const uint32_t* b,
+                       size_t nb) {
+  const size_t small = std::min(na, nb);
+  const size_t large = std::max(na, nb);
   if (small > 0 && large / small >= kGallopRatio) {
-    return GallopingOverlap(a, b);
+    return GallopingOverlap(a, na, b, nb);
   }
-  return LinearOverlap(a, b);
+  return LinearOverlap(a, na, b, nb);
+}
+
+uint32_t BitmapShiftForSpan(uint64_t span) {
+  if (span == 0) return 0;
+  uint32_t shift = 0;
+  while (((span - 1) >> shift) >= 64) ++shift;
+  return shift;
+}
+
+uint64_t TokenBitmap(const uint32_t* data, size_t n, uint32_t base,
+                     uint32_t shift) {
+  uint64_t bitmap = 0;
+  for (size_t i = 0; i < n; ++i) {
+    bitmap |= uint64_t{1} << (((data[i] - base) >> shift) & 63);
+  }
+  return bitmap;
 }
 
 uint64_t SortedOverlapAtLeast(const std::vector<uint32_t>& a,

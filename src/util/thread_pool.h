@@ -35,6 +35,18 @@ class ThreadPool {
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+  /// Chunked, work-stealing variant: runs fn(begin, end) over chunks of
+  /// `chunk` consecutive indices (the last chunk may be short). Chunks are
+  /// claimed dynamically from a shared counter by up to num_threads() pool
+  /// workers *and* the calling thread, so a slow chunk never idles the
+  /// rest — and concurrent ParallelFor calls from different threads steal
+  /// from one shared pool. With num_threads() == 0 the chunks run inline on
+  /// the caller, in ascending order (deterministic-debug mode). `chunk`
+  /// of 0 is treated as 1. Safe to call concurrently from many threads;
+  /// must not be called from inside a task running on this same pool.
+  void ParallelFor(size_t n, size_t chunk,
+                   const std::function<void(size_t, size_t)>& fn);
+
  private:
   void WorkerLoop();
 

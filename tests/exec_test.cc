@@ -328,6 +328,53 @@ TEST_P(BackendEquivalence, BaselinesSameResultsOnBothBackends) {
   check(RunMassJoin(corpus, mj), RunMassJoin(corpus, mj_flow));
 }
 
+// Acceptance for the morsel-parallel filtering phase: with the knob on and
+// 8 worker threads, results, filter counters, and the filtering job's
+// metrics are identical to the serial run — on both backends.
+TEST_P(BackendEquivalence, ParallelFragmentJoinMatchesSerial) {
+  const CorpusShape& shape = GetParam();
+  Corpus corpus = RandomCorpus(shape.records, shape.vocab, shape.skew,
+                               shape.avg_len, shape.seed + 100);
+  for (BackendKind kind : {BackendKind::kMapReduce, BackendKind::kFusedFlow}) {
+    FsJoinConfig config;
+    config.theta = 0.7;
+    config.num_vertical_partitions = 5;
+    config.num_horizontal_partitions = 2;
+    config.exec = SmallExec(kind);
+
+    Result<FsJoinOutput> serial = FsJoin(config).Run(corpus);
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+    for (size_t morsel : {size_t{1}, size_t{64}}) {
+      FsJoinConfig par_config = config;
+      par_config.exec.parallel_fragment_join = true;
+      par_config.exec.join_morsel_size = morsel;
+      par_config.exec.num_threads = 8;
+      Result<FsJoinOutput> parallel = FsJoin(par_config).Run(corpus);
+      ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+      EXPECT_TRUE(SamePairs(serial->pairs, parallel->pairs))
+          << DiffResults(serial->pairs, parallel->pairs);
+      const FilterCounters& sc = serial->report.filters;
+      const FilterCounters& pc = parallel->report.filters;
+      EXPECT_EQ(sc.pairs_considered, pc.pairs_considered);
+      EXPECT_EQ(sc.pruned_role, pc.pruned_role);
+      EXPECT_EQ(sc.pruned_strl, pc.pruned_strl);
+      EXPECT_EQ(sc.pruned_segl, pc.pruned_segl);
+      EXPECT_EQ(sc.pruned_segi, pc.pruned_segi);
+      EXPECT_EQ(sc.pruned_segd, pc.pruned_segd);
+      EXPECT_EQ(sc.empty_overlap, pc.empty_overlap);
+      EXPECT_EQ(sc.emitted, pc.emitted);
+      // The filtering job's data-plane metrics must be byte-identical.
+      EXPECT_EQ(serial->report.filtering_job.shuffle_bytes,
+                parallel->report.filtering_job.shuffle_bytes);
+      EXPECT_EQ(serial->report.filtering_job.reduce_output_records,
+                parallel->report.filtering_job.reduce_output_records);
+      EXPECT_EQ(serial->report.candidate_pairs,
+                parallel->report.candidate_pairs);
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Shapes, BackendEquivalence, ::testing::ValuesIn(kShapes),
     [](const ::testing::TestParamInfo<CorpusShape>& info) {

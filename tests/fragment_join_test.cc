@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 
 #include "core/fragment_join.h"
 #include "core/pivots.h"
@@ -107,7 +108,7 @@ TEST(FragmentJoinTest, PairAllowedGatesJoins) {
   opts.use_segment_length_filter = false;
   opts.use_segment_intersection_filter = false;
   opts.use_segment_difference_filter = false;
-  opts.pair_allowed = [](const SegmentRecord& a, const SegmentRecord& b) {
+  opts.pair_allowed = [](const SegmentView& a, const SegmentView& b) {
     return (a.rid + b.rid) % 2 == 1;  // only odd-parity pairs
   };
   std::vector<PartialOverlap> out;
@@ -151,6 +152,103 @@ TEST(FragmentJoinTest, EmptyFragment) {
   JoinFragment({}, opts, &out, &c);
   EXPECT_TRUE(out.empty());
   EXPECT_EQ(c.pairs_considered, 0u);
+}
+
+// Determinism contract of the morsel path: for every join method, every
+// morsel size and every thread count (including 0 = inline debug mode),
+// output order and counters are byte-identical to the serial run.
+TEST(FragmentJoinTest, MorselJoinIsDeterministicAcrossSizesAndThreads) {
+  Rng rng(99);
+  std::vector<SegmentRecord> fragment = RandomFragment(rng, 40, 0, 30);
+  for (JoinMethod method :
+       {JoinMethod::kLoop, JoinMethod::kIndex, JoinMethod::kPrefix}) {
+    FragmentJoinOptions serial_opts;
+    serial_opts.theta = 0.5;
+    serial_opts.method = method;
+    std::vector<PartialOverlap> serial_out;
+    FilterCounters serial_counters;
+    JoinFragment(fragment, serial_opts, &serial_out, &serial_counters);
+
+    for (size_t threads : {size_t{0}, size_t{1}, size_t{8}}) {
+      ThreadPool pool(threads);
+      for (size_t morsel :
+           {size_t{1}, size_t{7}, size_t{64}, std::numeric_limits<size_t>::max()}) {
+        FragmentJoinOptions opts = serial_opts;
+        opts.morsel_pool = &pool;
+        opts.morsel_size = morsel;
+        std::vector<PartialOverlap> out;
+        FilterCounters counters;
+        JoinFragment(fragment, opts, &out, &counters);
+        // Unsorted comparison: order itself must match the serial run.
+        EXPECT_TRUE(SamePartials(serial_out, out))
+            << "method=" << static_cast<int>(method) << " threads=" << threads
+            << " morsel=" << morsel;
+        EXPECT_EQ(serial_counters.pairs_considered, counters.pairs_considered);
+        EXPECT_EQ(serial_counters.pruned_role, counters.pruned_role);
+        EXPECT_EQ(serial_counters.pruned_strl, counters.pruned_strl);
+        EXPECT_EQ(serial_counters.pruned_segl, counters.pruned_segl);
+        EXPECT_EQ(serial_counters.pruned_segi, counters.pruned_segi);
+        EXPECT_EQ(serial_counters.pruned_segd, counters.pruned_segd);
+        EXPECT_EQ(serial_counters.empty_overlap, counters.empty_overlap);
+        EXPECT_EQ(serial_counters.emitted, counters.emitted);
+      }
+    }
+  }
+}
+
+// Property: FilterCounters summed over ANY morsel split of a fragment equal
+// the serial counters exactly — Add is a plain component-wise sum, so the
+// merge is associative regardless of how probes are partitioned.
+TEST(FragmentJoinTest, CountersSumExactlyOverAnyMorselSplit) {
+  Rng rng(123);
+  std::vector<SegmentRecord> fragment = RandomFragment(rng, 35, 0, 28);
+  FragmentJoinOptions opts;
+  opts.theta = 0.6;
+  opts.method = JoinMethod::kLoop;
+  std::vector<PartialOverlap> serial_out;
+  FilterCounters serial;
+  JoinFragment(fragment, opts, &serial_out, &serial);
+
+  ThreadPool pool(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Random morsel size in [1, n + 5] exercises uneven trailing splits.
+    size_t morsel = 1 + rng.NextBounded(fragment.size() + 5);
+    FragmentJoinOptions split_opts = opts;
+    split_opts.morsel_pool = &pool;
+    split_opts.morsel_size = morsel;
+    std::vector<PartialOverlap> out;
+    FilterCounters summed;
+    JoinFragment(fragment, split_opts, &out, &summed);
+    EXPECT_EQ(serial.pairs_considered, summed.pairs_considered)
+        << "morsel=" << morsel;
+    EXPECT_EQ(serial.pruned_role, summed.pruned_role);
+    EXPECT_EQ(serial.pruned_strl, summed.pruned_strl);
+    EXPECT_EQ(serial.pruned_segl, summed.pruned_segl);
+    EXPECT_EQ(serial.pruned_segi, summed.pruned_segi);
+    EXPECT_EQ(serial.pruned_segd, summed.pruned_segd);
+    EXPECT_EQ(serial.empty_overlap, summed.empty_overlap);
+    EXPECT_EQ(serial.emitted, summed.emitted);
+    EXPECT_TRUE(SamePartials(serial_out, out));
+  }
+}
+
+TEST(FragmentJoinTest, BatchJoinMatchesRowJoin) {
+  Rng rng(55);
+  std::vector<SegmentRecord> fragment = RandomFragment(rng, 20, 0, 24);
+  FragmentJoinOptions opts;
+  opts.theta = 0.5;
+  for (JoinMethod method :
+       {JoinMethod::kLoop, JoinMethod::kIndex, JoinMethod::kPrefix}) {
+    opts.method = method;
+    std::vector<PartialOverlap> row_out, batch_out;
+    FilterCounters row_c, batch_c;
+    JoinFragment(fragment, opts, &row_out, &row_c);
+    SegmentBatch batch = SegmentBatch::FromRecords(fragment);
+    JoinFragmentBatch(batch, opts, &batch_out, &batch_c);
+    EXPECT_TRUE(SamePartials(row_out, batch_out));
+    EXPECT_EQ(row_c.pairs_considered, batch_c.pairs_considered);
+    EXPECT_EQ(row_c.emitted, batch_c.emitted);
+  }
 }
 
 TEST(FragmentJoinTest, FilterCountersAdd) {

@@ -6,6 +6,7 @@
 
 #include "core/pivots.h"
 #include "core/segments.h"
+#include "sim/set_ops.h"
 #include "test_util.h"
 #include "util/random.h"
 
@@ -129,6 +130,116 @@ TEST(SegmentsTest, SerdeRejectsCorruption) {
           .ok());
   EXPECT_FALSE(DecodeSegment(buf + "x", &decoded).ok());
   EXPECT_FALSE(DecodeSegment("", &decoded).ok());
+}
+
+// ---- SegmentBatch (columnar storage) --------------------------------------
+
+TEST(SegmentBatchTest, FromRecordsMatchesRows) {
+  Rng rng(31);
+  std::vector<SegmentRecord> rows;
+  for (int i = 0; i < 12; ++i) {
+    SegmentRecord seg;
+    seg.rid = static_cast<RecordId>(100 + i);
+    seg.head = static_cast<uint32_t>(i % 3);
+    for (TokenRank r = 0; r < 40; ++r) {
+      if (rng.NextBool(0.25)) seg.tokens.push_back(r);
+    }
+    if (seg.tokens.empty()) seg.tokens.push_back(0);
+    seg.record_size = seg.head + static_cast<uint32_t>(seg.tokens.size()) + 2;
+    rows.push_back(std::move(seg));
+  }
+  SegmentBatch batch = SegmentBatch::FromRecords(rows);
+  ASSERT_TRUE(batch.sealed());
+  ASSERT_EQ(batch.size(), rows.size());
+  size_t total = 0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(batch.rid(i), rows[i].rid);
+    EXPECT_EQ(batch.record_size(i), rows[i].record_size);
+    EXPECT_EQ(batch.head(i), rows[i].head);
+    EXPECT_EQ(batch.length(i), rows[i].tokens.size());
+    EXPECT_EQ(batch.Tail(i), rows[i].Tail());
+    SegmentView view = batch.View(i);
+    EXPECT_EQ(view.rid, rows[i].rid);
+    for (size_t k = 0; k < rows[i].tokens.size(); ++k) {
+      EXPECT_EQ(batch.tokens(i)[k], rows[i].tokens[k]);
+    }
+    total += rows[i].tokens.size();
+  }
+  EXPECT_EQ(batch.total_tokens(), total);
+}
+
+TEST(SegmentBatchTest, AppendEncodedMatchesDecodeSegment) {
+  // Shuffle values decode straight into the arena; the columns must agree
+  // with the row-oriented DecodeSegment on the same bytes.
+  std::vector<SegmentRecord> rows(3);
+  rows[0] = {41, 9, 2, {5, 8, 13}};
+  rows[1] = {7, 4, 0, {1, 2, 3, 4}};
+  rows[2] = {1000000, 123456, 77, {99999}};
+  SegmentBatch batch;
+  batch.Reserve(rows.size(), 8);
+  for (const SegmentRecord& seg : rows) {
+    std::string buf;
+    EncodeSegment(seg, &buf);
+    ASSERT_TRUE(batch.AppendEncoded(buf).ok());
+  }
+  batch.Seal();
+  ASSERT_EQ(batch.size(), rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(batch.rid(i), rows[i].rid);
+    EXPECT_EQ(batch.record_size(i), rows[i].record_size);
+    EXPECT_EQ(batch.head(i), rows[i].head);
+    ASSERT_EQ(batch.length(i), rows[i].tokens.size());
+    for (size_t k = 0; k < rows[i].tokens.size(); ++k) {
+      EXPECT_EQ(batch.tokens(i)[k], rows[i].tokens[k]);
+    }
+  }
+}
+
+TEST(SegmentBatchTest, AppendEncodedRollsBackOnCorruption) {
+  SegmentRecord good = {5, 6, 1, {2, 4, 6}};
+  std::string buf;
+  EncodeSegment(good, &buf);
+  SegmentBatch batch;
+  // Truncated value: the batch must stay exactly as before the call.
+  EXPECT_FALSE(
+      batch.AppendEncoded(std::string_view(buf).substr(0, buf.size() - 1))
+          .ok());
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(batch.total_tokens(), 0u);
+  // Trailing garbage is rejected too.
+  EXPECT_FALSE(batch.AppendEncoded(buf + "x").ok());
+  EXPECT_TRUE(batch.empty());
+  // A good value still appends after failures.
+  ASSERT_TRUE(batch.AppendEncoded(buf).ok());
+  batch.Seal();
+  EXPECT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch.length(0), 3u);
+}
+
+TEST(SegmentBatchTest, SealedBitmapsAreSound) {
+  // Soundness of the word-packed gate: disjoint bitmaps must imply an
+  // actually-empty overlap for every pair in the batch.
+  Rng rng(91);
+  std::vector<SegmentRecord> rows;
+  for (int i = 0; i < 30; ++i) {
+    SegmentRecord seg;
+    seg.rid = static_cast<RecordId>(i);
+    for (TokenRank r = 500; r < 700; ++r) {
+      if (rng.NextBool(0.05)) seg.tokens.push_back(r);
+    }
+    if (seg.tokens.empty()) seg.tokens.push_back(500);
+    seg.record_size = static_cast<uint32_t>(seg.tokens.size());
+    rows.push_back(std::move(seg));
+  }
+  SegmentBatch batch = SegmentBatch::FromRecords(rows);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    for (size_t j = i + 1; j < batch.size(); ++j) {
+      if ((batch.bitmap(i) & batch.bitmap(j)) != 0) continue;
+      EXPECT_EQ(SortedOverlap(batch.tokens(i), batch.length(i),
+                              batch.tokens(j), batch.length(j)),
+                0u);
+    }
+  }
 }
 
 }  // namespace

@@ -196,6 +196,54 @@ TEST(SetOpsTest, OverlapAtLeastAgreesWhenReachable) {
   }
 }
 
+TEST(SetOpsTest, BitmapShiftForSpanCoversSpanIn64Buckets) {
+  EXPECT_EQ(BitmapShiftForSpan(1), 0u);
+  EXPECT_EQ(BitmapShiftForSpan(64), 0u);
+  EXPECT_EQ(BitmapShiftForSpan(65), 1u);
+  EXPECT_EQ(BitmapShiftForSpan(128), 1u);
+  EXPECT_EQ(BitmapShiftForSpan(129), 2u);
+  // Any span must fit: (span - 1) >> shift < 64.
+  for (uint64_t span : {uint64_t{1}, uint64_t{63}, uint64_t{1000},
+                        uint64_t{1} << 32, uint64_t{1} << 40}) {
+    uint32_t shift = BitmapShiftForSpan(span);
+    EXPECT_LT((span - 1) >> shift, 64u) << "span=" << span;
+  }
+}
+
+TEST(SetOpsTest, TokenBitmapMarksEveryTokenBucket) {
+  std::vector<uint32_t> tokens = {10, 11, 40, 73};
+  uint32_t shift = BitmapShiftForSpan(73 - 10 + 1);  // span 64 -> shift 0
+  ASSERT_EQ(shift, 0u);
+  uint64_t bm = TokenBitmap(tokens.data(), tokens.size(), 10, shift);
+  EXPECT_EQ(bm, (uint64_t{1} << 0) | (uint64_t{1} << 1) | (uint64_t{1} << 30) |
+                    (uint64_t{1} << 63));
+}
+
+TEST(SetOpsTest, PackedOverlapIsExact) {
+  // The bitmap gate must be sound: PackedOverlap always returns the true
+  // overlap, never a false zero, under a shared (base, shift) mapping.
+  Rng rng(101);
+  for (int iter = 0; iter < 500; ++iter) {
+    const uint32_t base = 5000;
+    const uint64_t span = 1 + rng.NextBounded(4000);
+    const uint32_t shift = BitmapShiftForSpan(span);
+    std::vector<uint32_t> a, b;
+    for (uint64_t v = 0; v < span; ++v) {
+      if (rng.NextBool(0.01)) a.push_back(base + static_cast<uint32_t>(v));
+      if (rng.NextBool(0.01)) b.push_back(base + static_cast<uint32_t>(v));
+    }
+    const uint64_t bm_a = TokenBitmap(a.data(), a.size(), base, shift);
+    const uint64_t bm_b = TokenBitmap(b.data(), b.size(), base, shift);
+    const uint64_t expected = LinearOverlap(a, b);
+    EXPECT_EQ(
+        PackedOverlap(a.data(), a.size(), bm_a, b.data(), b.size(), bm_b),
+        expected);
+    if ((bm_a & bm_b) == 0) {
+      EXPECT_EQ(expected, 0u);  // disjoint bitmaps imply empty overlap
+    }
+  }
+}
+
 // ---- Global order --------------------------------------------------------
 
 TEST(GlobalOrderTest, SortsByAscendingFrequency) {

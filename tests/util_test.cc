@@ -322,6 +322,69 @@ TEST(ThreadPoolTest, ParallelForCoversRange) {
   for (auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
+TEST(ThreadPoolTest, ChunkedParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(101);
+  pool.ParallelFor(101, 7, [&hits](size_t begin, size_t end) {
+    EXPECT_LT(begin, end);
+    EXPECT_LE(end - begin, 7u);
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ChunkedParallelForZeroThreadsRunsInlineInOrder) {
+  // num_threads == 0 is the deterministic-debug mode: every chunk runs on
+  // the calling thread in ascending order, so side effects are ordered.
+  ThreadPool pool(0);
+  std::vector<size_t> begins;
+  pool.ParallelFor(20, 6, [&begins](size_t begin, size_t end) {
+    begins.push_back(begin);
+    EXPECT_LE(end, 20u);
+  });
+  EXPECT_EQ(begins, (std::vector<size_t>{0, 6, 12, 18}));
+}
+
+TEST(ThreadPoolTest, ChunkedParallelForEdgeCases) {
+  ThreadPool pool(2);
+  // n == 0: fn never runs.
+  pool.ParallelFor(0, 4, [](size_t, size_t) { FAIL(); });
+  // chunk 0 is treated as 1.
+  std::vector<std::atomic<int>> hits(5);
+  pool.ParallelFor(5, 0, [&hits](size_t begin, size_t end) {
+    EXPECT_EQ(end, begin + 1);
+    hits[begin].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  // chunk larger than n: one inline chunk covering everything.
+  std::atomic<int> calls{0};
+  pool.ParallelFor(3, 100, [&calls](size_t begin, size_t end) {
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 3u);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPoolTest, ChunkedParallelForConcurrentCallsShareThePool) {
+  // Two threads issue ParallelFor against the same pool at once; both must
+  // complete with full coverage (per-call completion state, no cross-talk).
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> a(200), b(200);
+  std::thread other([&pool, &b] {
+    pool.ParallelFor(200, 9,
+                     [&b](size_t begin, size_t end) {
+                       for (size_t i = begin; i < end; ++i) b[i].fetch_add(1);
+                     });
+  });
+  pool.ParallelFor(200, 9, [&a](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) a[i].fetch_add(1);
+  });
+  other.join();
+  for (auto& h : a) EXPECT_EQ(h.load(), 1);
+  for (auto& h : b) EXPECT_EQ(h.load(), 1);
+}
+
 TEST(ThreadPoolTest, WaitIsReusable) {
   ThreadPool pool(2);
   std::atomic<int> counter{0};
