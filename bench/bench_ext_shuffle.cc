@@ -6,6 +6,12 @@
 // 4-byte big-endian token keys with varint count values, Zipf-distributed
 // tokens. Both paths run the same reducer and must produce identical
 // output; the arena path is expected to win by >= 1.5x.
+//
+// A third configuration forces the external shuffle: the same arena path
+// under a memory budget of 1/8th the shuffle volume, so every shard spills
+// CRC-framed run files and reduces through the streaming k-way merge. Its
+// output must also be byte-identical; the row reports the spill volume and
+// run count alongside throughput, quantifying the disk detour's cost.
 
 #include <algorithm>
 #include <cstdio>
@@ -16,6 +22,8 @@
 #include "mr/job.h"
 #include "mr/kv.h"
 #include "mr/shuffle.h"
+#include "store/memory_budget.h"
+#include "store/temp_dir.h"
 #include "util/logging.h"
 #include "util/random.h"
 #include "util/serde.h"
@@ -68,6 +76,8 @@ struct PathResult {
   mr::Dataset output;           // shard order, keys sorted within a shard
   uint64_t shuffle_bytes = 0;
   uint64_t peak_group_bytes = 0;
+  uint64_t spilled_bytes = 0;
+  uint32_t spill_runs = 0;
 };
 
 // The seed data plane: every emitted record is a heap KeyValue, the shard
@@ -167,6 +177,56 @@ PathResult RunArenaPath(const std::vector<uint32_t>& tokens) {
   return result;
 }
 
+// The arena path with a deliberately starved memory budget: shards spill
+// key-sorted runs into a scratch directory and the reduce streams a merge.
+PathResult RunSpillPath(const std::vector<uint32_t>& tokens,
+                        uint64_t budget_bytes) {
+  mr::PrefixIdPartitioner partitioner;
+  std::string one;
+  PutVarint64(&one, 1);
+
+  auto scratch = store::TempSpillDir::Create("", "fsjoin-bench-spill");
+  if (!scratch.ok()) FSJOIN_LOG(Fatal) << scratch.status().ToString();
+  store::MemoryBudget budget(budget_bytes);
+
+  std::vector<std::vector<mr::KvBuffer>> task_out(
+      kNumMapTasks, std::vector<mr::KvBuffer>(kNumShards));
+  const size_t per_task = (tokens.size() + kNumMapTasks - 1) / kNumMapTasks;
+  for (uint32_t m = 0; m < kNumMapTasks; ++m) {
+    const size_t begin = std::min(tokens.size(), m * per_task);
+    const size_t end = std::min(tokens.size(), begin + per_task);
+    std::string key;
+    for (size_t i = begin; i < end; ++i) {
+      key.clear();
+      PutFixed32BE(&key, tokens[i]);
+      task_out[m][partitioner.Partition(key, kNumShards)].Append(key, one);
+    }
+  }
+
+  PathResult result;
+  SumReducer reducer;
+  CollectingEmitter emitter(&result.output);
+  for (uint32_t r = 0; r < kNumShards; ++r) {
+    mr::ShuffleShard shard;
+    shard.EnableSpill(&budget, scratch->path(), "r" + std::to_string(r));
+    for (uint32_t m = 0; m < kNumMapTasks; ++m) {
+      Status st = shard.AddBuffer(std::move(task_out[m][r]));
+      if (!st.ok()) FSJOIN_LOG(Fatal) << st.ToString();
+    }
+    Status st = shard.Seal();
+    if (!st.ok()) FSJOIN_LOG(Fatal) << st.ToString();
+    result.shuffle_bytes += shard.PayloadBytes();
+    result.spilled_bytes += shard.spilled_bytes();
+    result.spill_runs += shard.spill_runs();
+    if (!shard.spilled()) shard.SortByKey();
+    uint64_t max_group = 0;
+    st = mr::ReduceShard(&reducer, shard, &emitter, &max_group);
+    if (!st.ok()) FSJOIN_LOG(Fatal) << st.ToString();
+    result.peak_group_bytes = std::max(result.peak_group_bytes, max_group);
+  }
+  return result;
+}
+
 bool SameOutput(const PathResult& a, const PathResult& b) {
   if (a.output.size() != b.output.size()) return false;
   for (size_t i = 0; i < a.output.size(); ++i) {
@@ -190,7 +250,7 @@ void Run(const BenchOptions& options) {
               "over %u tokens\n\n",
               tokens.size(), kNumMapTasks, kNumShards, kVocab);
 
-  // Both paths must agree record-for-record and counter-for-counter before
+  // All paths must agree record-for-record and counter-for-counter before
   // their timings mean anything.
   const PathResult legacy_check = RunLegacyPath(tokens);
   const PathResult arena_check = RunArenaPath(tokens);
@@ -203,11 +263,28 @@ void Run(const BenchOptions& options) {
                 static_cast<unsigned long long>(arena_check.shuffle_bytes));
     std::exit(1);
   }
+  // Budget = 1/8th of the shuffle volume: several spill passes per shard.
+  const uint64_t spill_budget = std::max<uint64_t>(
+      1, arena_check.shuffle_bytes / 8);
+  const PathResult spill_check = RunSpillPath(tokens, spill_budget);
+  if (!SameOutput(arena_check, spill_check)) {
+    std::printf("FAIL: spill path disagrees (arena %zu records, spill %zu "
+                "records)\n",
+                arena_check.output.size(), spill_check.output.size());
+    std::exit(1);
+  }
+  if (spill_check.spill_runs == 0) {
+    std::printf("FAIL: spill budget of %llu bytes produced no runs\n",
+                static_cast<unsigned long long>(spill_budget));
+    std::exit(1);
+  }
 
   const double legacy_micros =
       MinWallMicros(options, [&] { RunLegacyPath(tokens); });
   const double arena_micros =
       MinWallMicros(options, [&] { RunArenaPath(tokens); });
+  const double spill_micros = MinWallMicros(
+      options, [&] { RunSpillPath(tokens, spill_budget); });
   const double speedup = legacy_micros / arena_micros;
 
   struct Row {
@@ -216,25 +293,34 @@ void Run(const BenchOptions& options) {
     const PathResult* result;
   };
   const Row rows[] = {{"legacy", legacy_micros, &legacy_check},
-                      {"arena", arena_micros, &arena_check}};
+                      {"arena", arena_micros, &arena_check},
+                      {"spill", spill_micros, &spill_check}};
 
-  std::printf("%-8s %12s %14s %14s %16s\n", "path", "wall (ms)", "Mrec/s",
-              "shuffle (MB)", "peak group (B)");
+  std::printf("%-8s %12s %14s %14s %16s %14s %6s\n", "path", "wall (ms)",
+              "MB/s", "shuffle (MB)", "peak group (B)", "spilled (MB)",
+              "runs");
   std::vector<BenchRecord> records;
   for (const Row& row : rows) {
-    std::printf("%-8s %12.1f %14.2f %14.2f %16llu\n", row.name,
-                row.micros / 1e3, tokens.size() / row.micros,
+    std::printf("%-8s %12.1f %14.2f %14.2f %16llu %14.2f %6u\n", row.name,
+                row.micros / 1e3, row.result->shuffle_bytes / row.micros,
                 row.result->shuffle_bytes / 1e6,
-                static_cast<unsigned long long>(row.result->peak_group_bytes));
+                static_cast<unsigned long long>(row.result->peak_group_bytes),
+                row.result->spilled_bytes / 1e6, row.result->spill_runs);
     BenchRecord record;
     record.name = row.name;
     record.wall_micros = row.micros;
     record.shuffle_bytes = row.result->shuffle_bytes;
     record.peak_group_bytes = row.result->peak_group_bytes;
+    record.spilled_bytes = row.result->spilled_bytes;
+    record.spill_runs = row.result->spill_runs;
     records.push_back(std::move(record));
   }
   std::printf("\nspeedup (legacy/arena): %.2fx  [target >= 1.50x: %s]\n",
               speedup, speedup >= 1.5 ? "PASS" : "FAIL");
+  std::printf("spill overhead (spill/arena): %.2fx with %u runs / %.2f MB "
+              "on disk\n",
+              spill_micros / arena_micros, spill_check.spill_runs,
+              spill_check.spilled_bytes / 1e6);
   WriteBenchJson(options, "ext_shuffle", records);
 }
 

@@ -124,7 +124,7 @@ void WriteBenchJson(const BenchOptions& options, const std::string& bench_name,
     FSJOIN_LOG(Error) << "cannot write " << options.json_path;
     return;
   }
-  char buf[160];
+  char buf[256];
   out << "{\n  \"bench\": \"" << JsonEscape(bench_name) << "\",\n";
   std::snprintf(buf, sizeof(buf), "  \"scale\": %.4f,\n", BenchScale());
   out << buf;
@@ -138,11 +138,15 @@ void WriteBenchJson(const BenchOptions& options, const std::string& bench_name,
                   "      \"wall_micros\": %.1f,\n"
                   "      \"shuffle_bytes\": %llu,\n"
                   "      \"peak_group_bytes\": %llu,\n"
-                  "      \"simulated_ms\": %.3f\n",
+                  "      \"simulated_ms\": %.3f,\n"
+                  "      \"spilled_bytes\": %llu,\n"
+                  "      \"spill_runs\": %u\n",
                   r.wall_micros,
                   static_cast<unsigned long long>(r.shuffle_bytes),
                   static_cast<unsigned long long>(r.peak_group_bytes),
-                  r.simulated_ms);
+                  r.simulated_ms,
+                  static_cast<unsigned long long>(r.spilled_bytes),
+                  r.spill_runs);
     out << "    {\n      \"name\": \"" << JsonEscape(r.name) << "\",\n"
         << buf << "    }";
   }

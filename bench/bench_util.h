@@ -84,6 +84,8 @@ struct BenchRecord {
   uint64_t shuffle_bytes = 0;     // bytes through the shuffle(s)
   uint64_t peak_group_bytes = 0;  // largest reduce group (memory pressure)
   double simulated_ms = 0;        // cluster-simulator time, when applicable
+  uint64_t spilled_bytes = 0;     // bytes written to spill run files
+  uint32_t spill_runs = 0;        // spill run files written
 };
 
 /// Writes `records` to options.json_path as

@@ -18,6 +18,10 @@
 //   --parallel-join     morsel-parallel fragment joins (same results,
 //                       work-stealing over --threads workers)
 //   --morsel N          probe segments per morsel             [64]
+//   --shuffle-mem SIZE  spill the shuffle to disk past this many buffered
+//                       bytes; accepts k/m/g suffixes         [0 = in memory]
+//   --spill-dir PATH    where spill runs are written (removed when the job
+//                       finishes)                             [system temp]
 //   --output PATH       write "idA idB similarity" lines      [stdout]
 //   --report            print the execution report to stderr
 
@@ -42,11 +46,13 @@ struct CliOptions {
   std::string method = "prefix";
   std::string function = "jaccard";
   std::string backend = "mr";
+  std::string spill_dir;
   double theta = 0.8;
   uint32_t fragments = 30;
   uint32_t horizontal = 0;
   size_t threads = 0;
   size_t morsel = 64;
+  uint64_t shuffle_mem = 0;
   bool parallel_join = false;
   bool aggressive = false;
   bool report = false;
@@ -60,9 +66,31 @@ int Usage(const char* argv0) {
                "[--method loop|index|prefix] [--aggressive] "
                "[--backend mr|flow] [--threads N] "
                "[--parallel-join] [--morsel N] "
+               "[--shuffle-mem SIZE] [--spill-dir DIR] "
                "[--output FILE] [--report]\n",
                argv0);
   return 2;
+}
+
+// Parses "262144", "256k", "64m" or "1g" into bytes; returns false on junk.
+bool ParseByteSize(const char* text, uint64_t* out) {
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (end == text || value < 0) return false;
+  double mult = 1.0;
+  if (*end == 'k' || *end == 'K') {
+    mult = 1024.0;
+    ++end;
+  } else if (*end == 'm' || *end == 'M') {
+    mult = 1024.0 * 1024.0;
+    ++end;
+  } else if (*end == 'g' || *end == 'G') {
+    mult = 1024.0 * 1024.0 * 1024.0;
+    ++end;
+  }
+  if (*end != '\0') return false;
+  *out = static_cast<uint64_t>(value * mult);
+  return true;
 }
 
 fsjoin::Result<std::unique_ptr<fsjoin::Tokenizer>> MakeTokenizer(
@@ -142,6 +170,16 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Usage(argv[0]);
       opts.morsel = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--shuffle-mem") {
+      const char* v = next();
+      if (!v || !ParseByteSize(v, &opts.shuffle_mem)) {
+        std::fprintf(stderr, "bad --shuffle-mem value\n");
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--spill-dir") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      opts.spill_dir = v;
     } else if (arg == "--aggressive") {
       opts.aggressive = true;
     } else if (arg == "--report") {
@@ -180,6 +218,8 @@ int main(int argc, char** argv) {
   config.exec.num_threads = opts.threads;
   config.exec.parallel_fragment_join = opts.parallel_join;
   config.exec.join_morsel_size = opts.morsel;
+  config.exec.shuffle_memory_bytes = opts.shuffle_mem;
+  config.exec.spill_dir = opts.spill_dir;
   {
     auto backend = fsjoin::exec::BackendKindFromName(opts.backend);
     if (!backend.ok()) {

@@ -17,5 +17,14 @@ for preset in $presets; do
   cmake --preset "$preset"
   cmake --build --preset "$preset" -j "$(nproc)"
   ctest --preset "$preset"
+  # Smoke the external-shuffle bench at a tiny scale: its built-in checks
+  # fail the run unless the spill-forced path is byte-identical to the
+  # in-memory paths, so every CI pass exercises run files + k-way merge
+  # (under asan/ubsan too) and leaves a fresh BENCH_ext_shuffle.json.
+  bindir="build"
+  [[ "$preset" != "default" ]] && bindir="build-$preset"
+  echo "---- ext-shuffle spill smoke ($preset) ----"
+  FSJOIN_BENCH_SCALE=0.02 "$bindir/bench/bench_ext_shuffle" \
+    --json=BENCH_ext_shuffle.json
 done
 echo "==== all presets passed: $presets ===="

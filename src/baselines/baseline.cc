@@ -36,8 +36,17 @@ std::string BaselineReport::Summary() const {
      << WithThousandsSep(result_pairs) << " results, "
      << StrFormat("%.1f ms", total_wall_ms);
   uint64_t shuffle = 0;
-  for (const mr::JobMetrics& j : jobs) shuffle += j.shuffle_bytes;
+  uint64_t spilled = 0;
+  uint32_t runs = 0;
+  for (const mr::JobMetrics& j : jobs) {
+    shuffle += j.shuffle_bytes;
+    spilled += j.spilled_bytes;
+    runs += j.spill_runs;
+  }
   os << ", shuffle " << HumanBytes(shuffle);
+  if (runs > 0) {
+    os << ", spilled " << HumanBytes(spilled) << " in " << runs << " runs";
+  }
   return os.str();
 }
 

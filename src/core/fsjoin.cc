@@ -46,6 +46,16 @@ std::string FsJoinReport::Summary() const {
       HumanBytes(filtering_job.shuffle_bytes).c_str(),
       filtering_job.DuplicationFactor(),
       HumanBytes(verification_job.shuffle_bytes).c_str(), total_wall_ms);
+  uint64_t spilled = 0;
+  uint32_t runs = 0;
+  for (const mr::JobMetrics& j : AllJobs()) {
+    spilled += j.spilled_bytes;
+    runs += j.spill_runs;
+  }
+  if (runs > 0) {
+    os << StrFormat("\n  spill: %s in %u runs", HumanBytes(spilled).c_str(),
+                    runs);
+  }
   return os.str();
 }
 

@@ -4,6 +4,8 @@
 #include <utility>
 #include <vector>
 
+#include "store/memory_budget.h"
+
 namespace fsjoin::exec {
 
 namespace {
@@ -124,6 +126,8 @@ mr::JobMetrics SynthesizeJobMetrics(
   m.combine_input_records = ws.combine_input_records;
   m.shuffle_records = ws.shuffle_records;
   m.shuffle_bytes = ws.shuffle_bytes;
+  m.spilled_bytes = ws.spilled_bytes;
+  m.spill_runs = ws.spill_runs;
   m.reduce_output_records = ws.output_records;
   m.reduce_output_bytes = ws.output_bytes;
   return m;
@@ -137,9 +141,21 @@ const std::vector<flow::Pipeline::Metrics>& ExecutionBackend::flow_history()
   return kEmpty;
 }
 
+namespace {
+
+mr::EngineOptions EngineOptionsFrom(const ExecConfig& config) {
+  mr::EngineOptions options;
+  options.num_threads = config.num_threads;
+  options.shuffle_memory_bytes = config.shuffle_memory_bytes;
+  options.spill_dir = config.spill_dir;
+  return options;
+}
+
+}  // namespace
+
 MapReduceBackend::MapReduceBackend(const ExecConfig& config)
     : config_(config),
-      engine_(config.num_threads),
+      engine_(EngineOptionsFrom(config)),
       pipeline_(&engine_, &dfs_) {}
 
 Result<mr::Dataset> MapReduceBackend::Execute(const Plan& plan,
@@ -257,6 +273,10 @@ Result<mr::Dataset> FusedFlowBackend::Execute(const Plan& plan,
     }
     flow::Pipeline pipeline(plan.name() + "#" + std::to_string(segment++),
                             config_.num_threads, config_.num_reduce_tasks);
+    if (config_.shuffle_memory_bytes > 0) {
+      pipeline.SetSpill(flow::Pipeline::SpillOptions{
+          config_.shuffle_memory_bytes, config_.spill_dir});
+    }
     for (size_t s = i; s < seg_end; ++s) {
       const Stage& stage = stages[s];
       if (stage.kind == Stage::Kind::kFlatMap) {
@@ -278,6 +298,9 @@ Result<mr::Dataset> FusedFlowBackend::Execute(const Plan& plan,
 }
 
 std::unique_ptr<ExecutionBackend> MakeBackend(const ExecConfig& config) {
+  if (config.process_memory_bytes > 0) {
+    store::ProcessMemoryBudget().set_limit(config.process_memory_bytes);
+  }
   switch (config.backend) {
     case BackendKind::kMapReduce:
       return std::make_unique<MapReduceBackend>(config);

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <string_view>
 
 #include "util/status.h"
@@ -54,6 +55,23 @@ struct ExecConfig {
   /// that MassJoin and V-Smart-Join "cannot run successfully" on the large
   /// datasets: their intermediate data outgrows the cluster.
   uint64_t emission_limit = 0;
+
+  /// Per-job cap on buffered shuffle bytes (0 = unlimited, shuffle stays in
+  /// memory — the seed behavior). When exceeded, both backends spill
+  /// key-sorted run files to disk and reduce through a streaming k-way
+  /// merge; result sets and counters other than spilled_bytes/spill_runs
+  /// are unchanged. This is the knob that lets a corpus whose intermediate
+  /// data outgrows RAM still run to completion.
+  uint64_t shuffle_memory_bytes = 0;
+  /// Process-wide ceiling shared by all concurrent jobs (0 = leave the
+  /// global store::ProcessMemoryBudget() untouched). Applied by
+  /// MakeBackend; only consulted by jobs that also set
+  /// shuffle_memory_bytes.
+  uint64_t process_memory_bytes = 0;
+  /// Base directory for spill scratch space; every job creates and removes
+  /// its own unique subdirectory underneath. Empty = system temp
+  /// directory.
+  std::string spill_dir;
 
   Status Validate() const;
 };

@@ -2,10 +2,15 @@
 
 #include <algorithm>
 #include <mutex>
+#include <optional>
 #include <string_view>
 #include <utility>
 
 #include "mr/shuffle.h"
+#include "store/memory_budget.h"
+#include "store/merge.h"
+#include "store/run_file.h"
+#include "store/temp_dir.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -45,6 +50,11 @@ Pipeline& Pipeline::FlatMap(std::string stage_name, mr::MapperFactory factory) {
   stage.name = std::move(stage_name);
   stage.mapper = std::move(factory);
   stages_.push_back(std::move(stage));
+  return *this;
+}
+
+Pipeline& Pipeline::SetSpill(SpillOptions options) {
+  spill_ = std::move(options);
   return *this;
 }
 
@@ -107,6 +117,20 @@ Result<mr::Dataset> Pipeline::Run(const mr::Dataset& input) {
   metrics_ = Metrics{};
   metrics_.input_records = input.size();
 
+  // External shuffle: buffered shuffle buckets are charged against this
+  // budget (chained to the process-wide one); over-budget buckets are
+  // sorted and written as run files into a Run-scoped scratch directory,
+  // removed when this function returns on every path.
+  std::optional<store::TempSpillDir> spill_scratch;
+  std::optional<store::MemoryBudget> job_budget;
+  if (spill_.memory_bytes > 0) {
+    FSJOIN_ASSIGN_OR_RETURN(
+        store::TempSpillDir dir,
+        store::TempSpillDir::Create(spill_.dir, "fsjoin-spill-flow"));
+    spill_scratch.emplace(std::move(dir));
+    job_budget.emplace(spill_.memory_bytes, &store::ProcessMemoryBudget());
+  }
+
   // Initial partitioning: contiguous splits (like input blocks).
   std::vector<mr::Dataset> partitions(num_partitions_);
   {
@@ -145,6 +169,34 @@ Result<mr::Dataset> Pipeline::Run(const mr::Dataset& input) {
         num_partitions_, std::vector<mr::Dataset>(has_wide ? num_partitions_ : 1));
     std::vector<Status> statuses(num_partitions_);
     std::vector<uint64_t> combine_counts(num_partitions_, 0);
+
+    // Spill bookkeeping for this stage: slot[src][dst] records the run file
+    // a (src,dst) bucket was written to (empty path = still in memory), and
+    // charged[src] the budget charge held by src's surviving buckets. The
+    // guard releases the stage's charges on every exit path so the
+    // process-wide budget never leaks across stages or on errors.
+    struct SpillSlot {
+      std::string path;
+      uint64_t records = 0;
+      uint64_t bytes = 0;
+    };
+    const bool spilling = has_wide && job_budget.has_value();
+    std::vector<std::vector<SpillSlot>> spill_slots(
+        spilling ? num_partitions_ : 0,
+        std::vector<SpillSlot>(num_partitions_));
+    std::vector<uint64_t> charged(num_partitions_, 0);
+    struct ChargeGuard {
+      store::MemoryBudget* budget = nullptr;
+      const std::vector<uint64_t>* charges = nullptr;
+      ~ChargeGuard() {
+        if (budget == nullptr) return;
+        for (uint64_t c : *charges) budget->Release(c);
+      }
+    } charge_guard;
+    if (spilling) {
+      charge_guard.budget = &*job_budget;
+      charge_guard.charges = &charged;
+    }
 
     pool_.ParallelFor(num_partitions_, [&](size_t p) {
       // Build the fused chain back-to-front: the last sink either routes
@@ -208,6 +260,37 @@ Result<mr::Dataset> Pipeline::Run(const mr::Dataset& input) {
           if (!st.ok()) break;
         }
       }
+      if (st.ok() && spilling) {
+        // Charge each outgoing bucket; an over-budget charge sends that
+        // bucket to disk as a key-sorted run (stable sort, so the run
+        // preserves this source's emission order under equal keys).
+        for (uint32_t dst = 0; dst < sinks.size() && st.ok(); ++dst) {
+          mr::Dataset& bucket = sinks[dst];
+          if (bucket.empty()) continue;
+          const uint64_t bytes = mr::DatasetBytes(bucket);
+          if (job_budget->Charge(bytes)) {
+            charged[p] += bytes;
+            continue;
+          }
+          job_budget->Release(bytes);
+          mr::SortDatasetByKey(&bucket);
+          SpillSlot& slot = spill_slots[p][dst];
+          slot.path = spill_scratch->path() + "/s" +
+                      std::to_string(metrics_.num_shuffles) + "-m" +
+                      std::to_string(p) + "-r" + std::to_string(dst) +
+                      ".run";
+          store::RunWriter writer(slot.path);
+          st = writer.Open();
+          for (const mr::KeyValue& kv : bucket) {
+            if (!st.ok()) break;
+            st = writer.Add(kv.key, kv.value);
+          }
+          if (st.ok()) st = writer.Finish();
+          slot.records = bucket.size();
+          slot.bytes = bytes;
+          mr::Dataset().swap(bucket);
+        }
+      }
       statuses[p] = st;
     });
     for (const Status& st : statuses) {
@@ -221,7 +304,35 @@ Result<mr::Dataset> Pipeline::Run(const mr::Dataset& input) {
       for (uint64_t c : combine_counts) {
         stage_metrics.combine_input_records += c;
       }
+      // A destination with any spilled source reduces by streaming a merge
+      // of its per-source pieces instead of concatenating them.
+      std::vector<bool> merged_dst(num_partitions_, false);
+      if (spilling) {
+        for (uint32_t src = 0; src < num_partitions_; ++src) {
+          for (uint32_t dst = 0; dst < num_partitions_; ++dst) {
+            if (!spill_slots[src][dst].path.empty()) merged_dst[dst] = true;
+          }
+        }
+      }
       for (uint32_t dst = 0; dst < num_partitions_; ++dst) {
+        if (merged_dst[dst]) {
+          // Pieces stay separate for the merge; count what crossed the
+          // shuffle boundary from the slots and surviving buckets.
+          for (uint32_t src = 0; src < num_partitions_; ++src) {
+            const SpillSlot& slot = spill_slots[src][dst];
+            if (!slot.path.empty()) {
+              stage_metrics.shuffle_records += slot.records;
+              stage_metrics.shuffle_bytes += slot.bytes;
+              stage_metrics.spilled_bytes += slot.bytes;
+              stage_metrics.spill_runs += 1;
+            } else {
+              stage_metrics.shuffle_records += shuffled[src][dst].size();
+              stage_metrics.shuffle_bytes +=
+                  mr::DatasetBytes(shuffled[src][dst]);
+            }
+          }
+          continue;
+        }
         size_t total = 0;
         for (uint32_t src = 0; src < num_partitions_; ++src) {
           total += shuffled[src][dst].size();
@@ -239,17 +350,49 @@ Result<mr::Dataset> Pipeline::Run(const mr::Dataset& input) {
       }
       metrics_.shuffle_records += stage_metrics.shuffle_records;
       metrics_.shuffle_bytes += stage_metrics.shuffle_bytes;
+      metrics_.spilled_bytes += stage_metrics.spilled_bytes;
+      metrics_.spill_runs += stage_metrics.spill_runs;
       // Grouped reduce per partition.
       const Stage& wide = stages_[chain_end];
       std::vector<mr::Dataset> reduced(num_partitions_);
       std::vector<Status> reduce_status(num_partitions_);
       pool_.ParallelFor(num_partitions_, [&](size_t p) {
-        mr::SortDatasetByKey(&next[p]);
         std::unique_ptr<mr::Reducer> reducer = wide.reducer();
         CallbackEmitter emitter([&reduced, p](mr::KeyValue kv) -> Status {
           reduced[p].push_back(std::move(kv));
           return Status::OK();
         });
+        if (merged_dst[p]) {
+          // Merge this destination's pieces in source order: runs come
+          // back sorted off disk, surviving buckets are sorted here, and
+          // the loser tree breaks key ties on source index — exactly the
+          // order concatenate-then-stable-sort would have produced.
+          Status st;
+          std::vector<std::unique_ptr<store::RecordStream>> pieces;
+          for (uint32_t src = 0; src < num_partitions_ && st.ok(); ++src) {
+            const SpillSlot& slot = spill_slots[src][p];
+            if (!slot.path.empty()) {
+              auto reader = store::RunReader::Open(slot.path);
+              if (!reader.ok()) {
+                st = reader.status();
+                break;
+              }
+              pieces.push_back(std::move(reader).value());
+            } else if (!shuffled[src][p].empty()) {
+              mr::SortDatasetByKey(&shuffled[src][p]);
+              pieces.push_back(
+                  std::make_unique<mr::DatasetStream>(&shuffled[src][p]));
+            }
+          }
+          if (st.ok()) {
+            store::LoserTreeMerge merge(std::move(pieces));
+            st = mr::ReduceMergedStream(reducer.get(), &merge, &emitter);
+          }
+          if (st.ok()) st = emitter.status();
+          reduce_status[p] = st;
+          return;
+        }
+        mr::SortDatasetByKey(&next[p]);
         Status st = reducer->Setup();
         size_t i = 0;
         // Values are views into the sorted partition's records: grouping

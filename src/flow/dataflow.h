@@ -57,6 +57,22 @@ class Pipeline {
       std::shared_ptr<const mr::Partitioner> partitioner = nullptr,
       mr::ReducerFactory combiner = nullptr);
 
+  /// External-shuffle knobs (off by default: shuffles stay in memory).
+  struct SpillOptions {
+    /// Cap on buffered shuffle bucket bytes per Run (0 = unlimited). The
+    /// budget chains to store::ProcessMemoryBudget(); when a bucket's
+    /// charge trips, that bucket is sorted and written to a run file and
+    /// the reduce side streams a merge of runs and surviving in-memory
+    /// buckets. Results are byte-identical to the in-memory path (which
+    /// bucket spills under concurrency is timing-dependent; the output is
+    /// not).
+    uint64_t memory_bytes = 0;
+    /// Base directory for spill runs; each Run creates and removes its own
+    /// unique subdirectory. Empty = system temp directory.
+    std::string dir;
+  };
+  Pipeline& SetSpill(SpillOptions options);
+
   /// Executes the pipeline over `input`.
   Result<mr::Dataset> Run(const mr::Dataset& input);
 
@@ -71,6 +87,8 @@ class Pipeline {
     uint64_t combine_input_records = 0;  ///< 0 when no combiner configured
     uint64_t shuffle_records = 0;        ///< post-combine, pre-shuffle
     uint64_t shuffle_bytes = 0;
+    uint64_t spilled_bytes = 0;  ///< bucket bytes written to run files
+    uint32_t spill_runs = 0;     ///< run files written for this stage
     uint64_t output_records = 0;  ///< reducer output
     uint64_t output_bytes = 0;
   };
@@ -81,6 +99,8 @@ class Pipeline {
     uint64_t output_records = 0;
     uint64_t shuffle_records = 0;  ///< records crossing wide boundaries
     uint64_t shuffle_bytes = 0;
+    uint64_t spilled_bytes = 0;  ///< shuffle bytes that went through disk
+    uint32_t spill_runs = 0;     ///< spill run files written
     uint32_t num_shuffles = 0;
     /// Bytes materialized between stages — the quantity fusion eliminates
     /// relative to the MR engine (which materializes every job's output).
@@ -106,6 +126,7 @@ class Pipeline {
   uint32_t num_partitions_;
   ThreadPool pool_;
   std::vector<Stage> stages_;
+  SpillOptions spill_;
   Metrics metrics_;
 };
 

@@ -49,9 +49,15 @@ SimulatedJobTime SimulateJob(const JobMetrics& job, uint32_t num_nodes,
   for (const TaskMetrics& t : job.reduce_tasks) {
     double shuffle_micros =
         static_cast<double>(t.input_bytes) * model.network_micros_per_byte;
-    if (t.max_group_bytes > model.reduce_memory_bytes) {
-      // A group larger than the in-memory budget forces the task's merge
-      // through disk: every input byte pays the spill cost.
+    if (t.spilled_bytes > 0) {
+      // The engine actually spilled: charge the measured run-file volume
+      // rather than inferring anything.
+      shuffle_micros +=
+          static_cast<double>(t.spilled_bytes) * model.spill_micros_per_byte;
+    } else if (t.max_group_bytes > model.reduce_memory_bytes) {
+      // No measured spill, but a group larger than the in-memory budget
+      // would force the task's merge through disk on a real cluster:
+      // every input byte pays the spill cost.
       shuffle_micros +=
           static_cast<double>(t.input_bytes) * model.spill_micros_per_byte;
     }

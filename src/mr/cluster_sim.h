@@ -34,6 +34,10 @@ struct ClusterCostModel {
   /// partitioning exists to keep groups inside this budget). Oversized
   /// tasks pay spill_micros_per_byte on every input byte. Effectively
   /// unlimited by default.
+  ///
+  /// When a task carries *measured* spill volume (TaskMetrics::spilled_bytes
+  /// from the external-shuffle path), that measurement is charged instead
+  /// and this heuristic is skipped for the task.
   uint64_t reduce_memory_bytes = 1ull << 40;
   double spill_micros_per_byte = 0.8;
 };

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <mutex>
+#include <optional>
 #include <utility>
 
 #include "mr/shuffle.h"
+#include "store/memory_budget.h"
+#include "store/temp_dir.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -81,11 +84,22 @@ class VectorEmitter : public Emitter {
   uint64_t bytes_ = 0;
 };
 
+/// Sanitizes a job name into something safe for a directory component.
+std::string SpillDirPrefix(const std::string& job_name) {
+  std::string prefix = "fsjoin-spill-";
+  for (char c : job_name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_';
+    prefix.push_back(ok ? c : '_');
+  }
+  return prefix;
+}
+
 /// Sorts and combines one map-task partition buffer in place.
 Status CombineBuffer(const ReducerFactory& combiner_factory, KvBuffer* buffer,
                      uint64_t* out_records, uint64_t* out_bytes) {
   ShuffleShard shard;
-  shard.AddBuffer(std::move(*buffer));
+  FSJOIN_RETURN_NOT_OK(shard.AddBuffer(std::move(*buffer)));
   shard.SortByKey();
   KvBuffer combined;
   BufferEmitter out(&combined);
@@ -111,7 +125,12 @@ uint32_t PrefixIdPartitioner::Partition(std::string_view key,
   return id % num_partitions;
 }
 
-Engine::Engine(size_t num_threads) : pool_(num_threads) {}
+Engine::Engine(size_t num_threads) : pool_(num_threads) {
+  options_.num_threads = num_threads;
+}
+
+Engine::Engine(const EngineOptions& options)
+    : options_(options), pool_(options.num_threads) {}
 
 Status Engine::Run(const JobConfig& config, const Dataset& input,
                    Dataset* output, JobMetrics* metrics) {
@@ -209,13 +228,38 @@ Status Engine::Run(const JobConfig& config, const Dataset& input,
   // ---- Shuffle -------------------------------------------------------
   // Each reducer's shard takes ownership of its arena from every map task:
   // a merge of buffer moves, no record ever copied. Merged in parallel
-  // across reducers.
+  // across reducers. With a shuffle memory cap, each shard charges the
+  // per-job budget (chained to the process-wide one) and spills key-sorted
+  // run files into a job-scoped scratch directory whenever a charge trips;
+  // the directory is removed when this function returns, on every path.
+  std::optional<store::TempSpillDir> spill_scratch;
+  std::optional<store::MemoryBudget> job_budget;
+  if (options_.shuffle_memory_bytes > 0) {
+    FSJOIN_ASSIGN_OR_RETURN(
+        store::TempSpillDir dir,
+        store::TempSpillDir::Create(options_.spill_dir,
+                                    SpillDirPrefix(config.name)));
+    spill_scratch.emplace(std::move(dir));
+    job_budget.emplace(options_.shuffle_memory_bytes,
+                       &store::ProcessMemoryBudget());
+  }
   std::vector<ShuffleShard> shards(num_reds);
+  std::vector<Status> shuffle_status(num_reds);
   pool_.ParallelFor(num_reds, [&](size_t r) {
-    for (uint32_t m = 0; m < num_maps; ++m) {
-      shards[r].AddBuffer(std::move(task_buffers[m][r]));
+    if (job_budget.has_value()) {
+      shards[r].EnableSpill(&*job_budget, spill_scratch->path(),
+                            "r" + std::to_string(r));
     }
+    Status st;
+    for (uint32_t m = 0; st.ok() && m < num_maps; ++m) {
+      st = shards[r].AddBuffer(std::move(task_buffers[m][r]));
+    }
+    if (st.ok()) st = shards[r].Seal();
+    if (!st.ok()) shuffle_status[r] = std::move(st);
   });
+  for (const Status& st : shuffle_status) {
+    FSJOIN_RETURN_NOT_OK(st);
+  }
   for (const ShuffleShard& shard : shards) {
     jm.shuffle_records += shard.NumRecords();
     jm.shuffle_bytes += shard.PayloadBytes();
@@ -231,8 +275,10 @@ Status Engine::Run(const JobConfig& config, const Dataset& input,
     TaskMetrics& tm = reduce_task_metrics[r];
     tm.input_records = shard.NumRecords();
     tm.input_bytes = shard.PayloadBytes();
+    tm.spilled_bytes = shard.spilled_bytes();
+    tm.spill_runs = shard.spill_runs();
 
-    shard.SortByKey();
+    if (!shard.spilled()) shard.SortByKey();
     VectorEmitter out(&reduce_outputs[r]);
     std::unique_ptr<Reducer> reducer = config.reducer_factory();
     Status st = ReduceShard(reducer.get(), shard, &out, &tm.max_group_bytes);
@@ -253,6 +299,8 @@ Status Engine::Run(const JobConfig& config, const Dataset& input,
     jm.reduce_output_records += tm.output_records;
     jm.reduce_output_bytes += tm.output_bytes;
     jm.reduce_wall_micros += tm.wall_micros;
+    jm.spilled_bytes += tm.spilled_bytes;
+    jm.spill_runs += tm.spill_runs;
   }
   jm.reduce_tasks = std::move(reduce_task_metrics);
 

@@ -2,7 +2,9 @@
 #define FSJOIN_MR_ENGINE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <string>
 
 #include "mr/job.h"
 #include "mr/kv.h"
@@ -11,6 +13,22 @@
 #include "util/thread_pool.h"
 
 namespace fsjoin::mr {
+
+/// Engine construction knobs.
+struct EngineOptions {
+  /// Worker threads for running tasks (0 = inline).
+  size_t num_threads = 0;
+  /// Per-job cap on shuffle arena payload bytes (0 = unlimited, shuffle
+  /// stays fully in memory). When a job's buffered shuffle data exceeds
+  /// the cap — or the process-wide store::ProcessMemoryBudget() trips —
+  /// shards spill key-sorted run files to disk and the reduce side streams
+  /// a k-way merge. Results are byte-identical to the in-memory path.
+  uint64_t shuffle_memory_bytes = 0;
+  /// Base directory for spill runs; every job creates (and removes, even
+  /// on failure) its own unique subdirectory underneath. Empty = system
+  /// temp directory. Only used when shuffle_memory_bytes > 0.
+  std::string spill_dir;
+};
 
 /// In-process MapReduce engine. Substitutes for the paper's Hadoop cluster:
 /// the execution semantics (record-at-a-time map, optional combiner,
@@ -28,6 +46,7 @@ class Engine {
  public:
   /// \param num_threads worker threads for running tasks (0 = inline).
   explicit Engine(size_t num_threads = 0);
+  explicit Engine(const EngineOptions& options);
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -40,6 +59,7 @@ class Engine {
              JobMetrics* metrics);
 
  private:
+  EngineOptions options_;
   ThreadPool pool_;
 };
 

@@ -37,6 +37,10 @@ std::string JobMetrics::Summary() const {
   os << StrFormat("  shuffle: %s records, %s, reduce skew=%.2f\n",
                   WithThousandsSep(shuffle_records).c_str(),
                   HumanBytes(shuffle_bytes).c_str(), ReduceSkew());
+  if (spill_runs > 0) {
+    os << StrFormat("  spill:   %s in %u runs\n",
+                    HumanBytes(spilled_bytes).c_str(), spill_runs);
+  }
   os << StrFormat("  reduce:  %s records out (%s)\n",
                   WithThousandsSep(reduce_output_records).c_str(),
                   HumanBytes(reduce_output_bytes).c_str());
@@ -59,6 +63,8 @@ JobMetrics CombineJobMetrics(const std::vector<JobMetrics>& jobs,
     out.combine_input_records += j.combine_input_records;
     out.shuffle_records += j.shuffle_records;
     out.shuffle_bytes += j.shuffle_bytes;
+    out.spilled_bytes += j.spilled_bytes;
+    out.spill_runs += j.spill_runs;
     out.reduce_output_records += j.reduce_output_records;
     out.reduce_output_bytes += j.reduce_output_bytes;
     out.map_tasks.insert(out.map_tasks.end(), j.map_tasks.begin(),

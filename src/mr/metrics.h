@@ -18,6 +18,12 @@ struct TaskMetrics {
   /// set a reducer must hold to process one group (an FS-Join fragment).
   /// Drives the cluster simulator's memory/spill model.
   uint64_t max_group_bytes = 0;
+  /// Reduce tasks only: key+value bytes this task's shard wrote to spill
+  /// run files (0 when the shuffle stayed in memory), and how many runs.
+  /// Measured, not inferred; the cluster simulator prefers these over its
+  /// max_group_bytes heuristic when present.
+  uint64_t spilled_bytes = 0;
+  uint32_t spill_runs = 0;
 };
 
 /// Everything the engine measures about one MapReduce job. These counters
@@ -35,6 +41,11 @@ struct JobMetrics {
 
   uint64_t shuffle_records = 0;
   uint64_t shuffle_bytes = 0;
+  /// Key+value bytes spilled to disk during the shuffle (sum over reduce
+  /// tasks; 0 when everything fit in the shuffle memory budget) and the
+  /// number of run files written.
+  uint64_t spilled_bytes = 0;
+  uint32_t spill_runs = 0;
 
   uint64_t reduce_output_records = 0;
   uint64_t reduce_output_bytes = 0;

@@ -1,0 +1,10 @@
+#include "store/memory_budget.h"
+
+namespace fsjoin::store {
+
+MemoryBudget& ProcessMemoryBudget() {
+  static MemoryBudget budget(MemoryBudget::kUnlimited);
+  return budget;
+}
+
+}  // namespace fsjoin::store

@@ -1,0 +1,99 @@
+#include "store/merge.h"
+
+#include <utility>
+
+namespace fsjoin::store {
+
+LoserTreeMerge::LoserTreeMerge(
+    std::vector<std::unique_ptr<RecordStream>> sources)
+    : sources_(std::move(sources)),
+      keys_(sources_.size()),
+      values_(sources_.size()),
+      exhausted_(sources_.size(), false) {}
+
+Status LoserTreeMerge::Pull(int s) {
+  bool has = false;
+  FSJOIN_RETURN_NOT_OK(sources_[s]->Next(&has, &keys_[s], &values_[s]));
+  if (!has) {
+    exhausted_[s] = true;
+    keys_[s] = {};
+    values_[s] = {};
+  }
+  return Status::OK();
+}
+
+bool LoserTreeMerge::Precedes(int a, int b) const {
+  if (a < 0) return false;
+  if (b < 0) return true;
+  if (exhausted_[a] || exhausted_[b]) {
+    if (exhausted_[a] != exhausted_[b]) return exhausted_[b];
+    return a < b;  // both exhausted: any consistent order works
+  }
+  const int cmp = keys_[a].compare(keys_[b]);
+  if (cmp != 0) return cmp < 0;
+  return a < b;  // equal keys: lower source (earlier run) first
+}
+
+Status LoserTreeMerge::Init() {
+  initialized_ = true;
+  const int k = static_cast<int>(sources_.size());
+  for (int s = 0; s < k; ++s) FSJOIN_RETURN_NOT_OK(Pull(s));
+  if (k <= 1) {
+    winner_ = (k == 1 && !exhausted_[0]) ? 0 : -1;
+    return Status::OK();
+  }
+  // Implicit complete binary tree: internal nodes 1..k-1, leaf for source s
+  // at node k+s. Play the tournament bottom-up; each internal node stores
+  // the loser of its subtree match, the winner moves up.
+  tree_.assign(static_cast<size_t>(k), -1);
+  std::vector<int> winner_at(static_cast<size_t>(2 * k), -1);
+  for (int node = 2 * k - 1; node >= k; --node) winner_at[node] = node - k;
+  for (int node = k - 1; node >= 1; --node) {
+    const int a = winner_at[2 * node];
+    const int b = winner_at[2 * node + 1];
+    const int w = Precedes(b, a) ? b : a;
+    tree_[node] = (w == a) ? b : a;
+    winner_at[node] = w;
+  }
+  winner_ = winner_at[1];
+  if (winner_ >= 0 && exhausted_[winner_]) winner_ = -1;
+  return Status::OK();
+}
+
+Status LoserTreeMerge::Advance(int s) {
+  FSJOIN_RETURN_NOT_OK(Pull(s));
+  const int k = static_cast<int>(sources_.size());
+  if (k == 1) {
+    winner_ = exhausted_[0] ? -1 : 0;
+    return Status::OK();
+  }
+  // Replay s's path: at each node the stored loser challenges the climber.
+  for (int node = (k + s) / 2; node >= 1; node /= 2) {
+    if (Precedes(tree_[node], s)) std::swap(s, tree_[node]);
+  }
+  winner_ = (s >= 0 && !exhausted_[s]) ? s : -1;
+  return Status::OK();
+}
+
+Status LoserTreeMerge::Next(bool* has_record, std::string_view* key,
+                            std::string_view* value) {
+  if (!initialized_) FSJOIN_RETURN_NOT_OK(Init());
+  // The previous winner's views were handed to the caller; only now that
+  // they asked for the next record may that source overwrite its buffer.
+  if (last_winner_ >= 0) {
+    const int s = last_winner_;
+    last_winner_ = -1;
+    FSJOIN_RETURN_NOT_OK(Advance(s));
+  }
+  if (winner_ < 0) {
+    *has_record = false;
+    return Status::OK();
+  }
+  *key = keys_[winner_];
+  *value = values_[winner_];
+  last_winner_ = winner_;
+  *has_record = true;
+  return Status::OK();
+}
+
+}  // namespace fsjoin::store

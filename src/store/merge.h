@@ -1,0 +1,63 @@
+#ifndef FSJOIN_STORE_MERGE_H_
+#define FSJOIN_STORE_MERGE_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "store/record_stream.h"
+#include "util/status.h"
+
+namespace fsjoin::store {
+
+/// Streaming k-way merge of sorted RecordStreams using a loser tree.
+///
+/// Each Next() costs one tournament replay — ceil(log2 k) key comparisons —
+/// instead of the k-1 a naive scan would pay, and only one record per
+/// source is resident at a time, so merging k spill runs needs O(k) block
+/// buffers of memory regardless of total run size.
+///
+/// The merge is *stable across sources*: records with equal keys are
+/// emitted in ascending source index order. Spill code relies on this —
+/// runs are numbered in buffer-arrival order, so merging them with this
+/// tie-break reproduces exactly the order the in-memory stable tag sort
+/// would have produced, keeping spilled reduces byte-identical to
+/// in-memory ones.
+///
+/// Single-source merges bypass the tree entirely and forward the source.
+class LoserTreeMerge : public RecordStream {
+ public:
+  explicit LoserTreeMerge(std::vector<std::unique_ptr<RecordStream>> sources);
+  ~LoserTreeMerge() override = default;
+
+  Status Next(bool* has_record, std::string_view* key,
+              std::string_view* value) override;
+
+ private:
+  /// Pulls the first record of every source and plays the initial
+  /// tournament bottom-up.
+  Status Init();
+
+  /// Advances source `s` and replays its path to the root.
+  Status Advance(int s);
+
+  /// True when source `a` is emitted before source `b`: compares current
+  /// keys bytewise, breaking ties on the source index. Exhausted sources
+  /// always lose.
+  bool Precedes(int a, int b) const;
+
+  Status Pull(int s);
+
+  std::vector<std::unique_ptr<RecordStream>> sources_;
+  std::vector<std::string_view> keys_;
+  std::vector<std::string_view> values_;
+  std::vector<bool> exhausted_;
+  std::vector<int> tree_;  // losers at internal nodes 1..k-1
+  int winner_ = -1;
+  int last_winner_ = -1;  // source whose views were handed out last
+  bool initialized_ = false;
+};
+
+}  // namespace fsjoin::store
+
+#endif  // FSJOIN_STORE_MERGE_H_

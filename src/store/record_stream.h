@@ -1,0 +1,28 @@
+#ifndef FSJOIN_STORE_RECORD_STREAM_H_
+#define FSJOIN_STORE_RECORD_STREAM_H_
+
+#include <string_view>
+
+#include "util/status.h"
+
+namespace fsjoin::store {
+
+/// A pull-based stream of key/value records in bytewise key order.
+/// Implemented by RunReader (records streamed off a spill file) and
+/// LoserTreeMerge (k-way merge of other streams); the reduce path consumes
+/// either without knowing whether the bytes came from RAM or disk.
+class RecordStream {
+ public:
+  virtual ~RecordStream() = default;
+
+  /// Advances to the next record. On success sets *has_record; when true,
+  /// *key and *value view the record's bytes. The views stay valid only
+  /// until the next call to Next() — callers that need a record across
+  /// calls must copy it.
+  virtual Status Next(bool* has_record, std::string_view* key,
+                      std::string_view* value) = 0;
+};
+
+}  // namespace fsjoin::store
+
+#endif  // FSJOIN_STORE_RECORD_STREAM_H_

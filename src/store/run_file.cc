@@ -1,0 +1,210 @@
+#include "store/run_file.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/crc32c.h"
+#include "util/serde.h"
+
+namespace fsjoin::store {
+
+namespace {
+
+Status IoFail(const char* op, const std::string& path) {
+  std::string msg = op;
+  msg += " failed for ";
+  msg += path;
+  msg += ": ";
+  msg += std::strerror(errno);
+  return Status::IoError(std::move(msg));
+}
+
+Status CorruptFail(const char* what, const std::string& path) {
+  std::string msg = what;
+  msg += " in run file ";
+  msg += path;
+  return Status::Corruption(std::move(msg));
+}
+
+}  // namespace
+
+RunWriter::RunWriter(std::string path, size_t block_bytes)
+    : path_(std::move(path)),
+      block_bytes_(block_bytes == 0 ? kDefaultRunBlockBytes : block_bytes) {}
+
+RunWriter::~RunWriter() {
+  // A writer abandoned before Finish() leaves a footer-less (hence
+  // unreadable) file behind; the owning TempSpillDir removes it.
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status RunWriter::Open() {
+  file_ = std::fopen(path_.c_str(), "wb");
+  if (file_ == nullptr) return IoFail("open", path_);
+  return Status::OK();
+}
+
+Status RunWriter::Add(std::string_view key, std::string_view value) {
+  PutVarint32(&block_, static_cast<uint32_t>(key.size()));
+  PutVarint32(&block_, static_cast<uint32_t>(value.size()));
+  block_.append(key);
+  block_.append(value);
+  ++records_;
+  payload_bytes_ += key.size() + value.size();
+  if (block_.size() >= block_bytes_) return FlushBlock();
+  return Status::OK();
+}
+
+Status RunWriter::FlushBlock() {
+  if (block_.empty()) return Status::OK();
+  std::string header;
+  PutFixed32BE(&header, static_cast<uint32_t>(block_.size()));
+  PutFixed32BE(&header, Crc32c(block_));
+  if (std::fwrite(header.data(), 1, header.size(), file_) != header.size() ||
+      std::fwrite(block_.data(), 1, block_.size(), file_) != block_.size()) {
+    return IoFail("write", path_);
+  }
+  ++blocks_;
+  block_.clear();
+  return Status::OK();
+}
+
+Status RunWriter::Finish() {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("RunWriter::Finish without Open");
+  }
+  FSJOIN_RETURN_NOT_OK(FlushBlock());
+  std::string footer;
+  PutFixed64BE(&footer, records_);
+  PutFixed64BE(&footer, payload_bytes_);
+  PutFixed32BE(&footer, blocks_);
+  PutFixed32BE(&footer, Crc32c(footer));
+  PutFixed64BE(&footer, kRunMagic);
+  if (std::fwrite(footer.data(), 1, footer.size(), file_) != footer.size()) {
+    return IoFail("write footer", path_);
+  }
+  const int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) return IoFail("close", path_);
+  finished_ = true;
+  return Status::OK();
+}
+
+RunReader::RunReader(std::string path, std::FILE* file, uint64_t data_end,
+                     uint64_t footer_records, uint64_t footer_payload_bytes,
+                     uint32_t footer_blocks)
+    : path_(std::move(path)),
+      file_(file),
+      data_end_(data_end),
+      footer_records_(footer_records),
+      footer_payload_bytes_(footer_payload_bytes),
+      footer_blocks_(footer_blocks) {}
+
+RunReader::~RunReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<std::unique_ptr<RunReader>> RunReader::Open(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return IoFail("open", path);
+  auto fail_close = [&](Status st) -> Result<std::unique_ptr<RunReader>> {
+    std::fclose(file);
+    return st;
+  };
+  if (std::fseek(file, 0, SEEK_END) != 0) {
+    return fail_close(IoFail("seek", path));
+  }
+  const long size = std::ftell(file);
+  if (size < 0) return fail_close(IoFail("tell", path));
+  if (static_cast<size_t>(size) < kRunFooterBytes) {
+    return fail_close(CorruptFail("short footer", path));
+  }
+  const uint64_t data_end = static_cast<uint64_t>(size) - kRunFooterBytes;
+  if (std::fseek(file, static_cast<long>(data_end), SEEK_SET) != 0) {
+    return fail_close(IoFail("seek", path));
+  }
+  char raw[kRunFooterBytes];
+  if (std::fread(raw, 1, kRunFooterBytes, file) != kRunFooterBytes) {
+    return fail_close(IoFail("read footer", path));
+  }
+  Decoder dec(std::string_view(raw, kRunFooterBytes));
+  uint64_t records = 0, payload_bytes = 0, magic = 0;
+  uint32_t blocks = 0, crc = 0;
+  // Fixed-width reads over a 32-byte buffer cannot fail.
+  (void)dec.GetFixed64BE(&records);
+  (void)dec.GetFixed64BE(&payload_bytes);
+  (void)dec.GetFixed32BE(&blocks);
+  (void)dec.GetFixed32BE(&crc);
+  (void)dec.GetFixed64BE(&magic);
+  if (magic != kRunMagic) {
+    return fail_close(CorruptFail("bad magic", path));
+  }
+  if (crc != Crc32c(std::string_view(raw, 20))) {
+    return fail_close(CorruptFail("footer CRC mismatch", path));
+  }
+  if (std::fseek(file, 0, SEEK_SET) != 0) {
+    return fail_close(IoFail("seek", path));
+  }
+  return std::unique_ptr<RunReader>(
+      new RunReader(path, file, data_end, records, payload_bytes, blocks));
+}
+
+Status RunReader::LoadBlock() {
+  if (offset_ + 8 > data_end_) {
+    return CorruptFail("truncated block header", path_);
+  }
+  char raw[8];
+  if (std::fread(raw, 1, 8, file_) != 8) return IoFail("read header", path_);
+  Decoder dec(std::string_view(raw, 8));
+  uint32_t len = 0, crc = 0;
+  (void)dec.GetFixed32BE(&len);
+  (void)dec.GetFixed32BE(&crc);
+  if (len == 0 || len > data_end_ - offset_ - 8) {
+    return CorruptFail("block overruns file", path_);
+  }
+  block_.resize(len);
+  if (std::fread(block_.data(), 1, len, file_) != len) {
+    return IoFail("read block", path_);
+  }
+  if (Crc32c(block_) != crc) {
+    return CorruptFail("block CRC mismatch", path_);
+  }
+  offset_ += 8 + len;
+  ++blocks_read_;
+  pos_ = 0;
+  return Status::OK();
+}
+
+Status RunReader::Next(bool* has_record, std::string_view* key,
+                       std::string_view* value) {
+  if (pos_ == block_.size()) {
+    if (offset_ == data_end_) {
+      // End of stream: cross-check everything the footer promised.
+      if (records_read_ != footer_records_ ||
+          payload_read_ != footer_payload_bytes_ ||
+          blocks_read_ != footer_blocks_) {
+        return CorruptFail("footer count mismatch", path_);
+      }
+      *has_record = false;
+      return Status::OK();
+    }
+    FSJOIN_RETURN_NOT_OK(LoadBlock());
+  }
+  Decoder dec(std::string_view(block_).substr(pos_));
+  uint32_t key_len = 0, val_len = 0;
+  if (!dec.GetVarint32(&key_len).ok() || !dec.GetVarint32(&val_len).ok() ||
+      dec.remaining() < static_cast<size_t>(key_len) + val_len) {
+    return CorruptFail("malformed record", path_);
+  }
+  const size_t header = block_.size() - pos_ - dec.remaining();
+  const char* base = block_.data() + pos_ + header;
+  *key = std::string_view(base, key_len);
+  *value = std::string_view(base + key_len, val_len);
+  pos_ += header + key_len + val_len;
+  ++records_read_;
+  payload_read_ += key_len + static_cast<uint64_t>(val_len);
+  *has_record = true;
+  return Status::OK();
+}
+
+}  // namespace fsjoin::store

@@ -1,0 +1,135 @@
+#ifndef FSJOIN_STORE_RUN_FILE_H_
+#define FSJOIN_STORE_RUN_FILE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "store/record_stream.h"
+#include "util/status.h"
+
+namespace fsjoin::store {
+
+/// Spill run files.
+///
+/// A run holds key-sorted records written from a sealed shuffle arena. The
+/// layout is a sequence of CRC32C-framed blocks followed by a fixed-size
+/// footer:
+///
+///   run     := block* footer
+///   block   := payload_len : fixed32-BE
+///              crc32c(payload) : fixed32-BE
+///              payload
+///   payload := ( key_len : varint32, val_len : varint32, key, value )*
+///   footer  := records       : fixed64-BE
+///              payload_bytes : fixed64-BE          (sum of key+value bytes)
+///              blocks        : fixed32-BE
+///              crc32c(previous 20 footer bytes) : fixed32-BE
+///              magic         : fixed64-BE          (kRunMagic)
+///
+/// Records never straddle a block boundary, so a reader holds at most one
+/// decoded block (~kDefaultRunBlockBytes) in memory regardless of run size.
+/// Every payload byte is covered by a frame CRC and the footer is covered
+/// by its own CRC, so bit flips and truncations surface as
+/// Status::Corruption rather than bad join output.
+
+/// "FSJRUN1\n" as a big-endian u64.
+inline constexpr uint64_t kRunMagic = 0x46534A52554E310Aull;
+
+/// Serialized footer size in bytes.
+inline constexpr size_t kRunFooterBytes = 8 + 8 + 4 + 4 + 8;
+
+/// Target uncompressed payload bytes per block.
+inline constexpr size_t kDefaultRunBlockBytes = 256 * 1024;
+
+/// Streams records into a run file. Records must be Add()ed in bytewise
+/// key order (the writer does not verify this; the spill path sorts the
+/// arena first). Not thread-safe.
+class RunWriter {
+ public:
+  explicit RunWriter(std::string path,
+                     size_t block_bytes = kDefaultRunBlockBytes);
+  ~RunWriter();
+
+  RunWriter(const RunWriter&) = delete;
+  RunWriter& operator=(const RunWriter&) = delete;
+
+  /// Creates/truncates the file. Must be called before Add().
+  Status Open();
+
+  /// Appends one record; flushes a block frame once the buffered payload
+  /// reaches the block size.
+  Status Add(std::string_view key, std::string_view value);
+
+  /// Flushes the final block, writes the footer and closes the file. The
+  /// run is unreadable until Finish() succeeds.
+  Status Finish();
+
+  /// Records written so far.
+  uint64_t records() const { return records_; }
+  /// Sum of key+value bytes written so far (matches KvBuffer payload
+  /// accounting, so spilled_bytes metrics line up with shuffle_bytes).
+  uint64_t payload_bytes() const { return payload_bytes_; }
+
+ private:
+  Status FlushBlock();
+
+  std::string path_;
+  size_t block_bytes_;
+  std::FILE* file_ = nullptr;
+  std::string block_;
+  uint64_t records_ = 0;
+  uint64_t payload_bytes_ = 0;
+  uint32_t blocks_ = 0;
+  bool finished_ = false;
+};
+
+/// Streams records back out of a run file, verifying the footer on Open()
+/// and each block's CRC as it is loaded. Any mismatch — bad frame CRC,
+/// short or altered footer, record/byte/block counts that disagree with
+/// the footer — returns Status::Corruption; a missing file returns IoError.
+class RunReader : public RecordStream {
+ public:
+  /// Opens `path` and validates its footer.
+  static Result<std::unique_ptr<RunReader>> Open(const std::string& path);
+
+  ~RunReader() override;
+
+  RunReader(const RunReader&) = delete;
+  RunReader& operator=(const RunReader&) = delete;
+
+  Status Next(bool* has_record, std::string_view* key,
+              std::string_view* value) override;
+
+  /// Record count promised by the footer.
+  uint64_t records() const { return footer_records_; }
+  /// Key+value byte count promised by the footer.
+  uint64_t payload_bytes() const { return footer_payload_bytes_; }
+
+ private:
+  RunReader(std::string path, std::FILE* file, uint64_t data_end,
+            uint64_t footer_records, uint64_t footer_payload_bytes,
+            uint32_t footer_blocks);
+
+  /// Reads and CRC-checks the next block frame into block_.
+  Status LoadBlock();
+
+  std::string path_;
+  std::FILE* file_;
+  uint64_t data_end_;  // file offset where the footer starts
+  uint64_t offset_ = 0;
+  uint64_t footer_records_;
+  uint64_t footer_payload_bytes_;
+  uint32_t footer_blocks_;
+  std::string block_;
+  size_t pos_ = 0;
+  uint64_t records_read_ = 0;
+  uint64_t payload_read_ = 0;
+  uint32_t blocks_read_ = 0;
+};
+
+}  // namespace fsjoin::store
+
+#endif  // FSJOIN_STORE_RUN_FILE_H_

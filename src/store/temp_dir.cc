@@ -1,0 +1,81 @@
+#include "store/temp_dir.h"
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <system_error>
+#include <utility>
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace fsjoin::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+long CurrentPid() {
+#ifdef _WIN32
+  return _getpid();
+#else
+  return static_cast<long>(getpid());
+#endif
+}
+
+}  // namespace
+
+Result<TempSpillDir> TempSpillDir::Create(const std::string& base,
+                                          const std::string& prefix) {
+  static std::atomic<uint64_t> sequence{0};
+  std::error_code ec;
+  fs::path root = base.empty() ? fs::temp_directory_path(ec) : fs::path(base);
+  if (ec) {
+    return Status::IoError("no temp directory: " + ec.message());
+  }
+  fs::create_directories(root, ec);  // ok if it already exists
+  if (ec) {
+    return Status::IoError("cannot create spill base " + root.string() +
+                           ": " + ec.message());
+  }
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    fs::path candidate =
+        root / (prefix + "-" + std::to_string(CurrentPid()) + "-" +
+                std::to_string(sequence.fetch_add(1)));
+    if (fs::create_directory(candidate, ec)) {
+      return TempSpillDir(candidate.string());
+    }
+    if (ec) {
+      return Status::IoError("cannot create spill dir " + candidate.string() +
+                             ": " + ec.message());
+    }
+    // false + no error: the name exists (stale sequence); try the next one.
+  }
+  return Status::IoError("cannot find unused spill dir name under " +
+                         root.string());
+}
+
+TempSpillDir::TempSpillDir(TempSpillDir&& other) noexcept
+    : path_(std::exchange(other.path_, std::string())) {}
+
+TempSpillDir& TempSpillDir::operator=(TempSpillDir&& other) noexcept {
+  if (this != &other) {
+    RemoveNow();
+    path_ = std::exchange(other.path_, std::string());
+  }
+  return *this;
+}
+
+TempSpillDir::~TempSpillDir() { RemoveNow(); }
+
+void TempSpillDir::RemoveNow() {
+  if (path_.empty()) return;
+  std::error_code ec;
+  fs::remove_all(path_, ec);  // best effort: leaking temp files beats
+  path_.clear();              // throwing from a destructor
+}
+
+}  // namespace fsjoin::store

@@ -1,0 +1,42 @@
+#ifndef FSJOIN_STORE_TEMP_DIR_H_
+#define FSJOIN_STORE_TEMP_DIR_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace fsjoin::store {
+
+/// RAII owner of a spill scratch directory: Create() makes a uniquely named
+/// directory and the destructor recursively removes it, so spill runs never
+/// outlive their job — including on error paths, where the stack unwind
+/// still runs the destructor. Move-only; a moved-from instance owns nothing
+/// and its destructor is a no-op.
+class TempSpillDir {
+ public:
+  /// Creates `<base>/<prefix>-<pid>-<seq>`. An empty `base` uses the
+  /// system temp directory. `base` is created first if missing.
+  static Result<TempSpillDir> Create(const std::string& base,
+                                     const std::string& prefix);
+
+  TempSpillDir(TempSpillDir&& other) noexcept;
+  TempSpillDir& operator=(TempSpillDir&& other) noexcept;
+  TempSpillDir(const TempSpillDir&) = delete;
+  TempSpillDir& operator=(const TempSpillDir&) = delete;
+
+  ~TempSpillDir();
+
+  /// Removes the directory now (best effort); the destructor then no-ops.
+  void RemoveNow();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  explicit TempSpillDir(std::string path) : path_(std::move(path)) {}
+
+  std::string path_;
+};
+
+}  // namespace fsjoin::store
+
+#endif  // FSJOIN_STORE_TEMP_DIR_H_

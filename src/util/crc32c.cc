@@ -1,0 +1,74 @@
+#include "util/crc32c.h"
+
+#include <cstddef>
+
+namespace fsjoin {
+namespace {
+
+constexpr uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli polynomial
+
+// Slicing-by-8 lookup tables, built once on first use. Table 0 is the
+// classic byte-at-a-time table; table j folds a byte that sits j positions
+// ahead of the CRC register, letting the hot loop consume 8 bytes per
+// iteration with eight independent table loads.
+struct Crc32cTables {
+  uint32_t t[8][256];
+
+  Crc32cTables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (c >> 1) ^ kPoly : (c >> 1);
+      }
+      t[0][i] = c;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = t[0][i];
+      for (int j = 1; j < 8; ++j) {
+        c = t[0][c & 0xFF] ^ (c >> 8);
+        t[j][i] = c;
+      }
+    }
+  }
+};
+
+const Crc32cTables& Tables() {
+  static const Crc32cTables tables;
+  return tables;
+}
+
+// Little-endian 32-bit load from possibly unaligned bytes; compiles to a
+// single load on little-endian targets.
+inline uint32_t LoadLe32(const unsigned char* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, std::string_view data) {
+  const Crc32cTables& tab = Tables();
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(data.data());
+  size_t n = data.size();
+  uint32_t c = crc ^ 0xFFFFFFFFu;
+  while (n >= 8) {
+    const uint32_t lo = c ^ LoadLe32(p);
+    const uint32_t hi = LoadLe32(p + 4);
+    c = tab.t[7][lo & 0xFF] ^ tab.t[6][(lo >> 8) & 0xFF] ^
+        tab.t[5][(lo >> 16) & 0xFF] ^ tab.t[4][lo >> 24] ^
+        tab.t[3][hi & 0xFF] ^ tab.t[2][(hi >> 8) & 0xFF] ^
+        tab.t[1][(hi >> 16) & 0xFF] ^ tab.t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    c = tab.t[0][(c ^ *p++) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+uint32_t Crc32c(std::string_view data) { return Crc32cExtend(0, data); }
+
+}  // namespace fsjoin

@@ -1,0 +1,22 @@
+#ifndef FSJOIN_UTIL_CRC32C_H_
+#define FSJOIN_UTIL_CRC32C_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace fsjoin {
+
+/// CRC-32C (Castagnoli, reflected polynomial 0x82F63B78) of `data`.
+/// This is the checksum used by iSCSI, ext4 and the LevelDB/RocksDB file
+/// formats; spill run files (store/run_file.h) frame every block with it.
+/// Test vector: Crc32c("123456789") == 0xE3069283.
+uint32_t Crc32c(std::string_view data);
+
+/// Extends a previously computed CRC with more bytes, so a checksum can be
+/// accumulated across non-contiguous buffers:
+///   Crc32cExtend(Crc32c(a), b) == Crc32c(a + b).
+uint32_t Crc32cExtend(uint32_t crc, std::string_view data);
+
+}  // namespace fsjoin
+
+#endif  // FSJOIN_UTIL_CRC32C_H_

@@ -24,6 +24,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Unimplemented";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kCorruption:
+      return "Corruption";
   }
   return "Unknown";
 }

@@ -21,6 +21,7 @@ enum class StatusCode {
   kIoError = 7,
   kUnimplemented = 8,
   kResourceExhausted = 9,
+  kCorruption = 10,
 };
 
 /// Returns a stable, human-readable name for a status code ("OK",
@@ -71,6 +72,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

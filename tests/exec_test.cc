@@ -328,6 +328,82 @@ TEST_P(BackendEquivalence, BaselinesSameResultsOnBothBackends) {
   check(RunMassJoin(corpus, mj), RunMassJoin(corpus, mj_flow));
 }
 
+// Acceptance for the external shuffle: with the budget far below the
+// shuffle volume every wide stage spills run files to disk, yet FS-Join
+// produces the identical result set on both backends, and the report
+// carries real measured spill volume.
+TEST_P(BackendEquivalence, FsJoinForcedSpillMatchesInMemory) {
+  const CorpusShape& shape = GetParam();
+  Corpus corpus = RandomCorpus(shape.records, shape.vocab, shape.skew,
+                               shape.avg_len, shape.seed + 200);
+  for (BackendKind kind : {BackendKind::kMapReduce, BackendKind::kFusedFlow}) {
+    FsJoinConfig config;
+    config.theta = 0.75;
+    config.num_vertical_partitions = 5;
+    config.num_horizontal_partitions = 2;
+    config.exec = SmallExec(kind);
+
+    Result<FsJoinOutput> in_memory = FsJoin(config).Run(corpus);
+    ASSERT_TRUE(in_memory.ok()) << in_memory.status().ToString();
+    uint64_t baseline_spill = 0;
+    for (const mr::JobMetrics& job : in_memory->report.AllJobs()) {
+      baseline_spill += job.spilled_bytes;
+    }
+    EXPECT_EQ(baseline_spill, 0u);  // spill off by default
+
+    FsJoinConfig spill_config = config;
+    spill_config.exec.shuffle_memory_bytes = 256;  // way below shuffle size
+    Result<FsJoinOutput> spilled = FsJoin(spill_config).Run(corpus);
+    ASSERT_TRUE(spilled.ok()) << spilled.status().ToString();
+    EXPECT_TRUE(SamePairs(in_memory->pairs, spilled->pairs))
+        << BackendKindName(kind) << ": "
+        << DiffResults(in_memory->pairs, spilled->pairs);
+    uint64_t spilled_bytes = 0;
+    uint32_t spill_runs = 0;
+    for (const mr::JobMetrics& job : spilled->report.AllJobs()) {
+      spilled_bytes += job.spilled_bytes;
+      spill_runs += job.spill_runs;
+    }
+    EXPECT_GT(spilled_bytes, 0u) << BackendKindName(kind);
+    EXPECT_GT(spill_runs, 0u) << BackendKindName(kind);
+  }
+}
+
+TEST_P(BackendEquivalence, BaselinesForcedSpillMatchesInMemory) {
+  const CorpusShape& shape = GetParam();
+  Corpus corpus = RandomCorpus(shape.records, shape.vocab, shape.skew,
+                               shape.avg_len, shape.seed + 250);
+  for (BackendKind kind : {BackendKind::kMapReduce, BackendKind::kFusedFlow}) {
+    BaselineConfig config;
+    config.theta = 0.75;
+    config.exec = SmallExec(kind);
+    BaselineConfig spill_config = config;
+    spill_config.exec.shuffle_memory_bytes = 256;
+
+    auto check = [&](Result<BaselineOutput> in_memory,
+                     Result<BaselineOutput> spilled) {
+      ASSERT_TRUE(in_memory.ok()) << in_memory.status().ToString();
+      ASSERT_TRUE(spilled.ok()) << spilled.status().ToString();
+      EXPECT_TRUE(SamePairs(in_memory->pairs, spilled->pairs))
+          << spilled->report.algorithm << " on " << BackendKindName(kind)
+          << ": " << DiffResults(in_memory->pairs, spilled->pairs);
+      uint64_t spilled_bytes = 0;
+      for (const mr::JobMetrics& job : spilled->report.jobs) {
+        spilled_bytes += job.spilled_bytes;
+      }
+      EXPECT_GT(spilled_bytes, 0u)
+          << spilled->report.algorithm << " on " << BackendKindName(kind);
+    };
+
+    check(RunVernicaJoin(corpus, config), RunVernicaJoin(corpus, spill_config));
+    check(RunVSmartJoin(corpus, config), RunVSmartJoin(corpus, spill_config));
+    MassJoinConfig mj, mj_spill;
+    static_cast<BaselineConfig&>(mj) = config;
+    static_cast<BaselineConfig&>(mj_spill) = spill_config;
+    check(RunMassJoin(corpus, mj), RunMassJoin(corpus, mj_spill));
+  }
+}
+
 // Acceptance for the morsel-parallel filtering phase: with the knob on and
 // 8 worker threads, results, filter counters, and the filtering job's
 // metrics are identical to the serial run — on both backends.

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <set>
@@ -11,7 +12,9 @@
 #include "mr/cluster_sim.h"
 #include "mr/engine.h"
 #include "mr/pipeline.h"
+#include "store/temp_dir.h"
 #include "util/hash.h"
+#include "util/random.h"
 #include "util/serde.h"
 
 namespace fsjoin::mr {
@@ -497,6 +500,156 @@ TEST(EngineTest, CombinerErrorAborts) {
   Dataset output;
   JobMetrics metrics;
   EXPECT_FALSE(engine.Run(config, WordsInput(), &output, &metrics).ok());
+}
+
+// ---- External shuffle (spill-to-disk) ---------------------------------
+
+// A few hundred lines of random words: enough shuffle volume that a tiny
+// budget forces several spill runs per reduce shard.
+Dataset BigWordsInput(size_t lines, uint64_t seed) {
+  Rng rng(seed);
+  Dataset input;
+  input.reserve(lines);
+  for (size_t i = 0; i < lines; ++i) {
+    std::string text;
+    const size_t words = 2 + rng.NextBounded(6);
+    for (size_t w = 0; w < words; ++w) {
+      if (w > 0) text.push_back(' ');
+      const size_t len = 1 + rng.NextBounded(4);
+      for (size_t c = 0; c < len; ++c) {
+        text.push_back(static_cast<char>('a' + rng.NextBounded(3)));
+      }
+    }
+    input.push_back(KeyValue{std::to_string(i), std::move(text)});
+  }
+  return input;
+}
+
+void ExpectSameDataset(const Dataset& a, const Dataset& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key, b[i].key) << "at " << i;
+    EXPECT_EQ(a[i].value, b[i].value) << "at " << i;
+  }
+}
+
+TEST(EngineSpillTest, ForcedSpillIsByteIdenticalToInMemory) {
+  const Dataset input = BigWordsInput(300, 91);
+  const JobConfig config = WordCountConfig(4, 3, /*combiner=*/false);
+
+  Engine plain(0);
+  Dataset want;
+  JobMetrics want_metrics;
+  ASSERT_TRUE(plain.Run(config, input, &want, &want_metrics).ok());
+  EXPECT_EQ(want_metrics.spilled_bytes, 0u);
+  EXPECT_EQ(want_metrics.spill_runs, 0u);
+
+  EngineOptions options;
+  options.shuffle_memory_bytes = 256;  // far below the shuffle volume
+  Engine spilling(options);
+  Dataset got;
+  JobMetrics got_metrics;
+  ASSERT_TRUE(spilling.Run(config, input, &got, &got_metrics).ok());
+
+  ExpectSameDataset(want, got);
+  EXPECT_GT(got_metrics.spilled_bytes, 0u);
+  EXPECT_GT(got_metrics.spill_runs, 0u);
+  // Everything except the spill counters is unchanged by the spill path.
+  EXPECT_EQ(got_metrics.map_output_records, want_metrics.map_output_records);
+  EXPECT_EQ(got_metrics.shuffle_records, want_metrics.shuffle_records);
+  EXPECT_EQ(got_metrics.reduce_output_records,
+            want_metrics.reduce_output_records);
+}
+
+TEST(EngineSpillTest, ThreadedForcedSpillMatchesInline) {
+  const Dataset input = BigWordsInput(300, 92);
+  const JobConfig config = WordCountConfig(6, 4, /*combiner=*/true);
+
+  EngineOptions inline_opts;
+  inline_opts.shuffle_memory_bytes = 256;
+  Engine inline_engine(inline_opts);
+  Dataset a;
+  JobMetrics ma;
+  ASSERT_TRUE(inline_engine.Run(config, input, &a, &ma).ok());
+
+  EngineOptions threaded_opts = inline_opts;
+  threaded_opts.num_threads = 4;
+  Engine threaded(threaded_opts);
+  Dataset b;
+  JobMetrics mb;
+  ASSERT_TRUE(threaded.Run(config, input, &b, &mb).ok());
+
+  ExpectSameDataset(a, b);
+  EXPECT_GT(mb.spill_runs, 0u);
+}
+
+TEST(EngineSpillTest, NoSpillFilesSurviveCompletedOrFailedJobs) {
+  namespace fs = std::filesystem;
+  auto base = store::TempSpillDir::Create("", "fsjoin-engine-test");
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  EngineOptions options;
+  options.shuffle_memory_bytes = 1;  // spill everything
+  options.spill_dir = base->path();
+
+  const Dataset input = BigWordsInput(100, 93);
+  {
+    Engine engine(options);
+    Dataset output;
+    JobMetrics metrics;
+    ASSERT_TRUE(
+        engine.Run(WordCountConfig(3, 3, false), input, &output, &metrics)
+            .ok());
+    EXPECT_GT(metrics.spill_runs, 0u);
+  }
+  EXPECT_TRUE(fs::is_empty(base->path()))
+      << "completed job left spill files behind";
+
+  class FailingReducer : public Reducer {
+   public:
+    Status Reduce(std::string_view, ValueList, Emitter*) override {
+      return Status::Internal("reduce boom");
+    }
+  };
+  JobConfig bad = WordCountConfig(3, 3, false);
+  bad.reducer_factory = [] { return std::make_unique<FailingReducer>(); };
+  {
+    Engine engine(options);
+    Dataset output;
+    JobMetrics metrics;
+    EXPECT_FALSE(engine.Run(bad, input, &output, &metrics).ok());
+  }
+  EXPECT_TRUE(fs::is_empty(base->path()))
+      << "failed job left spill files behind";
+}
+
+TEST(ClusterSimTest, MeasuredSpillBytesOverrideTheGroupHeuristic) {
+  JobMetrics job;
+  TaskMetrics t;
+  t.wall_micros = 1000;
+  t.input_bytes = 10 * 1024 * 1024;
+  t.max_group_bytes = 4 * 1024 * 1024;
+  job.reduce_tasks.push_back(t);
+  ClusterCostModel tight;
+  tight.per_task_overhead_micros = 0;
+  tight.reduce_memory_bytes = 1024 * 1024;  // heuristic would charge 10 MB
+
+  SimulatedJobTime inferred = SimulateJob(job, 4, tight);
+
+  // With a measured 2 MB of spill the simulator charges exactly that —
+  // not every input byte the heuristic assumes.
+  job.reduce_tasks[0].spilled_bytes = 2 * 1024 * 1024;
+  SimulatedJobTime measured = SimulateJob(job, 4, tight);
+  EXPECT_LT(measured.total_ms, inferred.total_ms);
+
+  ClusterCostModel roomy = tight;
+  roomy.reduce_memory_bytes = 1ull << 40;
+  job.reduce_tasks[0].spilled_bytes = 0;
+  SimulatedJobTime baseline = SimulateJob(job, 4, roomy);
+  job.reduce_tasks[0].spilled_bytes = 2 * 1024 * 1024;
+  SimulatedJobTime spilled = SimulateJob(job, 4, roomy);
+  const double expected_extra_ms =
+      2.0 * 1024 * 1024 * roomy.spill_micros_per_byte / 1000.0;
+  EXPECT_NEAR(spilled.total_ms - baseline.total_ms, expected_extra_ms, 1e-6);
 }
 
 TEST(EngineTest, SingleRecordInput) {

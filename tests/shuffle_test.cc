@@ -12,6 +12,8 @@
 
 #include "mr/job.h"
 #include "mr/kv.h"
+#include "store/memory_budget.h"
+#include "store/temp_dir.h"
 #include "util/random.h"
 
 namespace fsjoin::mr {
@@ -246,6 +248,154 @@ TEST(ReduceShardTest, GroupsByKeyAndTracksLargestGroup) {
   EXPECT_EQ(reducer.groups()[1].second, std::vector<std::string>{"only"});
   // Largest group: 3 * (2 key bytes) + 5 + 6 + 6 value bytes.
   EXPECT_EQ(max_group_bytes, 23u);
+}
+
+// ---- Spill-to-disk edge cases ---------------------------------------
+//
+// Each test reduces the same records twice — once through a purely
+// in-memory shard, once through a shard forced to spill — and demands
+// byte-identical groups (same keys, same values, same order) plus equal
+// max_group_bytes, the external-shuffle contract.
+
+using Groups = std::vector<std::pair<std::string, std::vector<std::string>>>;
+
+std::vector<KvBuffer> MakeBuffers(const std::vector<KeyValue>& records,
+                                  size_t num_buffers) {
+  std::vector<KvBuffer> buffers(num_buffers);
+  for (size_t i = 0; i < records.size(); ++i) {
+    buffers[i % num_buffers].Append(records[i].key, records[i].value);
+  }
+  return buffers;
+}
+
+Groups ShardGroups(const ShuffleShard& shard, uint64_t* max_group_bytes) {
+  RecordingReducer reducer;
+  NullEmitter out;
+  EXPECT_TRUE(ReduceShard(&reducer, shard, &out, max_group_bytes).ok());
+  return reducer.groups();
+}
+
+Groups InMemoryReference(const std::vector<KeyValue>& records,
+                         size_t num_buffers, uint64_t* max_group_bytes) {
+  ShuffleShard shard;
+  std::vector<KvBuffer> buffers = MakeBuffers(records, num_buffers);
+  for (KvBuffer& b : buffers) shard.AddBuffer(std::move(b));
+  shard.SortByKey();
+  return ShardGroups(shard, max_group_bytes);
+}
+
+TEST(ShuffleSpillTest, ZeroBudgetSpillsEveryBufferAndMatchesInMemory) {
+  const std::vector<KeyValue> records = RandomRecords(300, 21);
+  uint64_t want_max_group = 0;
+  const Groups want = InMemoryReference(records, 4, &want_max_group);
+
+  auto dir = store::TempSpillDir::Create("", "fsjoin-shuffle-test");
+  ASSERT_TRUE(dir.ok()) << dir.status().ToString();
+  store::MemoryBudget budget(0);  // nothing fits: spill everything
+  ShuffleShard shard;
+  shard.EnableSpill(&budget, dir->path(), "zero");
+  std::vector<KvBuffer> buffers = MakeBuffers(records, 4);
+  for (KvBuffer& b : buffers) {
+    ASSERT_TRUE(shard.AddBuffer(std::move(b)).ok());
+  }
+  ASSERT_TRUE(shard.Seal().ok());
+
+  EXPECT_TRUE(shard.spilled());
+  EXPECT_EQ(shard.spill_runs(), 4u);  // every buffer trips on arrival
+  EXPECT_EQ(shard.spilled_bytes(), shard.PayloadBytes());
+  EXPECT_EQ(budget.used(), 0u);  // all charges released at spill time
+
+  uint64_t got_max_group = 0;
+  EXPECT_EQ(ShardGroups(shard, &got_max_group), want);
+  EXPECT_EQ(got_max_group, want_max_group);
+}
+
+TEST(ShuffleSpillTest, BudgetOfTwoArenasYieldsSingleRunFastPath) {
+  const std::vector<KeyValue> records = RandomRecords(240, 22);
+  uint64_t want_max_group = 0;
+  const Groups want = InMemoryReference(records, 3, &want_max_group);
+
+  auto dir = store::TempSpillDir::Create("", "fsjoin-shuffle-test");
+  ASSERT_TRUE(dir.ok());
+  std::vector<KvBuffer> buffers = MakeBuffers(records, 3);
+  // Exactly the first two arenas fit; the third charge trips and spills
+  // everything held so far as one run. Nothing arrives afterwards, so
+  // Seal() is a no-op and the reduce exercises the merge-of-one path.
+  store::MemoryBudget budget(buffers[0].PayloadBytes() +
+                             buffers[1].PayloadBytes());
+  ShuffleShard shard;
+  shard.EnableSpill(&budget, dir->path(), "single");
+  for (KvBuffer& b : buffers) {
+    ASSERT_TRUE(shard.AddBuffer(std::move(b)).ok());
+  }
+  ASSERT_TRUE(shard.Seal().ok());
+
+  EXPECT_EQ(shard.spill_runs(), 1u);
+  EXPECT_EQ(shard.spilled_bytes(), shard.PayloadBytes());
+
+  uint64_t got_max_group = 0;
+  EXPECT_EQ(ShardGroups(shard, &got_max_group), want);
+  EXPECT_EQ(got_max_group, want_max_group);
+}
+
+TEST(ShuffleSpillTest, SealSpillsTheInMemoryRemainderAsTheLastRun) {
+  const std::vector<KeyValue> records = RandomRecords(400, 23);
+  uint64_t want_max_group = 0;
+  const Groups want = InMemoryReference(records, 4, &want_max_group);
+
+  auto dir = store::TempSpillDir::Create("", "fsjoin-shuffle-test");
+  ASSERT_TRUE(dir.ok());
+  std::vector<KvBuffer> buffers = MakeBuffers(records, 4);
+  // Buffers 0+1 fit, buffer 2 trips (run 0 = buffers 0..2), buffer 3 fits
+  // again and must be flushed by Seal() as run 1 — the highest-numbered
+  // run, so the merge tie-break still sees arrival order.
+  store::MemoryBudget budget(buffers[0].PayloadBytes() +
+                             buffers[1].PayloadBytes());
+  ShuffleShard shard;
+  shard.EnableSpill(&budget, dir->path(), "seal");
+  for (KvBuffer& b : buffers) {
+    ASSERT_TRUE(shard.AddBuffer(std::move(b)).ok());
+  }
+  ASSERT_TRUE(shard.Seal().ok());
+
+  EXPECT_EQ(shard.spill_runs(), 2u);
+  EXPECT_EQ(shard.spilled_bytes(), shard.PayloadBytes());
+  EXPECT_EQ(budget.used(), 0u);
+
+  uint64_t got_max_group = 0;
+  EXPECT_EQ(ShardGroups(shard, &got_max_group), want);
+  EXPECT_EQ(got_max_group, want_max_group);
+}
+
+TEST(ShuffleSpillTest, RecordLargerThanTheWholeBudgetPassesThrough) {
+  // The governor never rejects: a single record bigger than the budget is
+  // charged, trips, and is spilled as its own run.
+  std::vector<KeyValue> records;
+  records.push_back(KeyValue{"big", std::string(4096, 'x')});
+  records.push_back(KeyValue{"a", "1"});
+  records.push_back(KeyValue{"big", "2"});
+  uint64_t want_max_group = 0;
+  const Groups want = InMemoryReference(records, 1, &want_max_group);
+
+  auto dir = store::TempSpillDir::Create("", "fsjoin-shuffle-test");
+  ASSERT_TRUE(dir.ok());
+  store::MemoryBudget budget(64);
+  ShuffleShard shard;
+  shard.EnableSpill(&budget, dir->path(), "big");
+  KvBuffer oversized;
+  oversized.Append(records[0].key, records[0].value);
+  ASSERT_TRUE(shard.AddBuffer(std::move(oversized)).ok());
+  EXPECT_EQ(shard.spill_runs(), 1u);
+  KvBuffer small;  // fits in the budget, flushed by Seal()
+  small.Append(records[1].key, records[1].value);
+  small.Append(records[2].key, records[2].value);
+  ASSERT_TRUE(shard.AddBuffer(std::move(small)).ok());
+  ASSERT_TRUE(shard.Seal().ok());
+  EXPECT_EQ(shard.spill_runs(), 2u);
+
+  uint64_t got_max_group = 0;
+  EXPECT_EQ(ShardGroups(shard, &got_max_group), want);
+  EXPECT_EQ(got_max_group, want_max_group);
 }
 
 TEST(SortDatasetByKeyTest, MatchesBytewiseStableSort) {
