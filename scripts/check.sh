@@ -1,30 +1,59 @@
 #!/usr/bin/env bash
 # Runs the tier-1 build + test line for the default preset and, with
 # --sanitizers (or PRESETS=...), for the asan/ubsan presets too. Usage:
-#   scripts/check.sh                 # default preset only
+#   scripts/check.sh                 # default preset, full test suite
+#   scripts/check.sh --fast          # unit tests only (skips the slow
+#                                    # end-to-end sweeps, the fuzz-smoke
+#                                    # tier and the bench smoke)
 #   scripts/check.sh --sanitizers    # default + asan + ubsan
 #   PRESETS="ubsan" scripts/check.sh # explicit preset list
+#   FUZZ_SEEDS=1:200 scripts/check.sh
+#                                    # additionally run the differential
+#                                    # fuzz sweep over that seed range; a
+#                                    # failing sweep writes minimized repro
+#                                    # test cases to fuzz-repro-<preset>.cc
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 presets="${PRESETS:-default}"
-if [[ "${1:-}" == "--sanitizers" ]]; then
-  presets="default asan ubsan"
-fi
+fast=0
+for arg in "$@"; do
+  case "$arg" in
+    --sanitizers) presets="default asan ubsan" ;;
+    --fast) fast=1 ;;
+    *)
+      echo "usage: scripts/check.sh [--fast] [--sanitizers]" >&2
+      exit 2
+      ;;
+  esac
+done
 
 for preset in $presets; do
   echo "==== preset: $preset ===================================="
   cmake --preset "$preset"
   cmake --build --preset "$preset" -j "$(nproc)"
+  if [[ "$fast" == 1 ]]; then
+    # fast tier: everything not labeled slow or fuzz-smoke.
+    ctest --preset "$preset" -LE "slow|fuzz-smoke"
+    continue
+  fi
   ctest --preset "$preset"
+  bindir="build"
+  [[ "$preset" != "default" ]] && bindir="build-$preset"
   # Smoke the external-shuffle bench at a tiny scale: its built-in checks
   # fail the run unless the spill-forced path is byte-identical to the
   # in-memory paths, so every CI pass exercises run files + k-way merge
   # (under asan/ubsan too) and leaves a fresh BENCH_ext_shuffle.json.
-  bindir="build"
-  [[ "$preset" != "default" ]] && bindir="build-$preset"
   echo "---- ext-shuffle spill smoke ($preset) ----"
   FSJOIN_BENCH_SCALE=0.02 "$bindir/bench/bench_ext_shuffle" \
     --json=BENCH_ext_shuffle.json
+  # Optional long differential-fuzz sweep (CI's fuzz jobs set FUZZ_SEEDS).
+  # On failure fsjoin_fuzz exits 1 and the minimized repros land in
+  # fuzz-repro-<preset>.cc for upload as a CI artifact.
+  if [[ -n "${FUZZ_SEEDS:-}" ]]; then
+    echo "---- fuzz sweep ($preset): seeds $FUZZ_SEEDS ----"
+    "$bindir/tools/fsjoin_fuzz" --seeds "$FUZZ_SEEDS" \
+      --repro-out "fuzz-repro-$preset.cc"
+  fi
 done
 echo "==== all presets passed: $presets ===="

@@ -1,0 +1,250 @@
+#include "check/invariants.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <unordered_map>
+
+#include "sim/global_order.h"
+#include "util/crc32c.h"
+#include "util/serde.h"
+#include "util/string_util.h"
+
+namespace fsjoin::check {
+
+namespace {
+
+uint64_t PairKey(RecordId a, RecordId b) {
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+// Sorted-vector intersection size over raw token ids.
+uint64_t SetOverlap(const std::vector<TokenId>& x,
+                    const std::vector<TokenId>& y) {
+  uint64_t count = 0;
+  size_t i = 0, j = 0;
+  while (i < x.size() && j < y.size()) {
+    if (x[i] < y[j]) {
+      ++i;
+    } else if (x[i] > y[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+uint64_t Oracle::OverlapOf(const Corpus& corpus, RecordId a,
+                           RecordId b) const {
+  return SetOverlap(corpus.records[a].tokens, corpus.records[b].tokens);
+}
+
+Oracle BuildOracle(const Corpus& corpus, SimilarityFunction fn, double theta) {
+  Oracle oracle;
+  GlobalOrder order = GlobalOrder::FromCorpus(corpus);
+  oracle.pairs = BruteForceJoin(ApplyGlobalOrder(corpus, order), fn, theta);
+  return oracle;
+}
+
+std::vector<std::string> CheckInvariants(const Corpus& corpus,
+                                         const Oracle& oracle,
+                                         const LatticePoint& point,
+                                         const RunOutcome& outcome) {
+  std::vector<std::string> failures;
+  auto fail = [&failures](std::string msg) {
+    failures.push_back(std::move(msg));
+  };
+
+  // ---- Result set equals the serial oracle -----------------------------
+  if (!SamePairs(oracle.pairs, outcome.pairs)) {
+    fail("result mismatch vs oracle:\n" +
+         DiffResults(oracle.pairs, outcome.pairs));
+  } else {
+    for (size_t i = 0; i < oracle.pairs.size(); ++i) {
+      if (std::abs(oracle.pairs[i].similarity -
+                   outcome.pairs[i].similarity) > 1e-9) {
+        fail(StrFormat("similarity drift on (%u,%u): oracle %.12f vs %.12f",
+                       oracle.pairs[i].a, oracle.pairs[i].b,
+                       oracle.pairs[i].similarity,
+                       outcome.pairs[i].similarity));
+        break;
+      }
+    }
+  }
+
+  // ---- No pair emitted twice ------------------------------------------
+  if (outcome.reported_result_pairs != outcome.pairs.size()) {
+    fail(StrFormat("reported result_pairs %llu != |pairs| %zu",
+                   static_cast<unsigned long long>(
+                       outcome.reported_result_pairs),
+                   outcome.pairs.size()));
+  }
+  if (outcome.final_reduce_output_records != outcome.pairs.size()) {
+    fail(StrFormat(
+        "final reduce emitted %llu records for %zu unique pairs "
+        "(pair emitted twice, or dropped before decode)",
+        static_cast<unsigned long long>(outcome.final_reduce_output_records),
+        outcome.pairs.size()));
+  }
+
+  // ---- FS-Join filter-counter balance ----------------------------------
+  if (outcome.has_filters) {
+    const FilterCounters& c = outcome.filters;
+    const uint64_t buckets = c.pruned_role + c.pruned_strl + c.pruned_segl +
+                             c.pruned_segi + c.pruned_segd + c.empty_overlap +
+                             c.emitted;
+    if (c.pairs_considered != buckets) {
+      fail(StrFormat("filter counters unbalanced: considered %llu != "
+                     "bucket sum %llu",
+                     static_cast<unsigned long long>(c.pairs_considered),
+                     static_cast<unsigned long long>(buckets)));
+    }
+    const FsJoinConfig& cfg = point.fsjoin;
+    if (!cfg.use_length_filter && c.pruned_strl != 0) {
+      fail("pruned_strl nonzero with StrL-Filter disabled");
+    }
+    if (!cfg.use_segment_length_filter && c.pruned_segl != 0) {
+      fail("pruned_segl nonzero with SegL-Filter disabled");
+    }
+    if (!cfg.use_segment_intersection_filter && c.pruned_segi != 0) {
+      fail("pruned_segi nonzero with SegI-Filter disabled");
+    }
+    if (!cfg.use_segment_difference_filter && c.pruned_segd != 0) {
+      fail("pruned_segd nonzero with SegD-Filter disabled");
+    }
+    if (outcome.candidate_pairs < outcome.pairs.size()) {
+      fail(StrFormat("candidate_pairs %llu < result pairs %zu",
+                     static_cast<unsigned long long>(outcome.candidate_pairs),
+                     outcome.pairs.size()));
+    }
+  }
+
+  // ---- Partial-overlap conservation ------------------------------------
+  if (outcome.has_filters && !point.fsjoin.aggressive_segment_prefix) {
+    std::unordered_map<uint64_t, uint64_t> sum_of_pair;
+    sum_of_pair.reserve(outcome.partials.size());
+    bool partials_ok = true;
+    for (const PartialOverlap& p : outcome.partials) {
+      if (p.a >= p.b || p.b >= corpus.records.size()) {
+        fail(StrFormat("malformed partial (%u,%u)", p.a, p.b));
+        partials_ok = false;
+        break;
+      }
+      if (p.overlap == 0) {
+        fail(StrFormat("zero partial overlap emitted for (%u,%u)", p.a, p.b));
+        partials_ok = false;
+        break;
+      }
+      if (p.size_a != corpus.records[p.a].tokens.size() ||
+          p.size_b != corpus.records[p.b].tokens.size()) {
+        fail(StrFormat("partial (%u,%u) carries sizes (%u,%u), records have "
+                       "(%zu,%zu)",
+                       p.a, p.b, p.size_a, p.size_b,
+                       corpus.records[p.a].tokens.size(),
+                       corpus.records[p.b].tokens.size()));
+        partials_ok = false;
+        break;
+      }
+      sum_of_pair[PairKey(p.a, p.b)] += p.overlap;
+    }
+    if (partials_ok) {
+      // Any pair: fragments never over-count (each contributes at most its
+      // exact segment overlap, and only one horizontal group joins a pair).
+      for (const auto& [key, sum] : sum_of_pair) {
+        const RecordId a = static_cast<RecordId>(key >> 32);
+        const RecordId b = static_cast<RecordId>(key & 0xffffffffu);
+        const uint64_t exact = oracle.OverlapOf(corpus, a, b);
+        if (sum > exact) {
+          fail(StrFormat("partials over-count (%u,%u): sum %llu > exact %llu",
+                         a, b, static_cast<unsigned long long>(sum),
+                         static_cast<unsigned long long>(exact)));
+          break;
+        }
+      }
+      // Oracle pairs: conservation must be exact, or the verification job
+      // computes a wrong similarity (the SegL/SegI off-by-one signature).
+      for (const SimilarPair& p : oracle.pairs) {
+        const uint64_t exact = oracle.OverlapOf(corpus, p.a, p.b);
+        auto it = sum_of_pair.find(PairKey(p.a, p.b));
+        const uint64_t sum = it == sum_of_pair.end() ? 0 : it->second;
+        if (sum != exact) {
+          fail(StrFormat(
+              "partial conservation broken for oracle pair (%u,%u): "
+              "sum %llu != exact overlap %llu",
+              p.a, p.b, static_cast<unsigned long long>(sum),
+              static_cast<unsigned long long>(exact)));
+          break;
+        }
+      }
+    }
+  }
+
+  // ---- JobMetrics byte accounting --------------------------------------
+  for (const mr::JobMetrics& job : outcome.jobs) {
+    if (job.map_output_records != job.shuffle_records) {
+      fail(StrFormat("job '%s': map_output_records %llu != shuffle_records "
+                     "%llu",
+                     job.job_name.c_str(),
+                     static_cast<unsigned long long>(job.map_output_records),
+                     static_cast<unsigned long long>(job.shuffle_records)));
+    }
+    if (job.map_output_bytes != job.shuffle_bytes) {
+      fail(StrFormat("job '%s': map_output_bytes %llu != shuffle_bytes %llu",
+                     job.job_name.c_str(),
+                     static_cast<unsigned long long>(job.map_output_bytes),
+                     static_cast<unsigned long long>(job.shuffle_bytes)));
+    }
+    if ((job.spilled_bytes > 0) != (job.spill_runs > 0)) {
+      fail(StrFormat("job '%s': spilled_bytes %llu inconsistent with "
+                     "spill_runs %u",
+                     job.job_name.c_str(),
+                     static_cast<unsigned long long>(job.spilled_bytes),
+                     job.spill_runs));
+    }
+    if (!job.reduce_tasks.empty()) {
+      uint64_t task_out = 0, task_spilled = 0;
+      for (const mr::TaskMetrics& t : job.reduce_tasks) {
+        task_out += t.output_records;
+        task_spilled += t.spilled_bytes;
+      }
+      if (task_out != job.reduce_output_records) {
+        fail(StrFormat("job '%s': reduce task outputs sum to %llu, job "
+                       "reports %llu",
+                       job.job_name.c_str(),
+                       static_cast<unsigned long long>(task_out),
+                       static_cast<unsigned long long>(
+                           job.reduce_output_records)));
+      }
+      if (task_spilled != job.spilled_bytes) {
+        fail(StrFormat("job '%s': reduce task spills sum to %llu, job "
+                       "reports %llu",
+                       job.job_name.c_str(),
+                       static_cast<unsigned long long>(task_spilled),
+                       static_cast<unsigned long long>(job.spilled_bytes)));
+      }
+    }
+  }
+
+  return failures;
+}
+
+uint32_t ResultDigest(const JoinResultSet& pairs) {
+  std::string bytes;
+  bytes.reserve(pairs.size() * 16);
+  for (const SimilarPair& p : pairs) {
+    PutFixed32BE(&bytes, p.a);
+    PutFixed32BE(&bytes, p.b);
+    uint64_t sim_bits = 0;
+    static_assert(sizeof(sim_bits) == sizeof(p.similarity));
+    std::memcpy(&sim_bits, &p.similarity, sizeof(sim_bits));
+    PutFixed64BE(&bytes, sim_bits);
+  }
+  return Crc32c(bytes);
+}
+
+}  // namespace fsjoin::check

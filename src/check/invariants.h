@@ -1,0 +1,67 @@
+#ifndef FSJOIN_CHECK_INVARIANTS_H_
+#define FSJOIN_CHECK_INVARIANTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/lattice.h"
+#include "core/fragment_join.h"
+#include "mr/metrics.h"
+#include "sim/join_result.h"
+#include "sim/serial_join.h"
+#include "text/corpus.h"
+
+namespace fsjoin::check {
+
+/// The serial ground truth one sweep seed is verified against.
+struct Oracle {
+  JoinResultSet pairs;  ///< BruteForceJoin result, normalized
+
+  /// Exact |a ∩ b| over raw token sets (identical to rank-space overlap:
+  /// the global ordering is a bijection).
+  uint64_t OverlapOf(const Corpus& corpus, RecordId a, RecordId b) const;
+};
+
+Oracle BuildOracle(const Corpus& corpus, SimilarityFunction fn, double theta);
+
+/// Everything one algorithm run exposes to the invariant checker.
+struct RunOutcome {
+  JoinResultSet pairs;
+  std::vector<mr::JobMetrics> jobs;
+
+  /// FS-Join only.
+  bool has_filters = false;
+  FilterCounters filters;
+  std::vector<PartialOverlap> partials;  ///< collect_partial_overlaps capture
+  uint64_t candidate_pairs = 0;
+
+  uint64_t reported_result_pairs = 0;
+  /// reduce_output_records of the final (thresholding) job — equals the
+  /// result-pair count unless some pair was emitted twice.
+  uint64_t final_reduce_output_records = 0;
+};
+
+/// Checks every conservation law that must hold after a run, returning one
+/// message per violation (empty = clean):
+///  * result set equals the oracle, similarities within 1e-9;
+///  * no pair emitted twice (final reduce output == result-pair count);
+///  * FS-Join filter counters balance: every considered pair lands in
+///    exactly one terminal bucket (role/strl/segl/segi/segd/empty/emitted);
+///  * partial-overlap conservation: for every oracle pair, Σ fragment
+///    overlaps == the exact overlap; for any pair, Σ never exceeds it;
+///  * JobMetrics byte accounting: map output == shuffle volume per job,
+///    task sums match job totals, spill counters are paired.
+std::vector<std::string> CheckInvariants(const Corpus& corpus,
+                                         const Oracle& oracle,
+                                         const LatticePoint& point,
+                                         const RunOutcome& outcome);
+
+/// CRC32C over the canonical encoding of a result set (rid pairs + raw
+/// similarity bits). Two runs whose digests match produced byte-identical
+/// answers; the sweeper asserts this across every lattice point of a seed.
+uint32_t ResultDigest(const JoinResultSet& pairs);
+
+}  // namespace fsjoin::check
+
+#endif  // FSJOIN_CHECK_INVARIANTS_H_

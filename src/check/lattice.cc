@@ -1,0 +1,142 @@
+#include "check/lattice.h"
+
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace fsjoin::check {
+
+namespace {
+
+// Menu values. Thetas are rationals representable by small equal-size pairs
+// so scenario planting can hit sim == theta exactly (see scenarios.cc).
+constexpr double kThetas[] = {0.5, 0.6, 0.7, 0.75, 0.8, 0.9, 1.0};
+constexpr SimilarityFunction kFunctions[] = {SimilarityFunction::kJaccard,
+                                             SimilarityFunction::kDice,
+                                             SimilarityFunction::kCosine};
+constexpr uint32_t kVerticals[] = {1, 2, 4, 8, 16};
+constexpr uint32_t kHorizontals[] = {0, 1, 2, 3};
+constexpr JoinMethod kMethods[] = {JoinMethod::kLoop, JoinMethod::kIndex,
+                                   JoinMethod::kPrefix};
+constexpr PivotStrategy kPivots[] = {PivotStrategy::kRandom,
+                                     PivotStrategy::kEvenInterval,
+                                     PivotStrategy::kEvenTf};
+constexpr size_t kThreads[] = {0, 2, 4};
+constexpr size_t kMorsels[] = {1, 7, 64};
+constexpr uint64_t kSpillBudgets[] = {0, 256, 4096};
+constexpr uint32_t kTaskCounts[] = {1, 3, 5, 8};
+
+template <typename T, size_t N>
+T Pick(const T (&menu)[N], Rng& rng) {
+  return menu[rng.NextBounded(N)];
+}
+
+exec::ExecConfig SampleExec(Rng& rng) {
+  exec::ExecConfig exec;
+  exec.backend = rng.NextBool(0.5) ? exec::BackendKind::kMapReduce
+                                   : exec::BackendKind::kFusedFlow;
+  exec.num_map_tasks = Pick(kTaskCounts, rng);
+  exec.num_reduce_tasks = Pick(kTaskCounts, rng);
+  exec.num_threads = Pick(kThreads, rng);
+  if (rng.NextBool(0.4)) {
+    exec.parallel_fragment_join = true;
+    exec.join_morsel_size = Pick(kMorsels, rng);
+  }
+  exec.shuffle_memory_bytes = Pick(kSpillBudgets, rng);
+  return exec;
+}
+
+}  // namespace
+
+const char* AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kFsJoin:
+      return "fsjoin";
+    case Algorithm::kVernica:
+      return "vernica";
+    case Algorithm::kVSmart:
+      return "vsmart";
+    case Algorithm::kMassJoin:
+      return "massjoin";
+  }
+  return "?";
+}
+
+std::string LatticePoint::Name() const {
+  if (algorithm == Algorithm::kFsJoin) {
+    const exec::ExecConfig& e = fsjoin.exec;
+    return StrFormat(
+        "fsjoin(%s, backend=%s, maps=%u, reduces=%u, threads=%zu, "
+        "morsel=%zu, spill=%llu)",
+        fsjoin.Summary().c_str(), exec::BackendKindName(e.backend),
+        e.num_map_tasks, e.num_reduce_tasks, e.num_threads,
+        e.parallel_fragment_join ? e.join_morsel_size : size_t{0},
+        static_cast<unsigned long long>(e.shuffle_memory_bytes));
+  }
+  const exec::ExecConfig& e = baseline.exec;
+  return StrFormat(
+      "%s(theta=%.2f, fn=%s, backend=%s, maps=%u, reduces=%u, threads=%zu, "
+      "spill=%llu%s)",
+      AlgorithmName(algorithm), baseline.theta,
+      SimilarityFunctionName(baseline.function),
+      exec::BackendKindName(e.backend), e.num_map_tasks, e.num_reduce_tasks,
+      e.num_threads, static_cast<unsigned long long>(e.shuffle_memory_bytes),
+      algorithm == Algorithm::kMassJoin
+          ? StrFormat(", lg=%u", massjoin_length_group).c_str()
+          : "");
+}
+
+std::vector<LatticePoint> SampleLattice(uint64_t seed, size_t count) {
+  Rng rng(seed * 0xd1b54a32d192ed03ull + 3);
+  // Drawn once per seed: these define the join, not the execution.
+  const double theta = Pick(kThetas, rng);
+  const SimilarityFunction fn = Pick(kFunctions, rng);
+
+  std::vector<LatticePoint> points;
+  points.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    LatticePoint p;
+    // First four points: one of each algorithm, so every sweep exercises
+    // FS-Join and all three baselines. Later points lean on FS-Join.
+    if (i < 4) {
+      p.algorithm = static_cast<Algorithm>(i);
+    } else {
+      p.algorithm = rng.NextBool(0.75)
+                        ? Algorithm::kFsJoin
+                        : static_cast<Algorithm>(1 + rng.NextBounded(3));
+    }
+
+    p.fsjoin.theta = theta;
+    p.fsjoin.function = fn;
+    p.baseline.theta = theta;
+    p.baseline.function = fn;
+
+    if (p.algorithm == Algorithm::kFsJoin) {
+      p.fsjoin.exec = SampleExec(rng);
+      p.fsjoin.num_vertical_partitions = Pick(kVerticals, rng);
+      p.fsjoin.num_horizontal_partitions = Pick(kHorizontals, rng);
+      p.fsjoin.join_method = Pick(kMethods, rng);
+      p.fsjoin.pivot_strategy = Pick(kPivots, rng);
+      p.fsjoin.seed = seed + i;  // PivotStrategy::kRandom input
+      // Filter toggles: mostly all-on (the paper's configuration), with a
+      // tail of random subsets to catch inter-filter dependencies.
+      if (!rng.NextBool(0.6)) {
+        p.fsjoin.use_length_filter = rng.NextBool(0.5);
+        p.fsjoin.use_segment_length_filter = rng.NextBool(0.5);
+        p.fsjoin.use_segment_intersection_filter = rng.NextBool(0.5);
+        p.fsjoin.use_segment_difference_filter = rng.NextBool(0.5);
+      }
+    } else {
+      p.baseline.exec = SampleExec(rng);
+      // Morsel-parallel joins are an FS-Join reducer feature.
+      p.baseline.exec.parallel_fragment_join = false;
+      if (p.algorithm == Algorithm::kMassJoin) {
+        p.massjoin_length_group =
+            1 + static_cast<uint32_t>(rng.NextBounded(4));
+      }
+    }
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+}  // namespace fsjoin::check

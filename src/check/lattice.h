@@ -1,0 +1,48 @@
+#ifndef FSJOIN_CHECK_LATTICE_H_
+#define FSJOIN_CHECK_LATTICE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baselines/massjoin.h"
+#include "core/fsjoin_config.h"
+#include "util/status.h"
+
+namespace fsjoin::check {
+
+/// Which join implementation a lattice point runs. All four produce the
+/// exact brute-force result set, which is what the sweeper asserts.
+enum class Algorithm { kFsJoin, kVernica, kVSmart, kMassJoin };
+
+const char* AlgorithmName(Algorithm algorithm);
+
+/// One sampled point of the knob cross-product: an algorithm plus a fully
+/// populated configuration. For kFsJoin `fsjoin` is authoritative; for the
+/// baselines `baseline` (and `massjoin_length_group`) is. Both share theta,
+/// the similarity function and the exec shape so result sets are comparable
+/// across every point of one seed.
+struct LatticePoint {
+  Algorithm algorithm = Algorithm::kFsJoin;
+  FsJoinConfig fsjoin;
+  BaselineConfig baseline;
+  uint32_t massjoin_length_group = 1;
+
+  double theta() const { return fsjoin.theta; }
+  SimilarityFunction function() const { return fsjoin.function; }
+
+  /// Stable one-line description — printed in failure reports and repros.
+  std::string Name() const;
+};
+
+/// Deterministically samples `count` lattice points for `seed`. Theta and
+/// the similarity function are drawn once per seed (they change the result
+/// set; every other knob must not). The first four points always cover all
+/// four algorithms; the rest lean on FS-Join, whose knob space (backend x
+/// threads x morsel size x spill budget x pivot strategy x horizontal t x
+/// join method x filter toggles x fragment count) is the large one.
+std::vector<LatticePoint> SampleLattice(uint64_t seed, size_t count);
+
+}  // namespace fsjoin::check
+
+#endif  // FSJOIN_CHECK_LATTICE_H_

@@ -1,0 +1,46 @@
+#ifndef FSJOIN_CHECK_MINIMIZER_H_
+#define FSJOIN_CHECK_MINIMIZER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "check/lattice.h"
+#include "text/corpus.h"
+
+namespace fsjoin::check {
+
+/// Returns true when (corpus, point) still reproduces the failure. The
+/// minimizer only keeps shrink steps for which the predicate stays true, so
+/// the final repro fails by construction.
+using FailurePredicate =
+    std::function<bool(const Corpus& corpus, const LatticePoint& point)>;
+
+/// A shrunk failing input: the smallest corpus (as token-id sets) and the
+/// simplest configuration the minimizer reached while the predicate kept
+/// failing.
+struct MinimizedRepro {
+  std::vector<std::vector<uint32_t>> sets;
+  LatticePoint point;
+  std::string failure;  ///< message of the final failing check
+  size_t original_records = 0;
+  size_t predicate_runs = 0;
+
+  Corpus RebuildCorpus() const;
+
+  /// Renders the repro as a ready-to-paste C++ test case against the
+  /// serial oracle (the fuzz driver prints this on failure).
+  std::string ToCppTestCase() const;
+};
+
+/// Delta-debugs a failing (corpus, point): ddmin over records, then a
+/// greedy token shrink inside each surviving record, then a config shrink
+/// that resets execution knobs toward their defaults. `budget` caps
+/// predicate evaluations so pathological failures still terminate quickly.
+MinimizedRepro Minimize(const Corpus& corpus, const LatticePoint& point,
+                        const FailurePredicate& fails, size_t budget = 2000);
+
+}  // namespace fsjoin::check
+
+#endif  // FSJOIN_CHECK_MINIMIZER_H_

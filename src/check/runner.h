@@ -1,0 +1,19 @@
+#ifndef FSJOIN_CHECK_RUNNER_H_
+#define FSJOIN_CHECK_RUNNER_H_
+
+#include "check/invariants.h"
+#include "check/lattice.h"
+#include "text/corpus.h"
+#include "util/status.h"
+
+namespace fsjoin::check {
+
+/// Runs the lattice point's algorithm over `corpus` and collects everything
+/// the invariant checker consumes. FS-Join runs with
+/// collect_partial_overlaps forced on (the conservation law needs the
+/// capture; at fuzz scale the cost is negligible).
+Result<RunOutcome> RunPoint(const Corpus& corpus, const LatticePoint& point);
+
+}  // namespace fsjoin::check
+
+#endif  // FSJOIN_CHECK_RUNNER_H_

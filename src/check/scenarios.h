@@ -1,0 +1,68 @@
+#ifndef FSJOIN_CHECK_SCENARIOS_H_
+#define FSJOIN_CHECK_SCENARIOS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/similarity.h"
+#include "text/corpus.h"
+#include "util/random.h"
+
+namespace fsjoin::check {
+
+/// One fuzzing input: a corpus plus the family it was drawn from. The
+/// scenario generator is the harness's corpus mutator — it layers
+/// adversarial structure on top of text/generator's Zipf/log-normal draws
+/// so every seed exercises a shape hand-written tests rarely cover.
+struct Scenario {
+  std::string family;  ///< "zipf", "uniform", "clustered", ...
+  uint64_t seed = 0;
+  Corpus corpus;
+};
+
+/// The scenario families cycled through by MakeScenario. Kept public so the
+/// fuzz driver can print what a seed maps to.
+///
+///  * zipf       — text/generator draw with skewed token popularity
+///  * uniform    — skew 0: every token equally likely (weak prefix filter)
+///  * clustered  — records draw from a handful of small topic pools, so
+///                 cross-pair token sharing is extreme
+///  * duplicates — many exact copies (theta = 1 pairs, dense groups)
+///  * degenerate — empty sets, single-token records and tiny records mixed
+///                 with normal ones
+///  * same-prefix— every record starts with the same rare-token prefix
+///                 (adversarial for prefix-filtered joins)
+///  * planted    — base corpus plus pairs planted at sim in
+///                 {tau - eps, tau, tau + eps}
+std::vector<std::string> ScenarioFamilies();
+
+/// Deterministically builds the scenario for `seed`: the family is
+/// seed % |families|, every size and token draw comes from Rng(seed), and
+/// near-threshold pairs at (fn, theta) are planted into every family (the
+/// boundary is where exact joins drift). Same seed, fn and theta — same
+/// corpus, byte for byte.
+Scenario MakeScenario(uint64_t seed, SimilarityFunction fn, double theta);
+
+/// Plants `count` record pairs with similarity just below, exactly at and
+/// just above theta into `sets` (token-id sets; appended records use fresh
+/// ids above `next_token`). Exposed for tests; MakeScenario calls it.
+void PlantNearThresholdPairs(std::vector<std::vector<uint32_t>>* sets,
+                             SimilarityFunction fn, double theta, size_t count,
+                             uint32_t next_token, Rng& rng);
+
+/// Builds a Corpus from explicit token-id sets ("t<id>" strings), keeping
+/// record order. The scenario currency: minimizers shrink these sets and
+/// rebuild corpora with the same helper, so the corpus invariants
+/// (dense ids, sorted unique tokens, set-semantics frequencies) hold by
+/// construction everywhere in the harness.
+Corpus CorpusFromSets(const std::vector<std::vector<uint32_t>>& sets);
+
+/// Inverse of CorpusFromSets for corpora whose token strings are "t<id>"
+/// (true for every scenario corpus): recovers per-record token-id sets.
+/// Tokens that do not parse as "t<id>" are densely renumbered instead.
+std::vector<std::vector<uint32_t>> SetsFromCorpus(const Corpus& corpus);
+
+}  // namespace fsjoin::check
+
+#endif  // FSJOIN_CHECK_SCENARIOS_H_

@@ -1,0 +1,132 @@
+#include "check/sweeper.h"
+
+#include <optional>
+#include <utility>
+
+#include "check/invariants.h"
+#include "check/lattice.h"
+#include "check/runner.h"
+#include "check/scenarios.h"
+#include "util/string_util.h"
+
+namespace fsjoin::check {
+
+namespace {
+
+/// Re-runs a point end to end and reports whether anything is wrong. This
+/// is the minimizer's predicate: the oracle is rebuilt per candidate corpus,
+/// so shrunk inputs are judged against their own ground truth.
+bool PointFails(const Corpus& corpus, const LatticePoint& point,
+                std::string* first_message) {
+  Oracle oracle = BuildOracle(corpus, point.function(), point.theta());
+  Result<RunOutcome> outcome = RunPoint(corpus, point);
+  if (!outcome.ok()) {
+    if (first_message) {
+      *first_message = "run error: " + outcome.status().ToString();
+    }
+    return true;
+  }
+  std::vector<std::string> messages =
+      CheckInvariants(corpus, oracle, point, *outcome);
+  if (messages.empty()) return false;
+  if (first_message) *first_message = messages.front();
+  return true;
+}
+
+}  // namespace
+
+std::string SweepReport::Summary() const {
+  std::string out;
+  out += StrFormat("seeds run: %llu, lattice points run: %llu, "
+                   "oracle pairs: %llu\n",
+                   static_cast<unsigned long long>(seeds_run),
+                   static_cast<unsigned long long>(points_run),
+                   static_cast<unsigned long long>(oracle_pairs));
+  if (failures.empty()) {
+    out += "verdict: PASS\n";
+    return out;
+  }
+  out += StrFormat("verdict: FAIL (%zu failing points)\n", failures.size());
+  for (const SweepFailure& f : failures) {
+    out += StrFormat("\nseed %llu family=%s point=%s\n",
+                     static_cast<unsigned long long>(f.seed),
+                     f.family.c_str(), f.point_name.c_str());
+    for (const std::string& msg : f.messages) {
+      out += "  - " + msg + "\n";
+    }
+    if (f.minimized) {
+      out += StrFormat("  minimized: %zu records (from %zu) after %zu "
+                       "predicate runs\n",
+                       f.repro.sets.size(), f.repro.original_records,
+                       f.repro.predicate_runs);
+      out += f.repro.ToCppTestCase();
+    }
+  }
+  return out;
+}
+
+SweepReport RunSweep(const SweepOptions& options) {
+  SweepReport report;
+  const uint64_t seed_end = options.seed_begin + options.seed_count;
+  for (uint64_t seed = options.seed_begin; seed < seed_end; ++seed) {
+    std::vector<LatticePoint> points =
+        SampleLattice(seed, options.lattice_points);
+    if (points.empty()) continue;
+    const SimilarityFunction fn = points[0].function();
+    const double theta = points[0].theta();
+    Scenario scenario = MakeScenario(seed, fn, theta);
+    Oracle oracle = BuildOracle(scenario.corpus, fn, theta);
+    report.oracle_pairs += oracle.pairs.size();
+    ++report.seeds_run;
+
+    std::optional<uint32_t> reference_digest;
+    for (const LatticePoint& point : points) {
+      ++report.points_run;
+      Result<RunOutcome> outcome = RunPoint(scenario.corpus, point);
+      std::vector<std::string> messages;
+      if (!outcome.ok()) {
+        messages.push_back("run error: " + outcome.status().ToString());
+      } else {
+        messages = CheckInvariants(scenario.corpus, oracle, point, *outcome);
+        // Cross-config byte-identity: every point of a seed must produce a
+        // byte-identical result set (pairs and similarity bit patterns).
+        const uint32_t digest = ResultDigest(outcome->pairs);
+        if (!reference_digest) {
+          reference_digest = digest;
+        } else if (digest != *reference_digest) {
+          messages.push_back(
+              StrFormat("result digest %08x differs from the seed's "
+                        "reference digest %08x",
+                        digest, *reference_digest));
+        }
+      }
+      if (messages.empty()) continue;
+
+      SweepFailure failure;
+      failure.seed = seed;
+      failure.family = scenario.family;
+      failure.point_name = point.Name();
+      failure.messages = std::move(messages);
+      if (options.minimize) {
+        FailurePredicate fails = [](const Corpus& corpus,
+                                    const LatticePoint& p) {
+          return PointFails(corpus, p, nullptr);
+        };
+        failure.repro = Minimize(scenario.corpus, point, fails,
+                                 options.minimize_budget);
+        failure.minimized = true;
+        PointFails(failure.repro.RebuildCorpus(), failure.repro.point,
+                   &failure.repro.failure);
+      }
+      report.failures.push_back(std::move(failure));
+      break;  // one failure per seed; the rest of the lattice is moot
+    }
+    if (options.max_failures != 0 &&
+        report.failures.size() >= options.max_failures) {
+      break;
+    }
+  }
+  return report;
+}
+
+}  // namespace fsjoin::check

@@ -1,0 +1,61 @@
+#ifndef FSJOIN_CHECK_SWEEPER_H_
+#define FSJOIN_CHECK_SWEEPER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/minimizer.h"
+#include "util/status.h"
+
+namespace fsjoin::check {
+
+/// One sweep = for each seed in [seed_begin, seed_begin + seed_count):
+/// build the scenario corpus, compute the serial oracle, sample
+/// `lattice_points` configurations, run each, check every invariant and
+/// assert cross-config result-digest identity. Failures are delta-debugged
+/// into minimal repros unless `minimize` is off.
+struct SweepOptions {
+  uint64_t seed_begin = 1;
+  uint64_t seed_count = 1;
+  size_t lattice_points = 8;
+  bool minimize = true;
+  /// Predicate-evaluation budget per minimization.
+  size_t minimize_budget = 2000;
+  /// Stop sweeping after this many failing seeds (0 = no cap). A systematic
+  /// bug fails every seed; one repro is enough.
+  size_t max_failures = 4;
+};
+
+/// One failing lattice point, with its minimized repro when available.
+struct SweepFailure {
+  uint64_t seed = 0;
+  std::string family;
+  std::string point_name;
+  std::vector<std::string> messages;  ///< invariant violations / run errors
+  bool minimized = false;
+  MinimizedRepro repro;
+};
+
+struct SweepReport {
+  uint64_t seeds_run = 0;
+  uint64_t points_run = 0;
+  uint64_t oracle_pairs = 0;  ///< summed over seeds — a coverage signal
+  std::vector<SweepFailure> failures;
+
+  bool ok() const { return failures.empty(); }
+
+  /// Deterministic human-readable summary: same seed range, same text. The
+  /// fuzz driver prints exactly this, which is what makes
+  /// `fsjoin_fuzz --seed N` bit-reproducible.
+  std::string Summary() const;
+};
+
+/// Runs the sweep. Engine-level errors (a lattice point's run returning a
+/// non-OK status) are reported as failures, not propagated, so one broken
+/// configuration cannot mask the rest of the sweep.
+SweepReport RunSweep(const SweepOptions& options);
+
+}  // namespace fsjoin::check
+
+#endif  // FSJOIN_CHECK_SWEEPER_H_

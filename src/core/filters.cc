@@ -9,7 +9,24 @@ namespace {
 uint64_t AbsDiff(uint32_t x, uint32_t y) {
   return x > y ? x - y : y - x;
 }
+
+// Test-only fault state (see filters.h). Plain global: set only while no
+// join runs, read-only during execution.
+FilterFaultInjection g_fault;
+
+// Applies a fault bias to a required-overlap bound, clamped at 0.
+uint64_t Biased(uint64_t required, int bias) {
+  if (bias >= 0) return required + static_cast<uint64_t>(bias);
+  const uint64_t drop = static_cast<uint64_t>(-bias);
+  return required > drop ? required - drop : 0;
+}
 }  // namespace
+
+void SetFilterFaultInjection(const FilterFaultInjection& fault) {
+  g_fault = fault;
+}
+
+FilterFaultInjection GetFilterFaultInjection() { return g_fault; }
 
 bool StrLengthPrunes(SimilarityFunction fn, double theta, uint32_t size_a,
                      uint32_t size_b) {
@@ -20,7 +37,9 @@ bool StrLengthPrunes(SimilarityFunction fn, double theta, uint32_t size_a,
 
 bool SegmentLengthPrunes(SimilarityFunction fn, double theta,
                          const SegmentView& a, const SegmentView& b) {
-  const uint64_t required = MinOverlap(fn, theta, a.record_size, b.record_size);
+  const uint64_t required =
+      Biased(MinOverlap(fn, theta, a.record_size, b.record_size),
+             g_fault.segl_required_bias);
   const uint64_t best_head = std::min(a.head, b.head);
   const uint64_t best_tail = std::min(a.Tail(), b.Tail());
   const uint64_t best_seg = std::min(a.num_tokens, b.num_tokens);
@@ -31,7 +50,9 @@ bool SegmentLengthPrunes(SimilarityFunction fn, double theta,
 bool SegmentIntersectionPrunes(SimilarityFunction fn, double theta,
                                const SegmentView& a, const SegmentView& b,
                                uint64_t seg_overlap) {
-  const uint64_t required = MinOverlap(fn, theta, a.record_size, b.record_size);
+  const uint64_t required =
+      Biased(MinOverlap(fn, theta, a.record_size, b.record_size),
+             g_fault.segi_required_bias);
   const uint64_t best_head = std::min(a.head, b.head);
   const uint64_t best_tail = std::min(a.Tail(), b.Tail());
   return best_head + seg_overlap + best_tail < required;

@@ -57,6 +57,41 @@ uint64_t SegmentMinLocalOverlap(SimilarityFunction fn, double theta,
 uint64_t SegmentPrefixLength(SimilarityFunction fn, double theta,
                              const SegmentView& a);
 
+// ---- Test-only fault injection -------------------------------------------
+
+/// Deliberate off-by-one faults for the differential verification harness
+/// (src/check): each bias is added to the required-overlap threshold of the
+/// corresponding filter, so a bias of +1 makes the filter over-prune pairs
+/// whose optimistic overlap decomposition meets the bound *exactly* — the
+/// classic boundary bug the harness must detect and shrink to a minimal
+/// repro. Production code never sets these; the state is process-global and
+/// must only be changed while no join is running.
+struct FilterFaultInjection {
+  int segl_required_bias = 0;  ///< SegL-Filter (Lemma 2)
+  int segi_required_bias = 0;  ///< SegI-Filter (Lemma 3)
+
+  bool Active() const { return segl_required_bias != 0 || segi_required_bias != 0; }
+};
+
+void SetFilterFaultInjection(const FilterFaultInjection& fault);
+FilterFaultInjection GetFilterFaultInjection();
+
+/// RAII guard: installs a fault for the enclosing scope, restores the
+/// previous state on destruction. The standard way tests inject faults.
+class ScopedFilterFault {
+ public:
+  explicit ScopedFilterFault(const FilterFaultInjection& fault)
+      : previous_(GetFilterFaultInjection()) {
+    SetFilterFaultInjection(fault);
+  }
+  ~ScopedFilterFault() { SetFilterFaultInjection(previous_); }
+  ScopedFilterFault(const ScopedFilterFault&) = delete;
+  ScopedFilterFault& operator=(const ScopedFilterFault&) = delete;
+
+ private:
+  FilterFaultInjection previous_;
+};
+
 // ---- SegmentRecord wrappers ----------------------------------------------
 
 inline bool SegmentLengthPrunes(SimilarityFunction fn, double theta,

@@ -1,5 +1,6 @@
 #include "core/fsjoin.h"
 
+#include <algorithm>
 #include <memory>
 #include <sstream>
 #include <utility>
@@ -141,6 +142,19 @@ Result<FsJoinOutput> FsJoin::Run(const Corpus& corpus) const {
   output.report.filters = filtering_ctx->totals;
   output.report.candidate_pairs = verification_ctx->candidate_pairs;
   output.report.result_pairs = output.pairs.size();
+  if (config_.collect_partial_overlaps) {
+    output.partial_overlaps = std::move(filtering_ctx->captured_partials);
+    // Reducer completion order depends on threading; sort canonically so the
+    // capture is deterministic for a fixed corpus and config.
+    std::sort(output.partial_overlaps.begin(), output.partial_overlaps.end(),
+              [](const PartialOverlap& x, const PartialOverlap& y) {
+                if (x.a != y.a) return x.a < y.a;
+                if (x.b != y.b) return x.b < y.b;
+                if (x.overlap != y.overlap) return x.overlap < y.overlap;
+                if (x.size_a != y.size_a) return x.size_a < y.size_a;
+                return x.size_b < y.size_b;
+              });
+  }
   output.report.total_wall_ms = timer.ElapsedMillis();
   return output;
 }

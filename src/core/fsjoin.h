@@ -56,6 +56,11 @@ struct FsJoinReport {
 struct FsJoinOutput {
   JoinResultSet pairs;
   FsJoinReport report;
+
+  /// Populated when config.collect_partial_overlaps is set: every partial
+  /// overlap the filtering phase emitted, sorted by (a, b, overlap, sizes)
+  /// so the capture is deterministic across thread counts and backends.
+  std::vector<PartialOverlap> partial_overlaps;
 };
 
 /// FS-Join (§III–§V), described as two logical plans

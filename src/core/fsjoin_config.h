@@ -77,6 +77,13 @@ struct FsJoinConfig {
   /// exactly one record id below the boundary are produced.
   std::optional<RecordId> rs_boundary;
 
+  /// Debug/verification: capture every surviving partial overlap emitted by
+  /// the filtering reducers into FsJoinOutput::partial_overlaps (sorted
+  /// canonically). The differential harness in src/check uses it to assert
+  /// the conservation law Σ fragment overlaps == exact overlap per result
+  /// pair. Off by default — capture is O(emitted) extra memory.
+  bool collect_partial_overlaps = false;
+
   /// Seed for PivotStrategy::kRandom.
   uint64_t seed = 7;
 

@@ -147,6 +147,10 @@ class FilteringReducer : public mr::Reducer {
     {
       std::lock_guard<std::mutex> lock(ctx_->mu);
       ctx_->totals.Add(counters);
+      if (cfg.collect_partial_overlaps) {
+        ctx_->captured_partials.insert(ctx_->captured_partials.end(),
+                                       partials.begin(), partials.end());
+      }
     }
 
     for (const PartialOverlap& p : partials) {

@@ -64,6 +64,9 @@ struct FilteringContext {
 
   std::mutex mu;
   FilterCounters totals;
+  /// Capture sink for config.collect_partial_overlaps (mu-guarded; order is
+  /// arbitrary — the driver sorts canonically before handing it out).
+  std::vector<PartialOverlap> captured_partials;
 };
 
 mr::JobConfig MakeFilteringJobConfig(

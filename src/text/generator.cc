@@ -4,7 +4,6 @@
 #include <cmath>
 #include <unordered_set>
 
-#include "util/logging.h"
 #include "util/random.h"
 #include "util/string_util.h"
 
@@ -47,8 +46,10 @@ std::vector<TokenId> DrawTokenSet(uint64_t len, const ZipfSampler& zipf,
 }  // namespace
 
 Corpus GenerateCorpus(const SyntheticCorpusConfig& cfg) {
-  FSJOIN_CHECK(cfg.num_records > 0);
-  FSJOIN_CHECK(cfg.vocab_size > 0);
+  // A zero-record or zero-vocabulary request is an empty workload, not a
+  // programming error: return an empty corpus (no records, no dictionary)
+  // so sweep drivers can scale record counts all the way down to nothing.
+  if (cfg.num_records == 0 || cfg.vocab_size == 0) return Corpus{};
   Rng rng(cfg.seed);
   ZipfSampler zipf(cfg.vocab_size, cfg.zipf_skew);
 

@@ -1,0 +1,437 @@
+// Unit tests for the src/check verification harness: scenario generator,
+// configuration lattice, invariant checker, result digest, delta-debugging
+// minimizer and the end-to-end fault-injection self-test (a deliberate
+// off-by-one in the SegL/SegI bounds must be detected and shrunk to a
+// handful of records).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "check/invariants.h"
+#include "check/lattice.h"
+#include "check/minimizer.h"
+#include "check/runner.h"
+#include "check/scenarios.h"
+#include "check/sweeper.h"
+#include "core/filters.h"
+#include "sim/similarity.h"
+#include "util/random.h"
+
+namespace fsjoin::check {
+namespace {
+
+bool SameCorpus(const Corpus& x, const Corpus& y) {
+  if (x.records.size() != y.records.size()) return false;
+  for (size_t i = 0; i < x.records.size(); ++i) {
+    if (x.records[i].tokens != y.records[i].tokens) return false;
+  }
+  return true;
+}
+
+// ---- Scenarios ------------------------------------------------------------
+
+TEST(ScenarioTest, SameSeedSameCorpus) {
+  for (uint64_t seed : {1ull, 7ull, 23ull, 100ull}) {
+    Scenario a = MakeScenario(seed, SimilarityFunction::kJaccard, 0.8);
+    Scenario b = MakeScenario(seed, SimilarityFunction::kJaccard, 0.8);
+    EXPECT_EQ(a.family, b.family);
+    EXPECT_TRUE(SameCorpus(a.corpus, b.corpus)) << "seed " << seed;
+  }
+}
+
+TEST(ScenarioTest, SeedsCycleThroughAllFamilies) {
+  const std::vector<std::string> families = ScenarioFamilies();
+  std::set<std::string> seen;
+  for (uint64_t seed = 0; seed < families.size(); ++seed) {
+    seen.insert(MakeScenario(seed, SimilarityFunction::kJaccard, 0.8).family);
+  }
+  EXPECT_EQ(seen.size(), families.size());
+}
+
+TEST(ScenarioTest, CorpusRoundTripsThroughSets) {
+  Scenario scenario = MakeScenario(11, SimilarityFunction::kDice, 0.75);
+  std::vector<std::vector<uint32_t>> sets = SetsFromCorpus(scenario.corpus);
+  Corpus rebuilt = CorpusFromSets(sets);
+  ASSERT_EQ(rebuilt.records.size(), scenario.corpus.records.size());
+  // Token ids may be re-interned, but set sizes and overlap structure must
+  // survive; spot-check sizes.
+  for (size_t i = 0; i < sets.size(); ++i) {
+    EXPECT_EQ(rebuilt.records[i].tokens.size(), sets[i].size());
+  }
+}
+
+TEST(ScenarioTest, PlantsPairsAtExactlyTheta) {
+  for (SimilarityFunction fn :
+       {SimilarityFunction::kJaccard, SimilarityFunction::kDice,
+        SimilarityFunction::kCosine}) {
+    for (double theta : {0.5, 0.75, 0.8}) {
+      std::vector<std::vector<uint32_t>> sets;
+      Rng rng(99);
+      PlantNearThresholdPairs(&sets, fn, theta, 3, 1000, rng);
+      ASSERT_GE(sets.size(), 2u);
+      // Among all planted pairs there must be at least one exactly at theta
+      // and at least one strictly below.
+      bool at = false, below = false, above = false;
+      for (size_t i = 0; i < sets.size(); ++i) {
+        for (size_t j = i + 1; j < sets.size(); ++j) {
+          std::vector<uint32_t> inter;
+          std::set_intersection(sets[i].begin(), sets[i].end(),
+                                sets[j].begin(), sets[j].end(),
+                                std::back_inserter(inter));
+          if (inter.empty()) continue;
+          const double sim = ComputeSimilarity(fn, inter.size(),
+                                               sets[i].size(), sets[j].size());
+          if (sim == theta) at = true;
+          if (sim < theta) below = true;
+          if (sim > theta) above = true;
+        }
+      }
+      EXPECT_TRUE(at) << SimilarityFunctionName(fn) << " theta " << theta;
+      EXPECT_TRUE(below) << SimilarityFunctionName(fn) << " theta " << theta;
+      EXPECT_TRUE(above) << SimilarityFunctionName(fn) << " theta " << theta;
+    }
+  }
+}
+
+TEST(ScenarioTest, DegenerateFamilyHasEmptyAndTinyRecords) {
+  const std::vector<std::string> families = ScenarioFamilies();
+  const auto it = std::find(families.begin(), families.end(), "degenerate");
+  ASSERT_NE(it, families.end());
+  const uint64_t seed =
+      static_cast<uint64_t>(it - families.begin()) + families.size();
+  Scenario s = MakeScenario(seed, SimilarityFunction::kJaccard, 0.8);
+  ASSERT_EQ(s.family, "degenerate");
+  bool has_empty = false, has_single = false;
+  for (const auto& r : s.corpus.records) {
+    if (r.tokens.empty()) has_empty = true;
+    if (r.tokens.size() == 1) has_single = true;
+  }
+  EXPECT_TRUE(has_empty);
+  EXPECT_TRUE(has_single);
+}
+
+TEST(ScenarioTest, SamePrefixFamilySharesAPrefix) {
+  const std::vector<std::string> families = ScenarioFamilies();
+  const auto it = std::find(families.begin(), families.end(), "same-prefix");
+  ASSERT_NE(it, families.end());
+  const uint64_t seed = static_cast<uint64_t>(it - families.begin());
+  Scenario s = MakeScenario(seed, SimilarityFunction::kJaccard, 0.8);
+  ASSERT_EQ(s.family, "same-prefix");
+  // Every non-planted record carries the shared prefix (>= 2 tokens, >= 20
+  // base records); planted boundary pairs are appended on top, so assert
+  // at least two tokens each appearing in >= 20 records.
+  std::map<TokenId, size_t> freq;
+  for (const auto& r : s.corpus.records) {
+    for (TokenId t : r.tokens) ++freq[t];
+  }
+  size_t hot_tokens = 0;
+  for (const auto& [t, f] : freq) {
+    if (f >= 20) ++hot_tokens;
+  }
+  EXPECT_GE(hot_tokens, 2u);
+}
+
+// ---- Lattice --------------------------------------------------------------
+
+TEST(LatticeTest, SameSeedSamePoints) {
+  std::vector<LatticePoint> a = SampleLattice(42, 12);
+  std::vector<LatticePoint> b = SampleLattice(42, 12);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].Name(), b[i].Name()) << "point " << i;
+  }
+}
+
+TEST(LatticeTest, FirstFourPointsCoverAllAlgorithms) {
+  for (uint64_t seed : {1ull, 2ull, 55ull}) {
+    std::vector<LatticePoint> points = SampleLattice(seed, 8);
+    ASSERT_GE(points.size(), 4u);
+    std::set<Algorithm> algos;
+    for (size_t i = 0; i < 4; ++i) algos.insert(points[i].algorithm);
+    EXPECT_EQ(algos.size(), 4u) << "seed " << seed;
+  }
+}
+
+TEST(LatticeTest, ThetaAndFunctionSharedAcrossPoints) {
+  for (uint64_t seed : {3ull, 17ull, 91ull}) {
+    std::vector<LatticePoint> points = SampleLattice(seed, 10);
+    for (const LatticePoint& p : points) {
+      EXPECT_EQ(p.theta(), points[0].theta());
+      EXPECT_EQ(p.function(), points[0].function());
+      // Baseline config mirrors the shared semantic knobs.
+      EXPECT_EQ(p.baseline.theta, p.fsjoin.theta);
+      EXPECT_EQ(p.baseline.function, p.fsjoin.function);
+    }
+  }
+}
+
+TEST(LatticeTest, ConfigsValidate) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    for (const LatticePoint& p : SampleLattice(seed, 8)) {
+      if (p.algorithm == Algorithm::kFsJoin) {
+        EXPECT_TRUE(p.fsjoin.Validate().ok()) << p.Name();
+      } else {
+        EXPECT_TRUE(p.baseline.Validate().ok()) << p.Name();
+      }
+    }
+  }
+}
+
+// ---- Invariant checker ----------------------------------------------------
+
+class InvariantTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    points_ = SampleLattice(5, 8);
+    // Use an FS-Join point so filter/partial invariants are active.
+    for (const LatticePoint& p : points_) {
+      if (p.algorithm == Algorithm::kFsJoin) {
+        point_ = p;
+        break;
+      }
+    }
+    scenario_ = MakeScenario(5, point_.function(), point_.theta());
+    oracle_ = BuildOracle(scenario_.corpus, point_.function(), point_.theta());
+    Result<RunOutcome> outcome = RunPoint(scenario_.corpus, point_);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    outcome_ = *std::move(outcome);
+  }
+
+  std::vector<LatticePoint> points_;
+  LatticePoint point_;
+  Scenario scenario_;
+  Oracle oracle_;
+  RunOutcome outcome_;
+};
+
+TEST_F(InvariantTest, CleanRunPasses) {
+  std::vector<std::string> messages =
+      CheckInvariants(scenario_.corpus, oracle_, point_, outcome_);
+  EXPECT_TRUE(messages.empty())
+      << "unexpected violations:\n" << messages.front();
+}
+
+TEST_F(InvariantTest, DetectsDroppedPair) {
+  ASSERT_FALSE(outcome_.pairs.empty());
+  RunOutcome doctored = outcome_;
+  doctored.pairs.pop_back();
+  std::vector<std::string> messages =
+      CheckInvariants(scenario_.corpus, oracle_, point_, doctored);
+  EXPECT_FALSE(messages.empty());
+}
+
+TEST_F(InvariantTest, DetectsUnbalancedFilterCounters) {
+  RunOutcome doctored = outcome_;
+  doctored.filters.pruned_segl += 1;
+  std::vector<std::string> messages =
+      CheckInvariants(scenario_.corpus, oracle_, point_, doctored);
+  bool found = false;
+  for (const std::string& m : messages) {
+    if (m.find("unbalanced") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(InvariantTest, DetectsBrokenPartialConservation) {
+  ASSERT_FALSE(outcome_.partials.empty());
+  RunOutcome doctored = outcome_;
+  doctored.partials.pop_back();
+  std::vector<std::string> messages =
+      CheckInvariants(scenario_.corpus, oracle_, point_, doctored);
+  bool found = false;
+  for (const std::string& m : messages) {
+    if (m.find("conservation") != std::string::npos ||
+        m.find("over-count") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(InvariantTest, DetectsByteAccountingDrift) {
+  ASSERT_FALSE(outcome_.jobs.empty());
+  RunOutcome doctored = outcome_;
+  doctored.jobs[0].shuffle_bytes += 1;
+  std::vector<std::string> messages =
+      CheckInvariants(scenario_.corpus, oracle_, point_, doctored);
+  bool found = false;
+  for (const std::string& m : messages) {
+    if (m.find("shuffle_bytes") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(InvariantTest, DetectsDoubleEmission) {
+  RunOutcome doctored = outcome_;
+  doctored.final_reduce_output_records += 1;
+  std::vector<std::string> messages =
+      CheckInvariants(scenario_.corpus, oracle_, point_, doctored);
+  EXPECT_FALSE(messages.empty());
+}
+
+TEST(DigestTest, SensitiveToPairsAndSimilarityBits) {
+  JoinResultSet pairs;
+  pairs.push_back({1, 2, 0.875});
+  pairs.push_back({3, 9, 0.8125});
+  const uint32_t base = ResultDigest(pairs);
+  EXPECT_EQ(base, ResultDigest(pairs));
+
+  JoinResultSet fewer = pairs;
+  fewer.pop_back();
+  EXPECT_NE(ResultDigest(fewer), base);
+
+  JoinResultSet drifted = pairs;
+  drifted[0].similarity += 1e-15;
+  EXPECT_NE(ResultDigest(drifted), base);
+
+  EXPECT_EQ(ResultDigest({}), ResultDigest({}));
+}
+
+// ---- Minimizer ------------------------------------------------------------
+
+TEST(MinimizerTest, ShrinksToMinimalWitness) {
+  // Synthetic predicate (no joins): fails iff at least two distinct records
+  // contain token 7. The minimal witness is two single-token records.
+  std::vector<std::vector<uint32_t>> sets;
+  Rng rng(4);
+  for (int i = 0; i < 24; ++i) {
+    std::vector<uint32_t> set;
+    for (int j = 0; j < 6; ++j) set.push_back(rng.NextBounded(40));
+    if (i % 5 == 0) set.push_back(7);
+    std::sort(set.begin(), set.end());
+    set.erase(std::unique(set.begin(), set.end()), set.end());
+    sets.push_back(std::move(set));
+  }
+  Corpus corpus = CorpusFromSets(sets);
+  FailurePredicate fails = [](const Corpus& c, const LatticePoint&) {
+    int with_token = 0;
+    for (const auto& set : SetsFromCorpus(c)) {
+      if (std::find(set.begin(), set.end(), 7u) != set.end()) ++with_token;
+    }
+    return with_token >= 2;
+  };
+  LatticePoint point;
+  MinimizedRepro repro = Minimize(corpus, point, fails);
+  EXPECT_EQ(repro.sets.size(), 2u);
+  for (const auto& set : repro.sets) {
+    EXPECT_EQ(set, (std::vector<uint32_t>{7u}));
+  }
+  EXPECT_GT(repro.predicate_runs, 0u);
+  EXPECT_EQ(repro.original_records, 24u);
+}
+
+TEST(MinimizerTest, NonFailingInputReturnsUnchanged) {
+  Corpus corpus = CorpusFromSets({{1, 2}, {3, 4}});
+  FailurePredicate never = [](const Corpus&, const LatticePoint&) {
+    return false;
+  };
+  LatticePoint point;
+  MinimizedRepro repro = Minimize(corpus, point, never);
+  EXPECT_EQ(repro.sets.size(), 2u);
+  EXPECT_EQ(repro.predicate_runs, 1u);
+}
+
+TEST(MinimizerTest, ReproPrintsAsCppTest) {
+  MinimizedRepro repro;
+  repro.sets = {{1, 2, 3}, {1, 2}};
+  repro.point.fsjoin.theta = 0.75;
+  repro.point.fsjoin.num_vertical_partitions = 2;
+  repro.failure = "result mismatch vs oracle";
+  const std::string code = repro.ToCppTestCase();
+  EXPECT_NE(code.find("TEST(FuzzRepro, Minimized)"), std::string::npos);
+  EXPECT_NE(code.find("CorpusFromTokenSets"), std::string::npos);
+  EXPECT_NE(code.find("{1, 2, 3}"), std::string::npos);
+  EXPECT_NE(code.find("config.num_vertical_partitions = 2;"),
+            std::string::npos);
+  EXPECT_NE(code.find("BruteForceJoin"), std::string::npos);
+}
+
+// ---- Sweeper + fault injection -------------------------------------------
+
+TEST(SweeperTest, CleanSweepPasses) {
+  SweepOptions options;
+  options.seed_begin = 1;
+  options.seed_count = 4;
+  options.lattice_points = 6;
+  SweepReport report = RunSweep(options);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_EQ(report.seeds_run, 4u);
+  EXPECT_EQ(report.points_run, 24u);
+  EXPECT_NE(report.Summary().find("verdict: PASS"), std::string::npos);
+}
+
+TEST(SweeperTest, SummaryIsDeterministic) {
+  SweepOptions options;
+  options.seed_begin = 2;
+  options.seed_count = 3;
+  options.lattice_points = 5;
+  EXPECT_EQ(RunSweep(options).Summary(), RunSweep(options).Summary());
+}
+
+// The acceptance self-test: a deliberate off-by-one in the SegL required
+// overlap must (a) be caught by the sweep and (b) shrink to a tiny repro.
+TEST(SweeperTest, SegLFaultIsDetectedAndMinimized) {
+  FilterFaultInjection fault;
+  fault.segl_required_bias = 1;
+  ScopedFilterFault scoped(fault);
+
+  SweepOptions options;
+  options.seed_begin = 1;
+  options.seed_count = 10;
+  options.lattice_points = 8;
+  options.max_failures = 1;
+  SweepReport report = RunSweep(options);
+  ASSERT_FALSE(report.ok())
+      << "SegL +1 bias went undetected over 10 seeds x 8 points";
+  const SweepFailure& failure = report.failures.front();
+  ASSERT_TRUE(failure.minimized);
+  EXPECT_LE(failure.repro.sets.size(), 6u)
+      << "minimizer left " << failure.repro.sets.size() << " records";
+  EXPECT_LT(failure.repro.sets.size(), failure.repro.original_records);
+  EXPECT_FALSE(failure.repro.failure.empty());
+  const std::string code = failure.repro.ToCppTestCase();
+  EXPECT_NE(code.find("TEST(FuzzRepro, Minimized)"), std::string::npos);
+  EXPECT_NE(report.Summary().find("verdict: FAIL"), std::string::npos);
+}
+
+TEST(SweeperTest, SegIFaultIsDetected) {
+  FilterFaultInjection fault;
+  fault.segi_required_bias = 1;
+  ScopedFilterFault scoped(fault);
+
+  SweepOptions options;
+  options.seed_begin = 1;
+  options.seed_count = 10;
+  options.lattice_points = 8;
+  options.max_failures = 1;
+  options.minimize = false;
+  SweepReport report = RunSweep(options);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(FaultInjectionTest, ScopedFaultRestoresPreviousState) {
+  EXPECT_FALSE(GetFilterFaultInjection().Active());
+  {
+    FilterFaultInjection outer;
+    outer.segl_required_bias = 2;
+    ScopedFilterFault a(outer);
+    EXPECT_EQ(GetFilterFaultInjection().segl_required_bias, 2);
+    {
+      FilterFaultInjection inner;
+      inner.segi_required_bias = -1;
+      ScopedFilterFault b(inner);
+      EXPECT_EQ(GetFilterFaultInjection().segi_required_bias, -1);
+      EXPECT_EQ(GetFilterFaultInjection().segl_required_bias, 0);
+    }
+    EXPECT_EQ(GetFilterFaultInjection().segl_required_bias, 2);
+  }
+  EXPECT_FALSE(GetFilterFaultInjection().Active());
+}
+
+}  // namespace
+}  // namespace fsjoin::check

@@ -1,0 +1,50 @@
+// Bounded differential-fuzz smoke tier (ctest label: fuzz-smoke).
+//
+// 64 fixed seeds x 8 lattice points, every seed verified against the serial
+// brute-force oracle with the full invariant battery (result equality,
+// partial-overlap conservation, filter-counter balance, JobMetrics byte
+// accounting, cross-config digest identity). The range is split across
+// several TESTs so `ctest -j` spreads the work; each shard takes well under
+// the 30 s budget even under asan. The long seeded sweep lives in CI
+// (`fsjoin_fuzz --seeds`), not here.
+
+#include <gtest/gtest.h>
+
+#include "check/lattice.h"
+#include "check/sweeper.h"
+
+namespace fsjoin::check {
+namespace {
+
+void RunShard(uint64_t seed_begin, uint64_t seed_count) {
+  SweepOptions options;
+  options.seed_begin = seed_begin;
+  options.seed_count = seed_count;
+  options.lattice_points = 8;
+  SweepReport report = RunSweep(options);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_EQ(report.seeds_run, seed_count);
+  EXPECT_EQ(report.points_run, seed_count * options.lattice_points);
+}
+
+TEST(FuzzSmoke, Seeds1To16) { RunShard(1, 16); }
+TEST(FuzzSmoke, Seeds17To32) { RunShard(17, 16); }
+TEST(FuzzSmoke, Seeds33To48) { RunShard(33, 16); }
+TEST(FuzzSmoke, Seeds49To64) { RunShard(49, 16); }
+
+// Every shard exercises all four algorithms: the first four lattice points
+// of every seed cover them by construction.
+TEST(FuzzSmoke, AllAlgorithmsCovered) {
+  for (uint64_t seed = 1; seed <= 64; ++seed) {
+    std::vector<LatticePoint> points = SampleLattice(seed, 8);
+    ASSERT_GE(points.size(), 4u);
+    bool seen[4] = {false, false, false, false};
+    for (size_t i = 0; i < 4; ++i) {
+      seen[static_cast<int>(points[i].algorithm)] = true;
+    }
+    EXPECT_TRUE(seen[0] && seen[1] && seen[2] && seen[3]) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace fsjoin::check

@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include "core/fsjoin.h"
 #include "core/horizontal.h"
+#include "sim/serial_join.h"
 #include "test_util.h"
 
 namespace fsjoin {
@@ -157,6 +159,78 @@ TEST(HorizontalTest, MembershipBoundedWithGappedPivots) {
   for (uint32_t len = 1; len <= 120; ++len) {
     EXPECT_LE(scheme.GroupsOf(len).size(), 3u) << "len=" << len;
   }
+}
+
+// ---- Boundary-band edge cases ---------------------------------------------
+
+// t = 0 via the full pipeline: num_horizontal_partitions = 0 must behave
+// exactly like the disabled scheme (one group, everything joined there).
+TEST(HorizontalTest, EndToEndZeroPivots) {
+  Corpus corpus = ::fsjoin::testing::RandomCorpus(30, 40, 0.9, 6.0, 31);
+  FsJoinConfig config;
+  config.theta = 0.7;
+  config.num_vertical_partitions = 4;
+  config.num_horizontal_partitions = 0;
+  JoinResultSet expected = BruteForceJoin(::fsjoin::testing::OrderedView(corpus),
+                                          config.function, config.theta);
+  Result<FsJoinOutput> result = FsJoin(config).Run(corpus);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(SamePairs(expected, result->pairs))
+      << DiffResults(expected, result->pairs);
+}
+
+// Fragment smaller than 2t+1: fewer records than length groups. Most groups
+// are empty; coverage and dedup must still hold.
+TEST(HorizontalTest, EndToEndFewerRecordsThanGroups) {
+  Corpus corpus = ::fsjoin::testing::CorpusFromTokenSets({
+      {1, 2, 3},
+      {1, 2, 3, 4},
+      {1, 2, 3, 4, 5, 6, 7, 8},
+  });
+  for (uint32_t t : {3u, 5u, 8u}) {  // up to 17 groups for 3 records
+    FsJoinConfig config;
+    config.theta = 0.6;
+    config.num_vertical_partitions = 2;
+    config.num_horizontal_partitions = t;
+    JoinResultSet expected = BruteForceJoin(
+        ::fsjoin::testing::OrderedView(corpus), config.function, config.theta);
+    Result<FsJoinOutput> result = FsJoin(config).Run(corpus);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_TRUE(SamePairs(expected, result->pairs))
+        << "t=" << t << "\n" << DiffResults(expected, result->pairs);
+  }
+}
+
+// All records equal length: every quantile candidate collapses to one
+// value, so at most one pivot survives and no band can straddle anything —
+// yet the result must stay exact end to end.
+TEST(HorizontalTest, EndToEndAllRecordsEqualLength) {
+  std::vector<std::vector<uint32_t>> sets;
+  for (uint32_t i = 0; i < 12; ++i) {
+    // Length-5 sets with heavy overlap between neighbors.
+    sets.push_back({i, i + 1, i + 2, i + 3, i + 4});
+  }
+  Corpus corpus = ::fsjoin::testing::CorpusFromTokenSets(sets);
+  FsJoinConfig config;
+  config.theta = 0.6;
+  config.num_vertical_partitions = 3;
+  config.num_horizontal_partitions = 4;
+  JoinResultSet expected = BruteForceJoin(::fsjoin::testing::OrderedView(corpus),
+                                          config.function, config.theta);
+  Result<FsJoinOutput> result = FsJoin(config).Run(corpus);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(SamePairs(expected, result->pairs))
+      << DiffResults(expected, result->pairs);
+}
+
+// Zero-length (empty) records must have a well-defined main group and never
+// join anything at positive theta.
+TEST(HorizontalTest, ZeroLengthMembership) {
+  HorizontalScheme scheme({10, 20}, SimilarityFunction::kJaccard, 0.8);
+  std::vector<uint32_t> groups = scheme.GroupsOf(0);
+  ASSERT_FALSE(groups.empty());
+  EXPECT_EQ(groups.front(), scheme.MainGroupOf(0));
+  EXPECT_EQ(scheme.MainGroupOf(0), 0u);
 }
 
 TEST(HorizontalTest, SelectLengthPivotsEnforcesGeometricGap) {

@@ -5,6 +5,8 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <map>
+#include <set>
 
 #include "test_util.h"
 #include "text/corpus.h"
@@ -129,6 +131,29 @@ TEST(CorpusTest, StatsMatchDefinition) {
 
 // ---- Generator ------------------------------------------------------------
 
+TEST(GeneratorTest, ZeroRecordsOrZeroVocabYieldsEmptyCorpus) {
+  // Regression: these used to crash on an FSJOIN_CHECK instead of returning
+  // an empty corpus. A zero-sized request is a valid (empty) corpus.
+  SyntheticCorpusConfig zero_records;
+  zero_records.num_records = 0;
+  zero_records.vocab_size = 100;
+  Corpus a = GenerateCorpus(zero_records);
+  EXPECT_EQ(a.NumRecords(), 0u);
+  EXPECT_TRUE(a.Validate().ok());
+
+  SyntheticCorpusConfig zero_vocab;
+  zero_vocab.num_records = 10;
+  zero_vocab.vocab_size = 0;
+  Corpus b = GenerateCorpus(zero_vocab);
+  EXPECT_EQ(b.NumRecords(), 0u);
+  EXPECT_TRUE(b.Validate().ok());
+
+  SyntheticCorpusConfig both_zero;
+  both_zero.num_records = 0;
+  both_zero.vocab_size = 0;
+  EXPECT_EQ(GenerateCorpus(both_zero).NumRecords(), 0u);
+}
+
 TEST(GeneratorTest, DeterministicForSeed) {
   SyntheticCorpusConfig cfg;
   cfg.num_records = 200;
@@ -225,6 +250,84 @@ TEST(CorpusIoTest, MissingFileIsIoError) {
   Result<Corpus> r = ReadCorpusText("/nonexistent/path/xyz.txt");
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+// ---- Round-trip property ---------------------------------------------------
+
+// tokenizer -> dictionary -> global order is lossless: ranks map back to
+// the exact per-record token sets, and token multiplicity (how many records
+// contain each token) is preserved by the ordering — 100 seeded iterations
+// over random corpora with duplicate tokens inside lines.
+TEST(RoundTripProperty, TokenizeDictionaryGlobalOrderPreservesMultiplicity) {
+  WhitespaceTokenizer tokenizer;
+  for (uint64_t iter = 0; iter < 100; ++iter) {
+    Rng rng(1000 + iter);
+    const size_t num_records = 1 + rng.NextBounded(20);
+    const uint32_t vocab = 1 + static_cast<uint32_t>(rng.NextBounded(30));
+    std::vector<std::string> lines;
+    std::vector<std::set<std::string>> expected_sets;
+    for (size_t r = 0; r < num_records; ++r) {
+      const size_t len = rng.NextBounded(12);  // may be 0: empty record
+      std::string line;
+      std::set<std::string> expected;
+      for (size_t k = 0; k < len; ++k) {
+        // Duplicates within a line are likely and must collapse.
+        std::string word = "w" + std::to_string(rng.NextBounded(vocab));
+        expected.insert(word);
+        if (!line.empty()) line += ' ';
+        line += word;
+      }
+      lines.push_back(line);
+      expected_sets.push_back(std::move(expected));
+    }
+
+    Corpus corpus = BuildCorpus(lines, tokenizer);
+    ASSERT_TRUE(corpus.Validate().ok()) << "iter " << iter;
+    ASSERT_EQ(corpus.NumRecords(), num_records);
+
+    // Dictionary multiplicity: frequency of each token == number of
+    // records whose set contains it.
+    std::map<std::string, uint64_t> expected_freq;
+    for (const auto& set : expected_sets) {
+      for (const std::string& word : set) ++expected_freq[word];
+    }
+    uint64_t expected_total = 0;
+    for (const auto& [word, f] : expected_freq) {
+      auto id = corpus.dictionary.Lookup(word);
+      ASSERT_TRUE(id.ok()) << "iter " << iter << " lost token " << word;
+      EXPECT_EQ(corpus.dictionary.Frequency(*id), f)
+          << "iter " << iter << " token " << word;
+      expected_total += f;
+    }
+
+    // Global order is a bijection on the token domain; mapping ranks back
+    // through TokenAt recovers each record's exact token set, and the
+    // summed per-rank frequency equals the corpus's total multiplicity.
+    GlobalOrder order = GlobalOrder::FromCorpus(corpus);
+    ASSERT_EQ(order.NumTokens(), corpus.dictionary.size());
+    std::vector<OrderedRecord> ordered = ApplyGlobalOrder(corpus, order);
+    ASSERT_EQ(ordered.size(), num_records);
+    for (size_t r = 0; r < num_records; ++r) {
+      EXPECT_EQ(ordered[r].tokens.size(), expected_sets[r].size());
+      std::set<std::string> recovered;
+      for (TokenRank rank : ordered[r].tokens) {
+        recovered.insert(
+            corpus.dictionary.TokenString(order.TokenAt(rank)));
+      }
+      EXPECT_EQ(recovered, expected_sets[r]) << "iter " << iter
+                                             << " record " << r;
+    }
+    uint64_t rank_total = 0;
+    for (TokenRank rank = 0; rank < order.NumTokens(); ++rank) {
+      rank_total += order.FrequencyAt(rank);
+      if (rank > 0) {
+        EXPECT_GE(order.FrequencyAt(rank), order.FrequencyAt(rank - 1))
+            << "global order not ascending in frequency at rank " << rank;
+      }
+    }
+    EXPECT_EQ(rank_total, expected_total) << "iter " << iter;
+    EXPECT_EQ(rank_total, corpus.TotalTokens()) << "iter " << iter;
+  }
 }
 
 }  // namespace
