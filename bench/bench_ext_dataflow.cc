@@ -1,10 +1,10 @@
 // Extension (paper §VII future work: "other Big Data platforms, like
 // Spark"): the same FS-Join logical plans executed on the Hadoop-style MR
-// backend vs the Spark-style fused dataflow backend. Expected shape:
-// identical results, but the dataflow run eliminates the verification
-// stage's identity-map pass and the between-job materializations, so it is
-// faster and moves fewer bytes — the well-known Spark-over-Hadoop effect
-// for multi-job pipelines.
+// backend vs the Spark-style fused dataflow backend, crossed with the
+// overlap-kernel family (scalar reference, PR-3 word-packed, SIMD
+// container pipelines). Expected shape: identical results across every
+// cell — checked by ResultDigest — with the fused backend cutting passes
+// and materialization and the SIMD kernels cutting filtering-phase time.
 //
 // Flags: --warmup=N --repeat=N --json[=PATH]
 
@@ -13,8 +13,10 @@
 #include <optional>
 
 #include "bench_util.h"
+#include "check/invariants.h"
 #include "exec/exec_config.h"
 #include "sim/join_result.h"
+#include "util/simd.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
 
@@ -23,65 +25,91 @@ namespace {
 
 void Run(const BenchOptions& options) {
   PrintBanner("Extension — Spark-style dataflow vs Hadoop-style MR "
-              "(paper §VII future work)",
+              "(paper §VII future work), crossed with overlap kernels",
               "same plans, same results; the fused backend cuts passes and "
-              "materialization");
+              "materialization, the SIMD kernels cut filtering time");
+  std::printf("simd: isa=%s\n", SimdIsaName(DetectedSimdIsa()));
 
   const double theta = 0.8;
+  constexpr exec::KernelMode kKernels[] = {exec::KernelMode::kScalar,
+                                           exec::KernelMode::kPacked,
+                                           exec::KernelMode::kSimd};
   std::vector<BenchRecord> records;
   for (Workload& w : AllWorkloads(0.5)) {
     std::printf("\n[%s] %zu records, theta = %.2f\n", w.name.c_str(),
                 w.corpus.NumRecords(), theta);
-    TablePrinter table({"backend", "wall (ms)", "shuffle", "materialized",
-                        "results", "same pairs"});
+    TablePrinter table({"backend", "kernel", "wall (ms)", "filter (ms)",
+                        "shuffle", "results", "digest"});
 
-    JoinResultSet mr_pairs;
-    bool have_mr_pairs = false;
+    // Digest of the scalar MR run — every other cell must reproduce it
+    // byte for byte (the bounded kernels change *when* a merge stops, never
+    // what survives).
+    std::optional<uint32_t> reference_digest;
     for (exec::BackendKind kind :
          {exec::BackendKind::kMapReduce, exec::BackendKind::kFusedFlow}) {
-      FsJoinConfig config = DefaultFsConfig(theta);
-      config.exec.backend = kind;
-      std::optional<Result<FsJoinOutput>> result;
-      double wall_micros = MinWallMicros(
-          options, [&] { result.emplace(FsJoin(config).Run(w.corpus)); });
-      Result<FsJoinOutput>& out = *result;
-      if (!out.ok()) {
-        std::printf("FAIL: %s\n", out.status().ToString().c_str());
-        continue;
-      }
-
-      uint64_t shuffle = 0, materialized = 0;
-      if (kind == exec::BackendKind::kMapReduce) {
-        // MR materializes every job's input+output through the DFS.
-        for (const mr::JobMetrics& j : out->report.AllJobs()) {
-          shuffle += j.shuffle_bytes;
-          materialized += j.map_input_bytes + j.reduce_output_bytes;
+      for (exec::KernelMode kernel : kKernels) {
+        FsJoinConfig config = DefaultFsConfig(theta);
+        config.exec.backend = kind;
+        config.exec.kernel = kernel;
+        std::optional<Result<FsJoinOutput>> result;
+        // Track the filtering job's own wall time as a min over repeats
+        // too — the per-job split is noisier than end-to-end wall on a
+        // loaded machine.
+        uint64_t min_filter_micros = ~uint64_t{0};
+        double wall_micros = MinWallMicros(options, [&] {
+          result.emplace(FsJoin(config).Run(w.corpus));
+          if (result->ok()) {
+            const uint64_t f =
+                (*result)->report.filtering_job.total_wall_micros;
+            if (f > 0 && f < min_filter_micros) min_filter_micros = f;
+          }
+        });
+        Result<FsJoinOutput>& out = *result;
+        if (!out.ok()) {
+          std::printf("FAIL: %s\n", out.status().ToString().c_str());
+          continue;
         }
-      } else {
-        for (const flow::Pipeline::Metrics& p : out->report.flow_pipelines) {
-          shuffle += p.shuffle_bytes;
-          materialized += p.materialized_bytes;
+
+        uint64_t shuffle = 0;
+        if (kind == exec::BackendKind::kMapReduce) {
+          for (const mr::JobMetrics& j : out->report.AllJobs()) {
+            shuffle += j.shuffle_bytes;
+          }
+        } else {
+          for (const flow::Pipeline::Metrics& p :
+               out->report.flow_pipelines) {
+            shuffle += p.shuffle_bytes;
+          }
         }
-      }
 
-      const bool same = have_mr_pairs && SamePairs(mr_pairs, out->pairs);
-      if (kind == exec::BackendKind::kMapReduce) {
-        mr_pairs = out->pairs;
-        have_mr_pairs = true;
-      }
-      table.AddRow(
-          {kind == exec::BackendKind::kMapReduce ? "MapReduce (3 jobs)"
-                                                 : "Dataflow (2 pipelines)",
-           StrFormat("%.0f", wall_micros / 1000.0), HumanBytes(shuffle),
-           HumanBytes(materialized), WithThousandsSep(out->pairs.size()),
-           kind == exec::BackendKind::kMapReduce ? "-"
-                                                 : (same ? "yes" : "NO!")});
+        const uint32_t digest = check::ResultDigest(out->pairs);
+        if (!reference_digest) reference_digest = digest;
+        const bool same = digest == *reference_digest;
+        // The fused backend accounts wall time per pipeline, not per job,
+        // so the per-job filter column only applies to MR.
+        const uint64_t filter_micros =
+            min_filter_micros == ~uint64_t{0} ? 0 : min_filter_micros;
+        table.AddRow({exec::BackendKindName(kind),
+                      out->report.filtering_job.join_kernel,
+                      StrFormat("%.0f", wall_micros / 1000.0),
+                      filter_micros == 0
+                          ? std::string("-")
+                          : StrFormat("%.0f",
+                                      static_cast<double>(filter_micros) /
+                                          1000.0),
+                      HumanBytes(shuffle),
+                      WithThousandsSep(out->pairs.size()),
+                      same ? StrFormat("%08x", digest)
+                           : StrFormat("%08x MISMATCH!", digest)});
 
-      BenchRecord record;
-      record.name = w.name + "/" + exec::BackendKindName(kind);
-      record.wall_micros = wall_micros;
-      record.shuffle_bytes = shuffle;
-      records.push_back(std::move(record));
+        BenchRecord record;
+        record.name = StrFormat("%s/%s/%s", w.name.c_str(),
+                                exec::BackendKindName(kind),
+                                exec::KernelModeName(kernel));
+        record.wall_micros = wall_micros;
+        record.shuffle_bytes = shuffle;
+        records.push_back(std::move(record));
+      }
     }
     table.Print(std::cout);
   }

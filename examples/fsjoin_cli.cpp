@@ -14,6 +14,8 @@
 //   --aggressive        paper-aggressive segment prefixes (faster,
 //                       may miss borderline pairs)
 //   --backend NAME      mr | flow (execution backend)         [mr]
+//   --kernel NAME       auto | scalar | packed | simd overlap kernel
+//                       family for fragment-join verification [auto]
 //   --threads N         engine worker threads                 [0 = inline]
 //   --parallel-join     morsel-parallel fragment joins (same results,
 //                       work-stealing over --threads workers)
@@ -46,6 +48,7 @@ struct CliOptions {
   std::string method = "prefix";
   std::string function = "jaccard";
   std::string backend = "mr";
+  std::string kernel = "auto";
   std::string spill_dir;
   double theta = 0.8;
   uint32_t fragments = 30;
@@ -64,7 +67,8 @@ int Usage(const char* argv0) {
                "[--function jaccard|dice|cosine] [--tokenizer "
                "word|whitespace|qgramN] [--fragments N] [--horizontal N] "
                "[--method loop|index|prefix] [--aggressive] "
-               "[--backend mr|flow] [--threads N] "
+               "[--backend mr|flow] [--kernel auto|scalar|packed|simd] "
+               "[--threads N] "
                "[--parallel-join] [--morsel N] "
                "[--shuffle-mem SIZE] [--spill-dir DIR] "
                "[--output FILE] [--report]\n",
@@ -160,6 +164,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Usage(argv[0]);
       opts.backend = v;
+    } else if (arg == "--kernel") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      opts.kernel = v;
     } else if (arg == "--threads") {
       const char* v = next();
       if (!v) return Usage(argv[0]);
@@ -227,6 +235,14 @@ int main(int argc, char** argv) {
       return 1;
     }
     config.exec.backend = *backend;
+  }
+  {
+    auto kernel = fsjoin::exec::KernelModeFromName(opts.kernel);
+    if (!kernel.ok()) {
+      std::fprintf(stderr, "%s\n", kernel.status().ToString().c_str());
+      return 1;
+    }
+    config.exec.kernel = *kernel;
   }
   config.aggressive_segment_prefix = opts.aggressive;
   {

@@ -24,6 +24,12 @@ constexpr size_t kThreads[] = {0, 2, 4};
 constexpr size_t kMorsels[] = {1, 7, 64};
 constexpr uint64_t kSpillBudgets[] = {0, 256, 4096};
 constexpr uint32_t kTaskCounts[] = {1, 3, 5, 8};
+// Kernel families weighted toward the vectorized path (the new code under
+// test); kAuto resolves per machine, so scalar/packed/simd are also listed
+// explicitly to keep every family in the sweep regardless of CPU.
+constexpr exec::KernelMode kKernels[] = {
+    exec::KernelMode::kAuto, exec::KernelMode::kSimd, exec::KernelMode::kSimd,
+    exec::KernelMode::kPacked, exec::KernelMode::kScalar};
 
 template <typename T, size_t N>
 T Pick(const T (&menu)[N], Rng& rng) {
@@ -42,6 +48,7 @@ exec::ExecConfig SampleExec(Rng& rng) {
     exec.join_morsel_size = Pick(kMorsels, rng);
   }
   exec.shuffle_memory_bytes = Pick(kSpillBudgets, rng);
+  exec.kernel = Pick(kKernels, rng);
   return exec;
 }
 
@@ -66,11 +73,12 @@ std::string LatticePoint::Name() const {
     const exec::ExecConfig& e = fsjoin.exec;
     return StrFormat(
         "fsjoin(%s, backend=%s, maps=%u, reduces=%u, threads=%zu, "
-        "morsel=%zu, spill=%llu)",
+        "morsel=%zu, spill=%llu, kernel=%s)",
         fsjoin.Summary().c_str(), exec::BackendKindName(e.backend),
         e.num_map_tasks, e.num_reduce_tasks, e.num_threads,
         e.parallel_fragment_join ? e.join_morsel_size : size_t{0},
-        static_cast<unsigned long long>(e.shuffle_memory_bytes));
+        static_cast<unsigned long long>(e.shuffle_memory_bytes),
+        exec::KernelModeName(e.kernel));
   }
   const exec::ExecConfig& e = baseline.exec;
   return StrFormat(

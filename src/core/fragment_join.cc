@@ -1,14 +1,6 @@
 #include "core/fragment_join.h"
 
-#include <algorithm>
-#include <limits>
-#include <memory>
-#include <mutex>
-#include <unordered_map>
-#include <utility>
-
-#include "core/filters.h"
-#include "sim/set_ops.h"
+#include "core/join_pipeline.h"
 #include "util/logging.h"
 
 namespace fsjoin {
@@ -24,311 +16,16 @@ void FilterCounters::Add(const FilterCounters& other) {
   emitted += other.emitted;
 }
 
-namespace {
-
-/// |x ∩ y| for two batch rows. Short segments go through the word-packed
-/// bucket-bitmap reject first: one AND decides "provably disjoint" and
-/// skips the merge entirely (the empty_overlap case, which dominates sparse
-/// fragments). Longer segments saturate the 64-bit summary, so the gate is
-/// skipped and the size-skew-dispatching merge runs directly.
-inline uint64_t BatchOverlap(const SegmentBatch& batch, uint32_t i,
-                             uint32_t j) {
-  const uint32_t li = batch.length(i);
-  const uint32_t lj = batch.length(j);
-  if (std::min(li, lj) <= kPackedMaxTokens &&
-      (batch.bitmap(i) & batch.bitmap(j)) == 0) {
-    return 0;
-  }
-  return SortedOverlap(batch.tokens(i), li, batch.tokens(j), lj);
-}
-
-/// Runs the shared filter pipeline on one candidate segment pair and emits
-/// its partial overlap when it survives.
-void ProcessPair(const SegmentBatch& batch, uint32_t i, uint32_t j,
-                 const FragmentJoinOptions& opts,
-                 std::vector<PartialOverlap>* out, FilterCounters* counters) {
-  ++counters->pairs_considered;
-  const SegmentView x = batch.View(i);
-  const SegmentView y = batch.View(j);
-  if (opts.pair_allowed && !opts.pair_allowed(x, y)) {
-    ++counters->pruned_role;
-    return;
-  }
-  if (opts.use_length_filter &&
-      StrLengthPrunes(opts.function, opts.theta, x.record_size,
-                      y.record_size)) {
-    ++counters->pruned_strl;
-    return;
-  }
-  if (opts.use_segment_length_filter &&
-      SegmentLengthPrunes(opts.function, opts.theta, x, y)) {
-    ++counters->pruned_segl;
-    return;
-  }
-  const uint64_t overlap = BatchOverlap(batch, i, j);
-  if (overlap == 0) {
-    ++counters->empty_overlap;
-    return;
-  }
-  if (opts.use_segment_intersection_filter) {
-    if (SegmentIntersectionPrunes(opts.function, opts.theta, x, y, overlap)) {
-      ++counters->pruned_segi;
-      return;
-    }
-    // Local-overlap gate: any θ-similar pair satisfies
-    // c_i >= SegmentMinLocalOverlap for BOTH segments (the bound behind the
-    // Prefix Join; see DESIGN.md), so partial counts below it belong to
-    // dissimilar pairs and can be dropped without affecting the result.
-    if (overlap < SegmentMinLocalOverlap(opts.function, opts.theta, x) ||
-        overlap < SegmentMinLocalOverlap(opts.function, opts.theta, y)) {
-      ++counters->pruned_segi;
-      return;
-    }
-  }
-  if (opts.use_segment_difference_filter &&
-      SegmentDifferencePrunes(opts.function, opts.theta, x, y, overlap)) {
-    ++counters->pruned_segd;
-    return;
-  }
-  PartialOverlap result;
-  if (x.rid <= y.rid) {
-    result = PartialOverlap{x.rid, y.rid, x.record_size, y.record_size,
-                            overlap};
-  } else {
-    result = PartialOverlap{y.rid, x.rid, y.record_size, x.record_size,
-                            overlap};
-  }
-  out->push_back(result);
-  ++counters->emitted;
-}
-
-/// Runs probes [0, probes) in morsels of opts.morsel_size on the shared
-/// pool; `fn(begin, end, out, counters)` must append the probe range's
-/// results in serial order. Each morsel writes its own buffers, merged in
-/// morsel-index order afterwards, so the concatenation equals the serial
-/// probe order and the counter sums are exact — output and counters are
-/// byte-identical to the serial run regardless of morsel size, thread
-/// count, or scheduling. Falls back to one serial call when morsels are
-/// disabled or the fragment fits in a single morsel.
-template <typename RangeFn>
-void RunMorsels(uint32_t probes, const FragmentJoinOptions& opts,
-                const RangeFn& fn, std::vector<PartialOverlap>* out,
-                FilterCounters* counters) {
-  const size_t morsel = opts.morsel_size;
-  if (opts.morsel_pool == nullptr || morsel == 0 || probes <= morsel) {
-    fn(0, probes, out, counters);
-    return;
-  }
-  const size_t num_morsels = (probes + morsel - 1) / morsel;
-  std::vector<std::vector<PartialOverlap>> morsel_out(num_morsels);
-  std::vector<FilterCounters> morsel_counters(num_morsels);
-  opts.morsel_pool->ParallelFor(
-      num_morsels, 1, [&](size_t begin_m, size_t end_m) {
-        for (size_t m = begin_m; m < end_m; ++m) {
-          const uint32_t begin = static_cast<uint32_t>(m * morsel);
-          const uint32_t end =
-              static_cast<uint32_t>(std::min<size_t>(probes, begin + morsel));
-          fn(begin, end, &morsel_out[m], &morsel_counters[m]);
-        }
-      });
-  size_t total = 0;
-  for (const auto& part : morsel_out) total += part.size();
-  out->reserve(out->size() + total);
-  for (size_t m = 0; m < num_morsels; ++m) {
-    counters->Add(morsel_counters[m]);
-    out->insert(out->end(), morsel_out[m].begin(), morsel_out[m].end());
-  }
-}
-
-void LoopJoinRange(const SegmentBatch& batch, const FragmentJoinOptions& opts,
-                   uint32_t begin, uint32_t end,
-                   std::vector<PartialOverlap>* out,
-                   FilterCounters* counters) {
-  const uint32_t n = batch.size();
-  for (uint32_t i = begin; i < end; ++i) {
-    for (uint32_t j = i + 1; j < n; ++j) {
-      ProcessPair(batch, i, j, opts, out, counters);
-    }
-  }
-}
-
-/// Prefix index over the whole batch, built once up front so probe morsels
-/// are independent. `order` sorts rows by ascending (record_size, rid);
-/// postings hold order *positions*, so each list ascends both in insertion
-/// position and in record size. A probe at position `oi` considers exactly
-/// the postings with position < oi and record_size above its length-filter
-/// bound — the same candidates, in the same order, as the incremental
-/// build-while-probing formulation (whose front-trimming this replaces
-/// with a stateless binary search; sound because the bound is monotone in
-/// the probe's record size).
-struct PrefixIndex {
-  std::vector<uint32_t> order;        ///< batch rows in probe order
-  std::vector<uint32_t> prefix_len;   ///< per order position
-  std::unordered_map<TokenRank, std::vector<uint32_t>> postings;
-};
-
-template <typename LenFn>
-PrefixIndex BuildPrefixIndex(const SegmentBatch& batch, LenFn prefix_len) {
-  PrefixIndex index;
-  const uint32_t n = batch.size();
-  index.order.resize(n);
-  for (uint32_t i = 0; i < n; ++i) index.order[i] = i;
-  std::sort(index.order.begin(), index.order.end(),
-            [&](uint32_t a, uint32_t b) {
-              if (batch.record_size(a) != batch.record_size(b)) {
-                return batch.record_size(a) < batch.record_size(b);
-              }
-              return batch.rid(a) < batch.rid(b);
-            });
-  index.prefix_len.resize(n);
-  for (uint32_t oi = 0; oi < n; ++oi) {
-    const uint32_t row = index.order[oi];
-    const uint32_t px = static_cast<uint32_t>(prefix_len(row));
-    index.prefix_len[oi] = px;
-    const TokenRank* tokens = batch.tokens(row);
-    for (uint32_t p = 0; p < px; ++p) {
-      index.postings[tokens[p]].push_back(oi);
-    }
-  }
-  return index;
-}
-
-/// Per-morsel candidate-dedup scratch: probe-stamp arrays recycled across
-/// morsels. Stamps are order positions, unique per probe within one batch
-/// join, so a recycled array never needs resetting.
-class StampPool {
- public:
-  explicit StampPool(size_t n) : n_(n) {}
-
-  std::unique_ptr<std::vector<uint32_t>> Acquire() {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (!free_.empty()) {
-        auto scratch = std::move(free_.back());
-        free_.pop_back();
-        return scratch;
-      }
-    }
-    return std::make_unique<std::vector<uint32_t>>(
-        n_, std::numeric_limits<uint32_t>::max());
-  }
-
-  void Release(std::unique_ptr<std::vector<uint32_t>> scratch) {
-    std::lock_guard<std::mutex> lock(mu_);
-    free_.push_back(std::move(scratch));
-  }
-
- private:
-  size_t n_;
-  std::mutex mu_;
-  std::vector<std::unique_ptr<std::vector<uint32_t>>> free_;
-};
-
-void IndexedProbeRange(const SegmentBatch& batch,
-                       const FragmentJoinOptions& opts,
-                       const PrefixIndex& index, uint32_t begin, uint32_t end,
-                       std::vector<uint32_t>* last_probe,
-                       std::vector<PartialOverlap>* out,
-                       FilterCounters* counters) {
-  for (uint32_t oi = begin; oi < end; ++oi) {
-    const uint32_t xi = index.order[oi];
-    const uint32_t px = index.prefix_len[oi];
-    const uint64_t min_partner =
-        opts.use_length_filter
-            ? PartnerSizeLowerBound(opts.function, opts.theta,
-                                    batch.record_size(xi))
-            : 0;
-    const TokenRank* tokens = batch.tokens(xi);
-    for (uint32_t p = 0; p < px; ++p) {
-      auto it = index.postings.find(tokens[p]);
-      if (it == index.postings.end()) continue;
-      const std::vector<uint32_t>& list = it->second;
-      // Candidates: postings inserted before this probe whose record size
-      // passes the length-filter bound. Record sizes ascend along the list,
-      // so both bounds are binary searches.
-      auto first = list.begin();
-      if (min_partner > 0) {
-        first = std::lower_bound(
-            list.begin(), list.end(), min_partner,
-            [&](uint32_t e, uint64_t bound) {
-              return batch.record_size(index.order[e]) < bound;
-            });
-      }
-      auto last = std::lower_bound(first, list.end(), oi);
-      for (auto e = first; e != last; ++e) {
-        const uint32_t j = index.order[*e];
-        if ((*last_probe)[j] == oi) continue;  // already a candidate
-        (*last_probe)[j] = oi;
-        ProcessPair(batch, j, xi, opts, out, counters);
-      }
-    }
-  }
-}
-
-template <typename LenFn>
-void IndexedJoin(const SegmentBatch& batch, const FragmentJoinOptions& opts,
-                 LenFn prefix_len, std::vector<PartialOverlap>* out,
-                 FilterCounters* counters) {
-  const PrefixIndex index = BuildPrefixIndex(batch, prefix_len);
-  StampPool stamps(batch.size());
-  RunMorsels(
-      batch.size(), opts,
-      [&](uint32_t begin, uint32_t end, std::vector<PartialOverlap>* range_out,
-          FilterCounters* range_counters) {
-        auto scratch = stamps.Acquire();
-        IndexedProbeRange(batch, opts, index, begin, end, scratch.get(),
-                          range_out, range_counters);
-        stamps.Release(std::move(scratch));
-      },
-      out, counters);
-}
-
-}  // namespace
-
 void JoinFragmentBatch(const SegmentBatch& batch,
                        const FragmentJoinOptions& opts,
                        std::vector<PartialOverlap>* out,
                        FilterCounters* counters) {
   if (batch.empty()) return;
-  FSJOIN_CHECK(batch.sealed());  // bitmaps back the empty-overlap reject
-  switch (opts.method) {
-    case JoinMethod::kLoop:
-      RunMorsels(
-          batch.size(), opts,
-          [&](uint32_t begin, uint32_t end,
-              std::vector<PartialOverlap>* range_out,
-              FilterCounters* range_counters) {
-            LoopJoinRange(batch, opts, begin, end, range_out, range_counters);
-          },
-          out, counters);
-      return;
-    case JoinMethod::kIndex:
-      IndexedJoin(
-          batch, opts, [&batch](uint32_t row) { return batch.length(row); },
-          out, counters);
-      return;
-    case JoinMethod::kPrefix:
-      if (opts.aggressive_segment_prefix) {
-        // Paper §V-A: each segment filtered like an independent mini-join
-        // at threshold θ. Fast but can drop partial counts (see header).
-        IndexedJoin(
-            batch, opts,
-            [&](uint32_t row) {
-              return PrefixLength(opts.function, opts.theta,
-                                  batch.length(row));
-            },
-            out, counters);
-      } else {
-        IndexedJoin(
-            batch, opts,
-            [&](uint32_t row) {
-              return SegmentPrefixLength(opts.function, opts.theta,
-                                         batch.View(row));
-            },
-            out, counters);
-      }
-      return;
-  }
+  FSJOIN_CHECK(batch.sealed());  // bitmaps/containers back the kernels
+  // One registry lookup per fragment; the compiled pipeline carries the
+  // method / filter-subset / kernel branches in its instantiation instead of
+  // re-deciding them per candidate pair (core/join_pipeline.h).
+  KernelRegistry::Get().Lookup(ShapeOf(opts))(batch, opts, out, counters);
 }
 
 void JoinFragment(const std::vector<SegmentRecord>& segments,

@@ -64,6 +64,12 @@ struct FragmentJoinOptions {
   /// (work-stealing across fragments *and* morsels); not owned.
   ThreadPool* morsel_pool = nullptr;
   size_t morsel_size = 0;  ///< probe segments per morsel; 0 = serial
+
+  /// Overlap kernel family (exec::KernelMode taxonomy): which compiled
+  /// pipeline JoinFragmentBatch dispatches to. Every mode yields identical
+  /// results/emissions; see core/join_pipeline.h for the counter-attribution
+  /// caveat under kSimd. kAuto resolves against this build + machine.
+  exec::KernelMode kernel = exec::KernelMode::kAuto;
 };
 
 /// Joins all segment pairs of one fragment over columnar storage (the

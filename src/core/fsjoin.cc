@@ -9,6 +9,7 @@
 #include "core/pivots.h"
 #include "exec/backend.h"
 #include "exec/plan.h"
+#include "util/simd.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
@@ -43,10 +44,14 @@ std::string FsJoinReport::Summary() const {
       WithThousandsSep(filters.empty_overlap).c_str(),
       WithThousandsSep(filters.emitted).c_str());
   os << StrFormat(
-      "  shuffle: filtering %s (dup %.2fx), verification %s | wall %.1f ms",
+      "  shuffle: filtering %s (dup %.2fx), verification %s | kernel %s | "
+      "wall %.1f ms",
       HumanBytes(filtering_job.shuffle_bytes).c_str(),
       filtering_job.DuplicationFactor(),
-      HumanBytes(verification_job.shuffle_bytes).c_str(), total_wall_ms);
+      HumanBytes(verification_job.shuffle_bytes).c_str(),
+      filtering_job.join_kernel.empty() ? "?"
+                                        : filtering_job.join_kernel.c_str(),
+      total_wall_ms);
   uint64_t spilled = 0;
   uint32_t runs = 0;
   for (const mr::JobMetrics& j : AllJobs()) {
@@ -138,6 +143,11 @@ Result<FsJoinOutput> FsJoin::Run(const Corpus& corpus) const {
   output.report.ordering_job = history[0];
   output.report.filtering_job = history[1];
   output.report.verification_job = history[2];
+  // Self-describing A/B runs: record which kernel pipeline the filtering
+  // reducers actually used, with the ISA the auto mode resolved to.
+  output.report.filtering_job.join_kernel = StrFormat(
+      "%s[%s]", exec::KernelModeName(exec::ResolveKernelMode(config_.exec.kernel)),
+      SimdIsaName(DetectedSimdIsa()));
   output.report.flow_pipelines = backend->flow_history();
   output.report.filters = filtering_ctx->totals;
   output.report.candidate_pairs = verification_ctx->candidate_pairs;

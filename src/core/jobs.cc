@@ -123,6 +123,7 @@ class FilteringReducer : public mr::Reducer {
     opts.use_segment_length_filter = cfg.use_segment_length_filter;
     opts.use_segment_intersection_filter = cfg.use_segment_intersection_filter;
     opts.use_segment_difference_filter = cfg.use_segment_difference_filter;
+    opts.kernel = cfg.exec.kernel;
 
     const HorizontalScheme* horizontal = &ctx_->horizontal;
     const std::optional<RecordId> rs_boundary = cfg.rs_boundary;

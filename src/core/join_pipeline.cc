@@ -1,0 +1,521 @@
+#include "core/join_pipeline.h"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "core/filters.h"
+#include "sim/set_ops.h"
+#include "sim/similarity.h"
+
+namespace fsjoin {
+
+namespace {
+
+using exec::KernelMode;
+
+constexpr int MethodIndex(JoinMethod method) {
+  return static_cast<int>(method);
+}
+
+/// Resolved kernels only: kScalar/kPacked/kSimd -> 0/1/2.
+constexpr int KernelIndex(KernelMode kernel) {
+  return static_cast<int>(kernel) - 1;
+}
+
+constexpr JoinMethod kMethods[] = {JoinMethod::kLoop, JoinMethod::kIndex,
+                                   JoinMethod::kPrefix};
+constexpr KernelMode kKernels[] = {KernelMode::kScalar, KernelMode::kPacked,
+                                   KernelMode::kSimd};
+
+/// Word-packed bucket-bitmap reject (the PR 3 gate): one AND decides
+/// "provably disjoint" for short segments; longer ones saturate the 64-bit
+/// summary and skip the test.
+inline bool BitmapGateRejects(const SegmentBatch& batch, uint32_t i,
+                              uint32_t j) {
+  return std::min(batch.length(i), batch.length(j)) <= kPackedMaxTokens &&
+         (batch.bitmap(i) & batch.bitmap(j)) == 0;
+}
+
+/// (container x container) dispatch for the kSimd kernel family, under the
+/// bounded-overlap contract of set_ops.h. Only the array x array case can
+/// stop early; the alternate-container kernels are already cheap enough
+/// that they just return the exact overlap (which satisfies the contract
+/// trivially).
+uint64_t ContainerOverlapBounded(const SegmentBatch& b, uint32_t i, uint32_t j,
+                                 uint64_t required) {
+  using C = SegContainer;
+  const C ci = b.container(i);
+  const C cj = b.container(j);
+  if (ci == C::kArray && cj == C::kArray) {
+    return SimdOverlapBounded(b.tokens(i), b.length(i), b.tokens(j),
+                              b.length(j), required);
+  }
+  if (ci == C::kBitset) {
+    switch (cj) {
+      case C::kBitset:
+        return BitsetBitsetOverlap(b.bitset_words(i), b.bitset_word0(i),
+                                   b.bitset_num_words(i), b.bitset_words(j),
+                                   b.bitset_word0(j), b.bitset_num_words(j));
+      case C::kRuns:
+        return BitsetRunsOverlap(b.bitset_words(i), b.bitset_word0(i),
+                                 b.bitset_num_words(i), /*base=*/0, b.runs(j),
+                                 b.num_runs(j));
+      case C::kArray:
+        return BitsetArrayOverlap(b.bitset_words(i), b.bitset_word0(i),
+                                  b.bitset_num_words(i), /*base=*/0,
+                                  b.tokens(j), b.length(j));
+    }
+  }
+  // ci == kRuns, or ci == kArray with cj != kArray: flip so the stronger
+  // container drives, or run the runs-side kernels directly.
+  switch (cj) {
+    case C::kBitset:
+      return ContainerOverlapBounded(b, j, i, required);
+    case C::kRuns:
+      if (ci == C::kRuns) {
+        return RunsRunsOverlap(b.runs(i), b.num_runs(i), b.runs(j),
+                               b.num_runs(j));
+      }
+      return RunsArrayOverlap(b.runs(j), b.num_runs(j), b.tokens(i),
+                              b.length(i));
+    case C::kArray:
+      return RunsArrayOverlap(b.runs(i), b.num_runs(i), b.tokens(j),
+                              b.length(j));
+  }
+  return 0;  // unreachable
+}
+
+/// The filter pipeline on one candidate segment pair, monomorphized on the
+/// enabled-filter mask and kernel family; disabled filters compile away.
+///
+/// All kernels produce identical emissions; the only observable difference
+/// is counter *attribution* under kSimd: a pair whose bounded merge stops
+/// below the SegI required-overlap bound counts as pruned_segi even when
+/// its exact overlap is 0 (the scalar/packed paths, which always finish the
+/// merge, would count empty_overlap first). The split is deterministic —
+/// the bounded contract makes `result < required` ISA-independent — so
+/// counters still agree between any two runs of the same kernel mode.
+template <uint32_t Mask, KernelMode K>
+void ProcessPairT(const SegmentBatch& batch, uint32_t i, uint32_t j,
+                  const FragmentJoinOptions& opts,
+                  std::vector<PartialOverlap>* out, FilterCounters* counters) {
+  ++counters->pairs_considered;
+  const SegmentView x = batch.View(i);
+  const SegmentView y = batch.View(j);
+  if (opts.pair_allowed && !opts.pair_allowed(x, y)) {
+    ++counters->pruned_role;
+    return;
+  }
+  if constexpr ((Mask & kPipelineStrL) != 0) {
+    if (StrLengthPrunes(opts.function, opts.theta, x.record_size,
+                        y.record_size)) {
+      ++counters->pruned_strl;
+      return;
+    }
+  }
+  if constexpr ((Mask & kPipelineSegL) != 0) {
+    if (SegmentLengthPrunes(opts.function, opts.theta, x, y)) {
+      ++counters->pruned_segl;
+      return;
+    }
+  }
+  uint64_t overlap = 0;
+  if constexpr (K == KernelMode::kSimd) {
+    if (BitmapGateRejects(batch, i, j)) {
+      ++counters->empty_overlap;
+      return;
+    }
+    // Verification bound: any pair this fragment may emit satisfies
+    // overlap >= SegmentMinLocalOverlap for BOTH segments (the local-overlap
+    // gate of the scalar path), so the merge may stop as soon as that bound
+    // is unreachable. With SegI off the gate does not apply and the bound
+    // degenerates to 1, which forces an exact merge (contract).
+    uint64_t required = 1;
+    if constexpr ((Mask & kPipelineSegI) != 0) {
+      required =
+          std::max(SegmentMinLocalOverlap(opts.function, opts.theta, x),
+                   SegmentMinLocalOverlap(opts.function, opts.theta, y));
+    }
+    overlap = ContainerOverlapBounded(batch, i, j, required);
+    if (overlap < required) {
+      // Exact overlap is provably < required too. required == 1 means the
+      // merge ran to completion and the pair is truly token-disjoint.
+      if (required <= 1) {
+        ++counters->empty_overlap;
+      } else {
+        ++counters->pruned_segi;
+      }
+      return;
+    }
+    if constexpr ((Mask & kPipelineSegI) != 0) {
+      // overlap >= required >= both local bounds, so only the Lemma 3 check
+      // itself remains.
+      if (SegmentIntersectionPrunes(opts.function, opts.theta, x, y,
+                                    overlap)) {
+        ++counters->pruned_segi;
+        return;
+      }
+    }
+  } else {
+    if constexpr (K == KernelMode::kPacked) {
+      if (BitmapGateRejects(batch, i, j)) {
+        ++counters->empty_overlap;
+        return;
+      }
+    }
+    overlap = SortedOverlap(x.tokens, x.num_tokens, y.tokens, y.num_tokens);
+    if (overlap == 0) {
+      ++counters->empty_overlap;
+      return;
+    }
+    if constexpr ((Mask & kPipelineSegI) != 0) {
+      if (SegmentIntersectionPrunes(opts.function, opts.theta, x, y,
+                                    overlap)) {
+        ++counters->pruned_segi;
+        return;
+      }
+      // Local-overlap gate: any θ-similar pair satisfies
+      // c_i >= SegmentMinLocalOverlap for BOTH segments (the bound behind
+      // the Prefix Join; see DESIGN.md), so partial counts below it belong
+      // to dissimilar pairs and can be dropped without affecting the result.
+      if (overlap < SegmentMinLocalOverlap(opts.function, opts.theta, x) ||
+          overlap < SegmentMinLocalOverlap(opts.function, opts.theta, y)) {
+        ++counters->pruned_segi;
+        return;
+      }
+    }
+  }
+  if constexpr ((Mask & kPipelineSegD) != 0) {
+    if (SegmentDifferencePrunes(opts.function, opts.theta, x, y, overlap)) {
+      ++counters->pruned_segd;
+      return;
+    }
+  }
+  PartialOverlap result;
+  if (x.rid <= y.rid) {
+    result =
+        PartialOverlap{x.rid, y.rid, x.record_size, y.record_size, overlap};
+  } else {
+    result =
+        PartialOverlap{y.rid, x.rid, y.record_size, x.record_size, overlap};
+  }
+  out->push_back(result);
+  ++counters->emitted;
+}
+
+/// Runs probes [0, probes) in morsels of opts.morsel_size on the shared
+/// pool; `fn(begin, end, out, counters)` must append the probe range's
+/// results in serial order. Each morsel writes its own buffers, merged in
+/// morsel-index order afterwards, so the concatenation equals the serial
+/// probe order and the counter sums are exact — output and counters are
+/// byte-identical to the serial run regardless of morsel size, thread
+/// count, or scheduling. Falls back to one serial call when morsels are
+/// disabled or the fragment fits in a single morsel.
+template <typename RangeFn>
+void RunMorsels(uint32_t probes, const FragmentJoinOptions& opts,
+                const RangeFn& fn, std::vector<PartialOverlap>* out,
+                FilterCounters* counters) {
+  const size_t morsel = opts.morsel_size;
+  if (opts.morsel_pool == nullptr || morsel == 0 || probes <= morsel) {
+    fn(0, probes, out, counters);
+    return;
+  }
+  const size_t num_morsels = (probes + morsel - 1) / morsel;
+  std::vector<std::vector<PartialOverlap>> morsel_out(num_morsels);
+  std::vector<FilterCounters> morsel_counters(num_morsels);
+  opts.morsel_pool->ParallelFor(
+      num_morsels, 1, [&](size_t begin_m, size_t end_m) {
+        for (size_t m = begin_m; m < end_m; ++m) {
+          const uint32_t begin = static_cast<uint32_t>(m * morsel);
+          const uint32_t end =
+              static_cast<uint32_t>(std::min<size_t>(probes, begin + morsel));
+          fn(begin, end, &morsel_out[m], &morsel_counters[m]);
+        }
+      });
+  size_t total = 0;
+  for (const auto& part : morsel_out) total += part.size();
+  out->reserve(out->size() + total);
+  for (size_t m = 0; m < num_morsels; ++m) {
+    counters->Add(morsel_counters[m]);
+    out->insert(out->end(), morsel_out[m].begin(), morsel_out[m].end());
+  }
+}
+
+/// Prefix index over the whole batch, built once up front so probe morsels
+/// are independent. `order` sorts rows by ascending (record_size, rid);
+/// postings hold order *positions*, so each list ascends both in insertion
+/// position and in record size. A probe at position `oi` considers exactly
+/// the postings with position < oi and record_size above its length-filter
+/// bound — the same candidates, in the same order, as the incremental
+/// build-while-probing formulation (whose front-trimming this replaces
+/// with a stateless binary search; sound because the bound is monotone in
+/// the probe's record size).
+struct PrefixIndex {
+  std::vector<uint32_t> order;       ///< batch rows in probe order
+  std::vector<uint32_t> prefix_len;  ///< per order position
+  std::unordered_map<TokenRank, std::vector<uint32_t>> postings;
+};
+
+template <typename LenFn>
+PrefixIndex BuildPrefixIndex(const SegmentBatch& batch, LenFn prefix_len) {
+  PrefixIndex index;
+  const uint32_t n = batch.size();
+  index.order.resize(n);
+  for (uint32_t i = 0; i < n; ++i) index.order[i] = i;
+  std::sort(index.order.begin(), index.order.end(),
+            [&](uint32_t a, uint32_t b) {
+              if (batch.record_size(a) != batch.record_size(b)) {
+                return batch.record_size(a) < batch.record_size(b);
+              }
+              return batch.rid(a) < batch.rid(b);
+            });
+  index.prefix_len.resize(n);
+  for (uint32_t oi = 0; oi < n; ++oi) {
+    const uint32_t row = index.order[oi];
+    const uint32_t px = static_cast<uint32_t>(prefix_len(row));
+    index.prefix_len[oi] = px;
+    const TokenRank* tokens = batch.tokens(row);
+    for (uint32_t p = 0; p < px; ++p) {
+      index.postings[tokens[p]].push_back(oi);
+    }
+  }
+  return index;
+}
+
+/// Per-morsel candidate-dedup scratch: probe-stamp arrays recycled across
+/// morsels. Stamps are order positions, unique per probe within one batch
+/// join, so a recycled array never needs resetting.
+class StampPool {
+ public:
+  explicit StampPool(size_t n) : n_(n) {}
+
+  std::unique_ptr<std::vector<uint32_t>> Acquire() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!free_.empty()) {
+        auto scratch = std::move(free_.back());
+        free_.pop_back();
+        return scratch;
+      }
+    }
+    return std::make_unique<std::vector<uint32_t>>(
+        n_, std::numeric_limits<uint32_t>::max());
+  }
+
+  void Release(std::unique_ptr<std::vector<uint32_t>> scratch) {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(std::move(scratch));
+  }
+
+ private:
+  size_t n_;
+  std::mutex mu_;
+  std::vector<std::unique_ptr<std::vector<uint32_t>>> free_;
+};
+
+template <uint32_t Mask, KernelMode K>
+void LoopJoinRangeT(const SegmentBatch& batch, const FragmentJoinOptions& opts,
+                    uint32_t begin, uint32_t end,
+                    std::vector<PartialOverlap>* out,
+                    FilterCounters* counters) {
+  const uint32_t n = batch.size();
+  for (uint32_t i = begin; i < end; ++i) {
+    for (uint32_t j = i + 1; j < n; ++j) {
+      ProcessPairT<Mask, K>(batch, i, j, opts, out, counters);
+    }
+  }
+}
+
+template <uint32_t Mask, KernelMode K>
+void IndexedProbeRangeT(const SegmentBatch& batch,
+                        const FragmentJoinOptions& opts,
+                        const PrefixIndex& index, uint32_t begin, uint32_t end,
+                        std::vector<uint32_t>* last_probe,
+                        std::vector<PartialOverlap>* out,
+                        FilterCounters* counters) {
+  for (uint32_t oi = begin; oi < end; ++oi) {
+    const uint32_t xi = index.order[oi];
+    const uint32_t px = index.prefix_len[oi];
+    uint64_t min_partner = 0;
+    if constexpr ((Mask & kPipelineStrL) != 0) {
+      min_partner = PartnerSizeLowerBound(opts.function, opts.theta,
+                                          batch.record_size(xi));
+    }
+    const TokenRank* tokens = batch.tokens(xi);
+    for (uint32_t p = 0; p < px; ++p) {
+      auto it = index.postings.find(tokens[p]);
+      if (it == index.postings.end()) continue;
+      const std::vector<uint32_t>& list = it->second;
+      // Candidates: postings inserted before this probe whose record size
+      // passes the length-filter bound. Record sizes ascend along the list,
+      // so both bounds are binary searches.
+      auto first = list.begin();
+      if (min_partner > 0) {
+        first = std::lower_bound(
+            list.begin(), list.end(), min_partner,
+            [&](uint32_t e, uint64_t bound) {
+              return batch.record_size(index.order[e]) < bound;
+            });
+      }
+      auto last = std::lower_bound(first, list.end(), oi);
+      for (auto e = first; e != last; ++e) {
+        const uint32_t j = index.order[*e];
+        if ((*last_probe)[j] == oi) continue;  // already a candidate
+        (*last_probe)[j] = oi;
+        ProcessPairT<Mask, K>(batch, j, xi, opts, out, counters);
+      }
+    }
+  }
+}
+
+/// Compiled pipeline, nested-loop shape.
+template <uint32_t Mask, KernelMode K>
+void LoopPipeline(const SegmentBatch& batch, const FragmentJoinOptions& opts,
+                  std::vector<PartialOverlap>* out, FilterCounters* counters) {
+  RunMorsels(
+      batch.size(), opts,
+      [&](uint32_t begin, uint32_t end, std::vector<PartialOverlap>* range_out,
+          FilterCounters* range_counters) {
+        LoopJoinRangeT<Mask, K>(batch, opts, begin, end, range_out,
+                                range_counters);
+      },
+      out, counters);
+}
+
+/// Compiled pipeline, indexed-probe shape — serves both kIndex and kPrefix
+/// (the per-row prefix length is a run-time choice made once at index
+/// build, not a loop-shape difference worth doubling the instantiations
+/// for).
+template <uint32_t Mask, KernelMode K>
+void IndexedPipeline(const SegmentBatch& batch,
+                     const FragmentJoinOptions& opts,
+                     std::vector<PartialOverlap>* out,
+                     FilterCounters* counters) {
+  const PrefixIndex index =
+      BuildPrefixIndex(batch, [&](uint32_t row) -> uint64_t {
+        if (opts.method == JoinMethod::kIndex) return batch.length(row);
+        if (opts.aggressive_segment_prefix) {
+          // Paper §V-A: each segment filtered like an independent mini-join
+          // at threshold θ. Fast but can drop partial counts (see
+          // FsJoinConfig::aggressive_segment_prefix).
+          return PrefixLength(opts.function, opts.theta, batch.length(row));
+        }
+        return SegmentPrefixLength(opts.function, opts.theta, batch.View(row));
+      });
+  StampPool stamps(batch.size());
+  RunMorsels(
+      batch.size(), opts,
+      [&](uint32_t begin, uint32_t end, std::vector<PartialOverlap>* range_out,
+          FilterCounters* range_counters) {
+        auto scratch = stamps.Acquire();
+        IndexedProbeRangeT<Mask, K>(batch, opts, index, begin, end,
+                                    scratch.get(), range_out, range_counters);
+        stamps.Release(std::move(scratch));
+      },
+      out, counters);
+}
+
+/// Fills every kernel column of one filter-mask row of the table.
+template <uint32_t Mask, typename Table>
+void RegisterMask(Table& table) {
+  table[MethodIndex(JoinMethod::kLoop)][Mask]
+       [KernelIndex(KernelMode::kScalar)] =
+           &LoopPipeline<Mask, KernelMode::kScalar>;
+  table[MethodIndex(JoinMethod::kLoop)][Mask]
+       [KernelIndex(KernelMode::kPacked)] =
+           &LoopPipeline<Mask, KernelMode::kPacked>;
+  table[MethodIndex(JoinMethod::kLoop)][Mask][KernelIndex(KernelMode::kSimd)] =
+      &LoopPipeline<Mask, KernelMode::kSimd>;
+  for (JoinMethod method : {JoinMethod::kIndex, JoinMethod::kPrefix}) {
+    table[MethodIndex(method)][Mask][KernelIndex(KernelMode::kScalar)] =
+        &IndexedPipeline<Mask, KernelMode::kScalar>;
+    table[MethodIndex(method)][Mask][KernelIndex(KernelMode::kPacked)] =
+        &IndexedPipeline<Mask, KernelMode::kPacked>;
+    table[MethodIndex(method)][Mask][KernelIndex(KernelMode::kSimd)] =
+        &IndexedPipeline<Mask, KernelMode::kSimd>;
+  }
+}
+
+std::string MaskName(uint32_t mask) {
+  if (mask == 0) return "none";
+  std::string name;
+  auto add = [&name](const char* part) {
+    if (!name.empty()) name += '+';
+    name += part;
+  };
+  if (mask & kPipelineStrL) add("strl");
+  if (mask & kPipelineSegL) add("segl");
+  if (mask & kPipelineSegI) add("segi");
+  if (mask & kPipelineSegD) add("segd");
+  return name;
+}
+
+}  // namespace
+
+PipelineShape ShapeOf(const FragmentJoinOptions& opts) {
+  PipelineShape shape;
+  shape.method = opts.method;
+  shape.filter_mask = (opts.use_length_filter ? kPipelineStrL : 0) |
+                      (opts.use_segment_length_filter ? kPipelineSegL : 0) |
+                      (opts.use_segment_intersection_filter ? kPipelineSegI
+                                                            : 0) |
+                      (opts.use_segment_difference_filter ? kPipelineSegD : 0);
+  shape.kernel = exec::ResolveKernelMode(opts.kernel);
+  return shape;
+}
+
+KernelRegistry::KernelRegistry() {
+  [this]<std::size_t... M>(std::index_sequence<M...>) {
+    (RegisterMask<static_cast<uint32_t>(M)>(table_), ...);
+  }(std::make_index_sequence<kNumFilterMasks>{});
+}
+
+const KernelRegistry& KernelRegistry::Get() {
+  static const KernelRegistry registry;
+  return registry;
+}
+
+PipelineFn KernelRegistry::Lookup(const PipelineShape& shape) const {
+  return table_[MethodIndex(shape.method)][shape.filter_mask & 15u]
+               [KernelIndex(shape.kernel)];
+}
+
+PipelineFn KernelRegistry::LookupByName(std::string_view name) const {
+  for (JoinMethod method : kMethods) {
+    for (uint32_t mask = 0; mask < kNumFilterMasks; ++mask) {
+      for (KernelMode kernel : kKernels) {
+        const PipelineShape shape{method, mask, kernel};
+        if (ShapeName(shape) == name) return Lookup(shape);
+      }
+    }
+  }
+  return nullptr;
+}
+
+std::string KernelRegistry::ShapeName(const PipelineShape& shape) {
+  std::string name = JoinMethodName(shape.method);
+  name += '/';
+  name += MaskName(shape.filter_mask & 15u);
+  name += '/';
+  name += exec::KernelModeName(shape.kernel);
+  return name;
+}
+
+std::vector<std::string> KernelRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(kNumMethods * kNumFilterMasks * kNumKernels);
+  for (JoinMethod method : kMethods) {
+    for (uint32_t mask = 0; mask < kNumFilterMasks; ++mask) {
+      for (KernelMode kernel : kKernels) {
+        names.push_back(ShapeName(PipelineShape{method, mask, kernel}));
+      }
+    }
+  }
+  return names;
+}
+
+}  // namespace fsjoin

@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "util/simd.h"
+
 namespace fsjoin::exec {
 
 const char* BackendKindName(BackendKind kind) {
@@ -19,6 +21,34 @@ Result<BackendKind> BackendKindFromName(std::string_view name) {
   if (name == "flow" || name == "fused") return BackendKind::kFusedFlow;
   return Status::InvalidArgument("unknown backend: '" + std::string(name) +
                                  "' (expected mr|flow)");
+}
+
+const char* KernelModeName(KernelMode mode) {
+  switch (mode) {
+    case KernelMode::kAuto:
+      return "auto";
+    case KernelMode::kScalar:
+      return "scalar";
+    case KernelMode::kPacked:
+      return "packed";
+    case KernelMode::kSimd:
+      return "simd";
+  }
+  return "?";
+}
+
+Result<KernelMode> KernelModeFromName(std::string_view name) {
+  if (name == "auto") return KernelMode::kAuto;
+  if (name == "scalar") return KernelMode::kScalar;
+  if (name == "packed") return KernelMode::kPacked;
+  if (name == "simd") return KernelMode::kSimd;
+  return Status::InvalidArgument("unknown kernel: '" + std::string(name) +
+                                 "' (expected auto|scalar|packed|simd)");
+}
+
+KernelMode ResolveKernelMode(KernelMode mode) {
+  if (mode != KernelMode::kAuto) return mode;
+  return SimdAvailable() ? KernelMode::kSimd : KernelMode::kPacked;
 }
 
 Status ExecConfig::Validate() const {

@@ -21,6 +21,26 @@ const char* BackendKindName(BackendKind kind);
 /// Parses "mr"/"mapreduce" and "flow"/"fused"; InvalidArgument otherwise.
 Result<BackendKind> BackendKindFromName(std::string_view name);
 
+/// Which overlap kernel family the fragment-join verification loop uses.
+/// All modes produce identical join results and emissions; they differ in
+/// speed and (for kSimd) in how a provably-pruned pair is attributed between
+/// the empty_overlap and pruned_segi counters (DESIGN.md §5g).
+enum class KernelMode {
+  kAuto,    ///< kSimd when the CPU/build has vector kernels, else kPacked
+  kScalar,  ///< pure scalar reference merge, no bitmap gate — the baseline
+            ///< every other mode is verified against
+  kPacked,  ///< PR 3 path: word-packed bitmap gate + scalar merge
+  kSimd,    ///< bitmap gate + container dispatch + vectorized bounded merge
+};
+
+const char* KernelModeName(KernelMode mode);
+
+/// Parses auto|scalar|packed|simd; InvalidArgument otherwise.
+Result<KernelMode> KernelModeFromName(std::string_view name);
+
+/// What kAuto means on this build + machine (kSimd or kPacked).
+KernelMode ResolveKernelMode(KernelMode mode);
+
 /// Engine-shape knobs shared by every algorithm in the repo (FS-Join and
 /// the three baselines). Previously duplicated across FsJoinConfig and
 /// BaselineConfig; consolidated here so a driver describes *what* to run
@@ -49,6 +69,11 @@ struct ExecConfig {
   /// scheduling overhead against steal granularity on skewed fragments
   /// (measured in bench_micro_kernels --json).
   size_t join_morsel_size = 64;
+
+  /// Overlap kernel family for fragment-join verification (taxonomy above).
+  /// kAuto resolves per process at job start; the resolved choice is logged
+  /// in JobMetrics so A/B runs are self-describing.
+  KernelMode kernel = KernelMode::kAuto;
 
   /// Abort with ResourceExhausted once a run emits more than this many
   /// intermediate records (0 = unlimited). Models the paper's observation

@@ -29,7 +29,9 @@ double JobMetrics::ReduceSkew() const {
 
 std::string JobMetrics::Summary() const {
   std::ostringstream os;
-  os << "job '" << job_name << "':\n";
+  os << "job '" << job_name << "'";
+  if (!join_kernel.empty()) os << " (kernel " << join_kernel << ")";
+  os << ":\n";
   os << StrFormat("  map:     %s records in, %s records out (%s), dup=%.2fx\n",
                   WithThousandsSep(map_input_records).c_str(),
                   WithThousandsSep(map_output_records).c_str(),
@@ -56,6 +58,7 @@ JobMetrics CombineJobMetrics(const std::vector<JobMetrics>& jobs,
   JobMetrics out;
   out.job_name = name;
   for (const JobMetrics& j : jobs) {
+    if (out.join_kernel.empty()) out.join_kernel = j.join_kernel;
     out.map_input_records += j.map_input_records;
     out.map_input_bytes += j.map_input_bytes;
     out.map_output_records += j.map_output_records;

@@ -1,0 +1,230 @@
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/set_ops.h"
+#include "util/simd.h"
+
+#if !defined(FSJOIN_NO_SIMD) && defined(__x86_64__)
+#include <immintrin.h>
+#define FSJOIN_HAVE_AVX2_KERNELS 1
+#endif
+#if !defined(FSJOIN_NO_SIMD) && defined(__ARM_NEON)
+#include <arm_neon.h>
+#define FSJOIN_HAVE_NEON_KERNELS 1
+#endif
+
+namespace fsjoin {
+
+namespace {
+
+/// The vector kernels below all rely on the set_ops input invariant (sorted,
+/// duplicate-free): because every value appears at most once per side, an
+/// equality observed between two 8-lane blocks identifies a unique element
+/// pair, so matches can be counted per comparison without dedup bookkeeping.
+/// Each (a-block, b-block) pair is visited at most once (every iteration
+/// retires at least one block), and the advance-the-smaller-max rule
+/// guarantees two blocks holding an equal pair are current simultaneously at
+/// some iteration, so no match is missed either.
+
+#if defined(FSJOIN_HAVE_AVX2_KERNELS)
+
+/// GallopLowerBound with the final bracket resolved by 8-lane compares
+/// instead of a binary search: once the bracket is narrow the branch-free
+/// count-of-smaller-elements wins over the mispredicting bisection.
+__attribute__((target("avx2"))) std::size_t Avx2GallopLowerBound(
+    const uint32_t* data, std::size_t n, std::size_t from, uint32_t x) {
+  if (from >= n || data[from] >= x) return from;
+  std::size_t bound = 1;
+  while (from + bound < n && data[from + bound] < x) bound *= 2;
+  std::size_t lo = from + bound / 2 + 1;
+  std::size_t hi = std::min(from + bound, n);
+  while (hi - lo > 16) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (data[mid] < x) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  // cmpgt is signed; XOR both sides with the sign bit to compare unsigned.
+  const __m256i bias = _mm256_set1_epi32(static_cast<int>(0x80000000u));
+  const __m256i needle =
+      _mm256_set1_epi32(static_cast<int>(x ^ 0x80000000u));
+  while (lo + 8 <= hi) {
+    const __m256i v = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + lo)),
+        bias);
+    const int lt = _mm256_movemask_ps(
+        _mm256_castsi256_ps(_mm256_cmpgt_epi32(needle, v)));
+    // Sorted input makes the less-than mask a low-bit prefix; its popcount
+    // is the offset of the first element >= x.
+    if (lt != 0xFF) {
+      return lo + static_cast<std::size_t>(
+                      __builtin_popcount(static_cast<unsigned>(lt)));
+    }
+    lo += 8;
+  }
+  while (lo < hi && data[lo] < x) ++lo;
+  return lo;
+}
+
+/// Skewed pairs: walk the small side, locate each element in the large one
+/// with the vector-assisted gallop. `required` = 0 disables the early exit.
+__attribute__((target("avx2"))) uint64_t Avx2GallopOverlap(
+    const uint32_t* a, std::size_t na, const uint32_t* b, std::size_t nb,
+    uint64_t required) {
+  const uint32_t* small = na <= nb ? a : b;
+  const std::size_t ns = na <= nb ? na : nb;
+  const uint32_t* large = na <= nb ? b : a;
+  const std::size_t nl = na <= nb ? nb : na;
+  uint64_t count = 0;
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < ns; ++i) {
+    if (count + (ns - i) < required) return count;
+    const uint32_t x = small[i];
+    j = Avx2GallopLowerBound(large, nl, j, x);
+    if (j == nl) break;
+    if (large[j] == x) {
+      ++count;
+      ++j;
+    }
+  }
+  return count;
+}
+
+/// Similar-length pairs: compare 8-lane blocks of a against all 8 rotations
+/// of the current b block, then retire whichever block has the smaller max.
+/// `required` = 0 disables the early exit; otherwise the loop stops once
+/// matches-so-far plus the optimistic remainder cannot reach it (the
+/// bounded-overlap contract in set_ops.h).
+__attribute__((target("avx2"))) uint64_t Avx2BlockMerge(const uint32_t* a,
+                                                        std::size_t na,
+                                                        const uint32_t* b,
+                                                        std::size_t nb,
+                                                        uint64_t required) {
+  const __m256i rot = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0);
+  uint64_t count = 0;
+  std::size_t i = 0, j = 0;
+  while (i + 8 <= na && j + 8 <= nb) {
+    if (count + std::min(na - i, nb - j) < required) return count;
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+    __m256i eq = _mm256_cmpeq_epi32(va, vb);
+    for (int k = 1; k < 8; ++k) {
+      vb = _mm256_permutevar8x32_epi32(vb, rot);
+      eq = _mm256_or_si256(eq, _mm256_cmpeq_epi32(va, vb));
+    }
+    count += static_cast<uint64_t>(__builtin_popcount(static_cast<unsigned>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(eq)))));
+    const uint32_t a_max = a[i + 7];
+    const uint32_t b_max = b[j + 7];
+    if (a_max <= b_max) i += 8;
+    if (b_max <= a_max) j += 8;
+  }
+  // Scalar merge over the leftover suffixes. Matches already counted paired
+  // a[i..) or b[j..) elements with values before the other suffix, so
+  // (duplicate-free inputs) the tail cannot recount them.
+  if (required == 0) {
+    return count + LinearOverlap(a + i, na - i, b + j, nb - j);
+  }
+  return count + SortedOverlapBounded(a + i, na - i, b + j, nb - j,
+                                      required > count ? required - count : 0);
+}
+
+uint64_t Avx2Overlap(const uint32_t* a, std::size_t na, const uint32_t* b,
+                     std::size_t nb, uint64_t required) {
+  const std::size_t small = std::min(na, nb);
+  const std::size_t large = std::max(na, nb);
+  if (small > 0 && large / small >= kGallopRatio) {
+    return Avx2GallopOverlap(a, na, b, nb, required);
+  }
+  return Avx2BlockMerge(a, na, b, nb, required);
+}
+
+#endif  // FSJOIN_HAVE_AVX2_KERNELS
+
+#if defined(FSJOIN_HAVE_NEON_KERNELS)
+
+/// NEON analogue of the AVX2 block merge: 4-lane blocks, rotations via ext.
+uint64_t NeonBlockMerge(const uint32_t* a, std::size_t na, const uint32_t* b,
+                        std::size_t nb, uint64_t required) {
+  uint64_t count = 0;
+  std::size_t i = 0, j = 0;
+  while (i + 4 <= na && j + 4 <= nb) {
+    if (count + std::min(na - i, nb - j) < required) return count;
+    const uint32x4_t va = vld1q_u32(a + i);
+    uint32x4_t vb = vld1q_u32(b + j);
+    uint32x4_t eq = vceqq_u32(va, vb);
+    vb = vextq_u32(vb, vb, 1);
+    eq = vorrq_u32(eq, vceqq_u32(va, vb));
+    vb = vextq_u32(vb, vb, 1);
+    eq = vorrq_u32(eq, vceqq_u32(va, vb));
+    vb = vextq_u32(vb, vb, 1);
+    eq = vorrq_u32(eq, vceqq_u32(va, vb));
+    // Matched lanes are all-ones; summing lane >> 31 counts them.
+    count += vaddvq_u32(vshrq_n_u32(eq, 31));
+    const uint32_t a_max = a[i + 3];
+    const uint32_t b_max = b[j + 3];
+    if (a_max <= b_max) i += 4;
+    if (b_max <= a_max) j += 4;
+  }
+  if (required == 0) {
+    return count + LinearOverlap(a + i, na - i, b + j, nb - j);
+  }
+  return count + SortedOverlapBounded(a + i, na - i, b + j, nb - j,
+                                      required > count ? required - count : 0);
+}
+
+uint64_t NeonOverlap(const uint32_t* a, std::size_t na, const uint32_t* b,
+                     std::size_t nb, uint64_t required) {
+  const std::size_t small = std::min(na, nb);
+  const std::size_t large = std::max(na, nb);
+  if (small > 0 && large / small >= kGallopRatio) {
+    // Skew is gallop-bound, not lane-bound; the scalar probe is already
+    // O(|small| log |large|) and NEON has no cheap movemask to beat it.
+    return required == 0 ? GallopingOverlap(a, na, b, nb)
+                         : SortedOverlapBounded(a, na, b, nb, required);
+  }
+  return NeonBlockMerge(a, na, b, nb, required);
+}
+
+#endif  // FSJOIN_HAVE_NEON_KERNELS
+
+}  // namespace
+
+uint64_t SimdOverlap(const uint32_t* a, std::size_t na, const uint32_t* b,
+                     std::size_t nb) {
+  switch (DetectedSimdIsa()) {
+#if defined(FSJOIN_HAVE_AVX2_KERNELS)
+    case SimdIsa::kAvx2:
+      return Avx2Overlap(a, na, b, nb, /*required=*/0);
+#endif
+#if defined(FSJOIN_HAVE_NEON_KERNELS)
+    case SimdIsa::kNeon:
+      return NeonOverlap(a, na, b, nb, /*required=*/0);
+#endif
+    default:
+      return SortedOverlap(a, na, b, nb);
+  }
+}
+
+uint64_t SimdOverlapBounded(const uint32_t* a, std::size_t na,
+                            const uint32_t* b, std::size_t nb,
+                            uint64_t required) {
+  switch (DetectedSimdIsa()) {
+#if defined(FSJOIN_HAVE_AVX2_KERNELS)
+    case SimdIsa::kAvx2:
+      return Avx2Overlap(a, na, b, nb, required);
+#endif
+#if defined(FSJOIN_HAVE_NEON_KERNELS)
+    case SimdIsa::kNeon:
+      return NeonOverlap(a, na, b, nb, required);
+#endif
+    default:
+      return SortedOverlapBounded(a, na, b, nb, required);
+  }
+}
+
+}  // namespace fsjoin

@@ -1,0 +1,53 @@
+#include "util/simd.h"
+
+namespace fsjoin {
+
+namespace {
+
+SimdIsa ProbeCpu() {
+#if !defined(FSJOIN_NO_SIMD) && defined(__x86_64__)
+  if (__builtin_cpu_supports("avx2")) return SimdIsa::kAvx2;
+  return SimdIsa::kScalar;
+#elif !defined(FSJOIN_NO_SIMD) && defined(__ARM_NEON)
+  // NEON is architectural on aarch64; no runtime probe needed.
+  return SimdIsa::kNeon;
+#else
+  return SimdIsa::kScalar;
+#endif
+}
+
+/// Cached answer; ScopedSimdIsaOverride rewrites it for tests.
+SimdIsa g_detected = [] { return ProbeCpu(); }();
+
+SimdIsa Clamp(SimdIsa isa) {
+  // An override may only select what this build + machine actually have;
+  // anything else degrades to the scalar reference.
+  return ProbeCpu() == isa ? isa : SimdIsa::kScalar;
+}
+
+}  // namespace
+
+const char* SimdIsaName(SimdIsa isa) {
+  switch (isa) {
+    case SimdIsa::kScalar:
+      return "scalar";
+    case SimdIsa::kAvx2:
+      return "avx2";
+    case SimdIsa::kNeon:
+      return "neon";
+  }
+  return "?";
+}
+
+SimdIsa DetectedSimdIsa() { return g_detected; }
+
+bool SimdAvailable() { return DetectedSimdIsa() != SimdIsa::kScalar; }
+
+ScopedSimdIsaOverride::ScopedSimdIsaOverride(SimdIsa isa)
+    : previous_(g_detected) {
+  g_detected = Clamp(isa);
+}
+
+ScopedSimdIsaOverride::~ScopedSimdIsaOverride() { g_detected = previous_; }
+
+}  // namespace fsjoin

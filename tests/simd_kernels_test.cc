@@ -1,0 +1,342 @@
+// SIMD overlap kernels, per-segment containers and the compiled pipeline
+// registry (DESIGN.md §5g). Every kernel x container pair is checked
+// against the scalar reference on adversarial inputs, under the detected
+// ISA and with the scalar fallback forced; the registry must dispatch every
+// shape to a pipeline producing results identical to the scalar one.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/fragment_join.h"
+#include "core/join_pipeline.h"
+#include "core/segments.h"
+#include "sim/set_ops.h"
+#include "util/random.h"
+#include "util/simd.h"
+
+namespace fsjoin {
+namespace {
+
+using Tokens = std::vector<uint32_t>;
+
+Tokens Iota(uint32_t start, uint32_t n, uint32_t stride = 1) {
+  Tokens v;
+  for (uint32_t i = 0; i < n; ++i) v.push_back(start + i * stride);
+  return v;
+}
+
+/// The adversarial pair matrix from the issue: empty, single-token,
+/// all-equal, max-skew, and boundary shapes around vector-lane widths.
+std::vector<std::pair<Tokens, Tokens>> AdversarialPairs() {
+  std::vector<std::pair<Tokens, Tokens>> pairs;
+  pairs.push_back({{}, {}});
+  pairs.push_back({{}, Iota(5, 40)});
+  pairs.push_back({{7}, {7}});
+  pairs.push_back({{7}, {8}});
+  pairs.push_back({{7}, Iota(0, 100)});
+  pairs.push_back({Iota(0, 64), Iota(0, 64)});          // all-equal
+  pairs.push_back({Iota(0, 64), Iota(64, 64)});         // disjoint, adjacent
+  pairs.push_back({Iota(0, 64, 2), Iota(1, 64, 2)});    // interleaved
+  pairs.push_back({Iota(0, 7), Iota(3, 7)});            // below lane width
+  pairs.push_back({Iota(0, 8), Iota(4, 8)});            // exactly one lane
+  pairs.push_back({Iota(0, 9), Iota(4, 9)});            // lane + tail
+  pairs.push_back({Iota(0, 5), Iota(0, 4096)});         // max skew
+  pairs.push_back({Iota(100, 3), Iota(0, 4096, 3)});    // skew, sparse large
+  // Random clustered + sparse mixes.
+  Rng rng(99);
+  for (int i = 0; i < 12; ++i) {
+    Tokens a, b;
+    for (uint32_t r = 0; r < 600; ++r) {
+      if (rng.NextBool(0.25)) a.push_back(r);
+      if (rng.NextBool(i % 2 ? 0.25 : 0.02)) b.push_back(r);
+    }
+    pairs.push_back({std::move(a), std::move(b)});
+  }
+  return pairs;
+}
+
+uint64_t Ref(const Tokens& a, const Tokens& b) {
+  return LinearOverlap(a.data(), a.size(), b.data(), b.size());
+}
+
+TEST(SimdKernelTest, ExactOverlapMatchesScalarReference) {
+  for (SimdIsa isa : {DetectedSimdIsa(), SimdIsa::kScalar}) {
+    ScopedSimdIsaOverride force(isa);
+    for (const auto& [a, b] : AdversarialPairs()) {
+      const uint64_t expected = Ref(a, b);
+      EXPECT_EQ(SimdOverlap(a.data(), a.size(), b.data(), b.size()), expected)
+          << SimdIsaName(isa) << " na=" << a.size() << " nb=" << b.size();
+      EXPECT_EQ(SimdOverlap(b.data(), b.size(), a.data(), a.size()), expected);
+    }
+  }
+}
+
+TEST(SimdKernelTest, BoundedKernelsHonorTheContract) {
+  for (SimdIsa isa : {DetectedSimdIsa(), SimdIsa::kScalar}) {
+    ScopedSimdIsaOverride force(isa);
+    for (const auto& [a, b] : AdversarialPairs()) {
+      const uint64_t exact = Ref(a, b);
+      const uint64_t max_possible = std::min(a.size(), b.size());
+      // Boundary-at-required-overlap: exact itself plus both neighbors.
+      for (uint64_t required :
+           {uint64_t{0}, uint64_t{1}, exact, exact + 1, exact + 7,
+            max_possible, max_possible + 1}) {
+        for (auto* kernel : {&SimdOverlapBounded, &SortedOverlapBounded}) {
+          const uint64_t got =
+              kernel(a.data(), a.size(), b.data(), b.size(), required);
+          // (got < required) must equal (exact < required), and at-or-above
+          // the bound the result must be exact.
+          EXPECT_EQ(got < required, exact < required)
+              << SimdIsaName(isa) << " required=" << required;
+          if (got >= required) {
+            EXPECT_EQ(got, exact);
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Builds the bitset form of `v` on the absolute word grid.
+struct Bitset {
+  std::vector<uint64_t> words;
+  uint32_t word0 = 0;
+  explicit Bitset(const Tokens& v) {
+    if (v.empty()) return;
+    word0 = v.front() / 64;
+    words.assign(v.back() / 64 - word0 + 1, 0);
+    for (uint32_t t : v) words[t / 64 - word0] |= uint64_t{1} << (t % 64);
+  }
+  uint32_t num_words() const { return static_cast<uint32_t>(words.size()); }
+};
+
+TEST(ContainerKernelTest, EveryContainerPairMatchesScalarReference) {
+  for (const auto& [a, b] : AdversarialPairs()) {
+    const uint64_t expected = Ref(a, b);
+    const Bitset ba(a), bb(b);
+    std::vector<TokenRun> ra, rb;
+    AppendTokenRuns(a.data(), a.size(), &ra);
+    AppendTokenRuns(b.data(), b.size(), &rb);
+    ASSERT_EQ(CountTokenRuns(a.data(), a.size()), ra.size());
+    EXPECT_EQ(BitsetBitsetOverlap(ba.words.data(), ba.word0, ba.num_words(),
+                                  bb.words.data(), bb.word0, bb.num_words()),
+              expected);
+    EXPECT_EQ(BitsetArrayOverlap(ba.words.data(), ba.word0, ba.num_words(),
+                                 /*base=*/0, b.data(), b.size()),
+              expected);
+    EXPECT_EQ(BitsetRunsOverlap(ba.words.data(), ba.word0, ba.num_words(),
+                                /*base=*/0, rb.data(), rb.size()),
+              expected);
+    EXPECT_EQ(RunsRunsOverlap(ra.data(), ra.size(), rb.data(), rb.size()),
+              expected);
+    EXPECT_EQ(RunsArrayOverlap(ra.data(), ra.size(), b.data(), b.size()),
+              expected);
+    EXPECT_EQ(RunsArrayOverlap(rb.data(), rb.size(), a.data(), a.size()),
+              expected);
+  }
+}
+
+TEST(ContainerKernelTest, SealClassifiesContainers) {
+  SegmentBatch batch;
+  const Tokens consecutive = Iota(100, 48);        // 1 run -> kRuns
+  const Tokens dense = Iota(0, 64, 2);             // 2 tokens/word -> kBitset
+  const Tokens sparse = Iota(0, 64, 97);           // spread out -> kArray
+  const Tokens tiny = Iota(0, 8);                  // below min size -> kArray
+  for (const Tokens* t : {&consecutive, &dense, &sparse, &tiny}) {
+    batch.Append(static_cast<RecordId>(batch.size()),
+                 static_cast<uint32_t>(t->size()), 0, t->data(), t->size());
+  }
+  batch.Seal();
+  EXPECT_EQ(batch.container(0), SegContainer::kRuns);
+  EXPECT_EQ(batch.container(1), SegContainer::kBitset);
+  EXPECT_EQ(batch.container(2), SegContainer::kArray);
+  EXPECT_EQ(batch.container(3), SegContainer::kArray);
+  EXPECT_EQ(batch.num_runs(0), 1u);
+  EXPECT_EQ(batch.bitset_word0(1), 0u);
+  EXPECT_EQ(batch.bitset_num_words(1), 2u);
+  // The token arrays stay available regardless of container.
+  EXPECT_EQ(batch.length(0), 48u);
+  EXPECT_EQ(batch.tokens(0)[0], 100u);
+  EXPECT_STREQ(SegContainerName(batch.container(0)), "runs");
+}
+
+TEST(KernelRegistryTest, EveryShapeHasAUniquelyNamedPipeline) {
+  const KernelRegistry& registry = KernelRegistry::Get();
+  const std::vector<std::string> names = registry.Names();
+  EXPECT_EQ(names.size(), 3u * kNumFilterMasks * 3u);
+  EXPECT_EQ(std::set<std::string>(names.begin(), names.end()).size(),
+            names.size());
+  for (const std::string& name : names) {
+    EXPECT_NE(registry.LookupByName(name), nullptr) << name;
+  }
+  EXPECT_EQ(registry.LookupByName("prefix/none/warp"), nullptr);
+  for (JoinMethod method :
+       {JoinMethod::kLoop, JoinMethod::kIndex, JoinMethod::kPrefix}) {
+    for (uint32_t mask = 0; mask < kNumFilterMasks; ++mask) {
+      for (exec::KernelMode kernel :
+           {exec::KernelMode::kScalar, exec::KernelMode::kPacked,
+            exec::KernelMode::kSimd}) {
+        const PipelineShape shape{method, mask, kernel};
+        EXPECT_NE(registry.Lookup(shape), nullptr);
+        EXPECT_EQ(registry.LookupByName(KernelRegistry::ShapeName(shape)),
+                  registry.Lookup(shape))
+            << KernelRegistry::ShapeName(shape);
+      }
+    }
+  }
+  EXPECT_EQ(KernelRegistry::ShapeName(
+                PipelineShape{JoinMethod::kPrefix, kNumFilterMasks - 1,
+                              exec::KernelMode::kSimd}),
+            "prefix/strl+segl+segi+segd/simd");
+  EXPECT_EQ(KernelRegistry::ShapeName(
+                PipelineShape{JoinMethod::kLoop, 0, exec::KernelMode::kScalar}),
+            "loop/none/scalar");
+}
+
+TEST(KernelRegistryTest, ShapeOfResolvesAuto) {
+  FragmentJoinOptions opts;
+  opts.kernel = exec::KernelMode::kAuto;
+  const PipelineShape shape = ShapeOf(opts);
+  EXPECT_NE(shape.kernel, exec::KernelMode::kAuto);
+  EXPECT_EQ(shape.kernel, SimdAvailable() ? exec::KernelMode::kSimd
+                                          : exec::KernelMode::kPacked);
+  EXPECT_EQ(shape.filter_mask, kNumFilterMasks - 1);  // all filters default-on
+  {
+    ScopedSimdIsaOverride force(SimdIsa::kScalar);
+    EXPECT_EQ(ShapeOf(opts).kernel, exec::KernelMode::kPacked);
+  }
+}
+
+std::vector<SegmentRecord> RandomFragment(Rng& rng, size_t n) {
+  std::vector<SegmentRecord> segments;
+  for (size_t i = 0; i < n; ++i) {
+    SegmentRecord seg;
+    seg.rid = static_cast<RecordId>(i);
+    // Mix of shapes so Seal produces all three containers: clustered rank
+    // blocks (runs), dense stripes (bitset) and sparse picks (array).
+    const int shape = static_cast<int>(rng.NextBounded(3));
+    if (shape == 0) {
+      const uint32_t start = static_cast<uint32_t>(rng.NextBounded(40));
+      for (uint32_t r = 0; r < 20 + rng.NextBounded(20); ++r) {
+        seg.tokens.push_back(start + r);
+      }
+    } else {
+      for (uint32_t r = 0; r < 80; ++r) {
+        if (rng.NextBool(shape == 1 ? 0.6 : 0.2)) seg.tokens.push_back(r);
+      }
+    }
+    if (seg.tokens.empty()) seg.tokens.push_back(1);
+    seg.head = static_cast<uint32_t>(rng.NextBounded(6));
+    const uint32_t tail = static_cast<uint32_t>(rng.NextBounded(6));
+    seg.record_size =
+        seg.head + static_cast<uint32_t>(seg.tokens.size()) + tail;
+    segments.push_back(std::move(seg));
+  }
+  return segments;
+}
+
+bool SamePartials(const std::vector<PartialOverlap>& x,
+                  const std::vector<PartialOverlap>& y) {
+  if (x.size() != y.size()) return false;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (x[i].a != y[i].a || x[i].b != y[i].b || x[i].overlap != y[i].overlap ||
+        x[i].size_a != y[i].size_a || x[i].size_b != y[i].size_b) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// All kernel modes must emit identical partials in identical order, with
+/// identical counters up to the documented empty_overlap/pruned_segi
+/// attribution shift of kSimd (the sum of the two is invariant).
+TEST(KernelPipelineTest, KernelModesProduceIdenticalJoins) {
+  Rng rng(4242);
+  for (int iter = 0; iter < 12; ++iter) {
+    const std::vector<SegmentRecord> fragment = RandomFragment(rng, 30);
+    for (JoinMethod method :
+         {JoinMethod::kLoop, JoinMethod::kIndex, JoinMethod::kPrefix}) {
+      FragmentJoinOptions opts;
+      opts.theta = 0.5 + 0.1 * (iter % 5);
+      opts.method = method;
+      if (iter % 3 == 0) {
+        opts.use_length_filter = rng.NextBool(0.5);
+        opts.use_segment_length_filter = rng.NextBool(0.5);
+        opts.use_segment_intersection_filter = rng.NextBool(0.5);
+        opts.use_segment_difference_filter = rng.NextBool(0.5);
+      }
+
+      opts.kernel = exec::KernelMode::kScalar;
+      std::vector<PartialOverlap> scalar_out;
+      FilterCounters scalar_counters;
+      JoinFragment(fragment, opts, &scalar_out, &scalar_counters);
+
+      auto check = [&](exec::KernelMode kernel, bool force_scalar_isa) {
+        ScopedSimdIsaOverride force(force_scalar_isa ? SimdIsa::kScalar
+                                                     : DetectedSimdIsa());
+        FragmentJoinOptions k_opts = opts;
+        k_opts.kernel = kernel;
+        std::vector<PartialOverlap> out;
+        FilterCounters c;
+        JoinFragment(fragment, k_opts, &out, &c);
+        const std::string label =
+            std::string(exec::KernelModeName(kernel)) +
+            (force_scalar_isa ? "/scalar-isa" : "/native-isa");
+        EXPECT_TRUE(SamePartials(scalar_out, out)) << label;
+        EXPECT_EQ(c.pairs_considered, scalar_counters.pairs_considered);
+        EXPECT_EQ(c.pruned_role, scalar_counters.pruned_role) << label;
+        EXPECT_EQ(c.pruned_strl, scalar_counters.pruned_strl) << label;
+        EXPECT_EQ(c.pruned_segl, scalar_counters.pruned_segl) << label;
+        EXPECT_EQ(c.pruned_segd, scalar_counters.pruned_segd) << label;
+        EXPECT_EQ(c.emitted, scalar_counters.emitted) << label;
+        EXPECT_EQ(c.empty_overlap + c.pruned_segi,
+                  scalar_counters.empty_overlap + scalar_counters.pruned_segi)
+            << label;
+        if (exec::ResolveKernelMode(kernel) != exec::KernelMode::kSimd) {
+          // Only kSimd may shift attribution between the two buckets.
+          EXPECT_EQ(c.empty_overlap, scalar_counters.empty_overlap) << label;
+          EXPECT_EQ(c.pruned_segi, scalar_counters.pruned_segi) << label;
+        }
+      };
+      check(exec::KernelMode::kPacked, false);
+      check(exec::KernelMode::kSimd, false);
+      check(exec::KernelMode::kSimd, true);  // forced scalar fallback
+      check(exec::KernelMode::kAuto, false);
+    }
+  }
+}
+
+/// kSimd's attribution shift must itself be deterministic: two kSimd runs
+/// (serial vs morsel-parallel) agree exactly, counter for counter.
+TEST(KernelPipelineTest, SimdCountersAreDeterministicAcrossMorsels) {
+  Rng rng(77);
+  const std::vector<SegmentRecord> fragment = RandomFragment(rng, 40);
+  ThreadPool pool(3);
+  for (JoinMethod method : {JoinMethod::kLoop, JoinMethod::kPrefix}) {
+    FragmentJoinOptions serial;
+    serial.method = method;
+    serial.kernel = exec::KernelMode::kSimd;
+    std::vector<PartialOverlap> serial_out;
+    FilterCounters serial_counters;
+    JoinFragment(fragment, serial, &serial_out, &serial_counters);
+
+    FragmentJoinOptions morsel = serial;
+    morsel.morsel_pool = &pool;
+    morsel.morsel_size = 7;
+    std::vector<PartialOverlap> morsel_out;
+    FilterCounters morsel_counters;
+    JoinFragment(fragment, morsel, &morsel_out, &morsel_counters);
+
+    EXPECT_TRUE(SamePartials(serial_out, morsel_out));
+    EXPECT_EQ(serial_counters.empty_overlap, morsel_counters.empty_overlap);
+    EXPECT_EQ(serial_counters.pruned_segi, morsel_counters.pruned_segi);
+    EXPECT_EQ(serial_counters.emitted, morsel_counters.emitted);
+  }
+}
+
+}  // namespace
+}  // namespace fsjoin
