@@ -15,6 +15,8 @@
 #include "bench_util.h"
 #include "check/invariants.h"
 #include "exec/exec_config.h"
+#include "mr/runner.h"
+#include "mr/worker.h"
 #include "sim/join_result.h"
 #include "util/simd.h"
 #include "util/string_util.h"
@@ -114,12 +116,88 @@ void Run(const BenchOptions& options) {
     table.Print(std::cout);
   }
   WriteBenchJson(options, "ext_dataflow", records);
+
+  // Runner comparison: the same plans on the inline, thread-pool, and
+  // forked-subprocess task runners. Scheduling and process overhead is the
+  // quantity under test, so this section uses the auto kernel and records
+  // into its own JSON (BENCH_runtime.json) to join the perf trajectory.
+  PrintBanner("Extension — task-runner overhead: inline vs thread-pool vs "
+              "forked subprocess",
+              "same plans, same digests; the delta is pure scheduling, "
+              "fork/exec, and run-file interchange cost");
+  constexpr mr::RunnerKind kRunnerMenu[] = {mr::RunnerKind::kInline,
+                                            mr::RunnerKind::kThreads,
+                                            mr::RunnerKind::kSubprocess};
+  std::vector<BenchRecord> runtime_records;
+  for (Workload& w : AllWorkloads(0.25)) {
+    std::printf("\n[%s] %zu records, theta = %.2f\n", w.name.c_str(),
+                w.corpus.NumRecords(), theta);
+    TablePrinter table(
+        {"backend", "runner", "wall (ms)", "shuffle", "results", "digest"});
+    std::optional<uint32_t> reference_digest;
+    for (exec::BackendKind kind :
+         {exec::BackendKind::kMapReduce, exec::BackendKind::kFusedFlow}) {
+      for (mr::RunnerKind runner : kRunnerMenu) {
+        FsJoinConfig config = DefaultFsConfig(theta);
+        config.exec.backend = kind;
+        config.exec.runner = runner;
+        std::optional<Result<FsJoinOutput>> result;
+        double wall_micros = MinWallMicros(options, [&] {
+          result.emplace(FsJoin(config).Run(w.corpus));
+        });
+        Result<FsJoinOutput>& out = *result;
+        if (!out.ok()) {
+          std::printf("FAIL: %s\n", out.status().ToString().c_str());
+          continue;
+        }
+        uint64_t shuffle = 0;
+        if (kind == exec::BackendKind::kMapReduce) {
+          for (const mr::JobMetrics& j : out->report.AllJobs()) {
+            shuffle += j.shuffle_bytes;
+          }
+        } else {
+          for (const flow::Pipeline::Metrics& p :
+               out->report.flow_pipelines) {
+            shuffle += p.shuffle_bytes;
+          }
+        }
+        const uint32_t digest = check::ResultDigest(out->pairs);
+        if (!reference_digest) reference_digest = digest;
+        const bool same = digest == *reference_digest;
+        table.AddRow({exec::BackendKindName(kind), mr::RunnerKindName(runner),
+                      StrFormat("%.0f", wall_micros / 1000.0),
+                      HumanBytes(shuffle),
+                      WithThousandsSep(out->pairs.size()),
+                      same ? StrFormat("%08x", digest)
+                           : StrFormat("%08x MISMATCH!", digest)});
+
+        BenchRecord record;
+        record.name = StrFormat("%s/%s/%s", w.name.c_str(),
+                                exec::BackendKindName(kind),
+                                mr::RunnerKindName(runner));
+        record.wall_micros = wall_micros;
+        record.shuffle_bytes = shuffle;
+        runtime_records.push_back(std::move(record));
+      }
+    }
+    table.Print(std::cout);
+  }
+  BenchOptions runtime_options = options;
+  if (!options.json_path.empty()) {
+    runtime_options.json_path = "BENCH_runtime.json";
+  }
+  WriteBenchJson(runtime_options, "runtime", runtime_records);
 }
 
 }  // namespace
 }  // namespace fsjoin::bench
 
 int main(int argc, char** argv) {
+  // Subprocess-runner children re-exec this binary in --worker-task mode.
+  if (const int code = fsjoin::mr::WorkerTaskMainIfRequested(argc, argv);
+      code >= 0) {
+    return code;
+  }
   fsjoin::bench::Run(
       fsjoin::bench::ParseBenchOptions("ext_dataflow", argc, argv));
   return 0;

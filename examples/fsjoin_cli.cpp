@@ -24,8 +24,16 @@
 //                       bytes; accepts k/m/g suffixes         [0 = in memory]
 //   --spill-dir PATH    where spill runs are written (removed when the job
 //                       finishes)                             [system temp]
+//   --runner NAME       inline | threads | subprocess task execution
+//                       (subprocess forks/re-execs one child per task
+//                       attempt and retries failures)         [threads]
+//   --task-retries N    re-executions per failed task on the subprocess
+//                       runner                                [2]
 //   --output PATH       write "idA idB similarity" lines      [stdout]
 //   --report            print the execution report to stderr
+//
+// Internal: --worker-task SPEC re-executes one serialized task and exits
+// (the subprocess runner launches the binary this way; see mr/worker.h).
 
 #include <cstdio>
 #include <cstdlib>
@@ -35,6 +43,7 @@
 #include <string>
 
 #include "core/fsjoin.h"
+#include "mr/worker.h"
 #include "text/corpus_io.h"
 #include "text/tokenizer.h"
 
@@ -49,7 +58,9 @@ struct CliOptions {
   std::string function = "jaccard";
   std::string backend = "mr";
   std::string kernel = "auto";
+  std::string runner = "threads";
   std::string spill_dir;
+  int task_retries = 2;
   double theta = 0.8;
   uint32_t fragments = 30;
   uint32_t horizontal = 0;
@@ -71,6 +82,7 @@ int Usage(const char* argv0) {
                "[--threads N] "
                "[--parallel-join] [--morsel N] "
                "[--shuffle-mem SIZE] [--spill-dir DIR] "
+               "[--runner inline|threads|subprocess] [--task-retries N] "
                "[--output FILE] [--report]\n",
                argv0);
   return 2;
@@ -118,6 +130,13 @@ fsjoin::Result<std::unique_ptr<fsjoin::Tokenizer>> MakeTokenizer(
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Worker mode: when launched as `fsjoin_cli --worker-task spec`, execute
+  // that one task and exit. Must run before any CLI work so a re-execed
+  // child never re-runs the whole join.
+  if (const int code = fsjoin::mr::WorkerTaskMainIfRequested(argc, argv);
+      code >= 0) {
+    return code;
+  }
   CliOptions opts;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -188,6 +207,14 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Usage(argv[0]);
       opts.spill_dir = v;
+    } else if (arg == "--runner") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      opts.runner = v;
+    } else if (arg == "--task-retries") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      opts.task_retries = std::atoi(v);
     } else if (arg == "--aggressive") {
       opts.aggressive = true;
     } else if (arg == "--report") {
@@ -228,6 +255,15 @@ int main(int argc, char** argv) {
   config.exec.join_morsel_size = opts.morsel;
   config.exec.shuffle_memory_bytes = opts.shuffle_mem;
   config.exec.spill_dir = opts.spill_dir;
+  config.exec.task_retries = opts.task_retries;
+  {
+    auto runner = fsjoin::mr::RunnerKindFromName(opts.runner);
+    if (!runner.ok()) {
+      std::fprintf(stderr, "%s\n", runner.status().ToString().c_str());
+      return 1;
+    }
+    config.exec.runner = *runner;
+  }
   {
     auto backend = fsjoin::exec::BackendKindFromName(opts.backend);
     if (!backend.ok()) {

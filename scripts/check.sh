@@ -33,11 +33,18 @@ for preset in $presets; do
   cmake --preset "$preset"
   cmake --build --preset "$preset" -j "$(nproc)"
   if [[ "$fast" == 1 ]]; then
-    # fast tier: everything not labeled slow or fuzz-smoke.
+    # fast tier: everything not labeled slow or fuzz-smoke. The multiproc
+    # tier stays in — it is quick and covers the fork/exec task runners.
     ctest --preset "$preset" -LE "slow|fuzz-smoke"
     continue
   fi
-  ctest --preset "$preset"
+  ctest --preset "$preset" -LE "multiproc"
+  # Cross-process runner tier (label multiproc): subprocess task execution,
+  # fault-injected retries, and run-file interchange across fork/exec.
+  # Runs under every preset — the asan/ubsan builds shake out lifetime bugs
+  # around fork boundaries that an unsanitized run would miss.
+  echo "---- multiproc tier ($preset) ----"
+  ctest --preset "$preset" -L "multiproc"
   bindir="build"
   [[ "$preset" != "default" ]] && bindir="build-$preset"
   # Smoke the external-shuffle bench at a tiny scale: its built-in checks

@@ -323,10 +323,14 @@ Result<BaselineOutput> RunMassJoin(const Corpus& corpus,
   mr::JobConfig ordering_cfg = MakeOrderingJobConfig(
       config.exec.num_map_tasks, config.exec.num_reduce_tasks);
   exec::Plan ordering_plan("massjoin-ordering");
+  exec::StageHints ordering_hints;
+  ordering_hints.task_factory = ordering_cfg.task_factory;
+  ordering_hints.task_payload = ordering_cfg.task_payload;
   ordering_plan
       .FlatMap("tokenize", ordering_cfg.mapper_factory)
       .GroupByKey("ordering", ordering_cfg.reducer_factory,
-                  ordering_cfg.partitioner, ordering_cfg.combiner_factory);
+                  ordering_cfg.partitioner, ordering_cfg.combiner_factory,
+                  std::move(ordering_hints));
   FSJOIN_ASSIGN_OR_RETURN(mr::Dataset freq,
                           backend->Execute(ordering_plan, input));
   FSJOIN_ASSIGN_OR_RETURN(

@@ -170,10 +170,14 @@ Result<BaselineOutput> RunVernicaJoin(const Corpus& corpus,
   mr::JobConfig ordering_cfg = MakeOrderingJobConfig(
       config.exec.num_map_tasks, config.exec.num_reduce_tasks);
   exec::Plan ordering_plan("vernica-ordering");
+  exec::StageHints ordering_hints;
+  ordering_hints.task_factory = ordering_cfg.task_factory;
+  ordering_hints.task_payload = ordering_cfg.task_payload;
   ordering_plan
       .FlatMap("tokenize", ordering_cfg.mapper_factory)
       .GroupByKey("ordering", ordering_cfg.reducer_factory,
-                  ordering_cfg.partitioner, ordering_cfg.combiner_factory);
+                  ordering_cfg.partitioner, ordering_cfg.combiner_factory,
+                  std::move(ordering_hints));
   FSJOIN_ASSIGN_OR_RETURN(mr::Dataset freq,
                           backend->Execute(ordering_plan, input));
   FSJOIN_ASSIGN_OR_RETURN(
@@ -185,13 +189,31 @@ Result<BaselineOutput> RunVernicaJoin(const Corpus& corpus,
   ctx->order = std::make_shared<const GlobalOrder>(std::move(order));
   ctx->budget = std::make_shared<EmissionBudget>(config.exec.emission_limit);
 
-  // Plan 2: RID-pairs kernel.
+  // Plan 2: RID-pairs kernel. The candidate counter crosses fork-isolated
+  // reduce tasks through the stage side channel.
+  exec::StageHints kernel_hints;
+  kernel_hints.side.reset = [ctx] { ctx->candidate_pairs = 0; };
+  kernel_hints.side.capture = [ctx]() -> std::string {
+    std::string bytes;
+    std::lock_guard<std::mutex> lock(ctx->mu);
+    PutVarint64(&bytes, ctx->candidate_pairs);
+    return bytes;
+  };
+  kernel_hints.side.merge = [ctx](const std::string& bytes) -> Status {
+    Decoder dec(bytes);
+    uint64_t count = 0;
+    FSJOIN_RETURN_NOT_OK(dec.GetVarint64(&count));
+    std::lock_guard<std::mutex> lock(ctx->mu);
+    ctx->candidate_pairs += count;
+    return Status::OK();
+  };
   exec::Plan kernel_plan("vernica");
   kernel_plan
       .FlatMap("prefix-split",
                [ctx] { return std::make_unique<KernelMapper>(ctx); })
       .GroupByKey("vernica-kernel",
-                  [ctx] { return std::make_unique<KernelReducer>(ctx); });
+                  [ctx] { return std::make_unique<KernelReducer>(ctx); },
+                  nullptr, nullptr, std::move(kernel_hints));
   FSJOIN_ASSIGN_OR_RETURN(mr::Dataset results,
                           backend->Execute(kernel_plan, input));
 

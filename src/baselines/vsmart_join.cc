@@ -116,11 +116,14 @@ Result<BaselineOutput> RunVSmartJoin(const Corpus& corpus,
   mr::JobConfig verification_cfg = MakeVerificationJobConfig(verification_ctx);
 
   exec::Plan plan("vsmart");
+  exec::StageHints verification_hints;
+  verification_hints.side = verification_cfg.side;
   plan.FlatMap("token-lists",
                [ctx] { return std::make_unique<TokenListMapper>(ctx); })
       .GroupByKey("vsmart-join",
                   [ctx] { return std::make_unique<PairEnumerationReducer>(ctx); })
-      .GroupByKey("verification", verification_cfg.reducer_factory);
+      .GroupByKey("verification", verification_cfg.reducer_factory, nullptr,
+                  nullptr, std::move(verification_hints));
   FSJOIN_ASSIGN_OR_RETURN(mr::Dataset results, backend->Execute(plan, input));
 
   BaselineOutput output;

@@ -1,5 +1,6 @@
 #include "check/lattice.h"
 
+#include "mr/runner.h"
 #include "util/random.h"
 #include "util/string_util.h"
 
@@ -30,6 +31,12 @@ constexpr uint32_t kTaskCounts[] = {1, 3, 5, 8};
 constexpr exec::KernelMode kKernels[] = {
     exec::KernelMode::kAuto, exec::KernelMode::kSimd, exec::KernelMode::kSimd,
     exec::KernelMode::kPacked, exec::KernelMode::kScalar};
+// Runner menu weighted toward the thread-pool default; the subprocess
+// runner appears often enough that every sweep crosses a fork boundary,
+// which is how digest identity across runners gets continuous coverage.
+constexpr mr::RunnerKind kRunners[] = {
+    mr::RunnerKind::kThreads, mr::RunnerKind::kThreads,
+    mr::RunnerKind::kInline, mr::RunnerKind::kSubprocess};
 
 template <typename T, size_t N>
 T Pick(const T (&menu)[N], Rng& rng) {
@@ -49,6 +56,7 @@ exec::ExecConfig SampleExec(Rng& rng) {
   }
   exec.shuffle_memory_bytes = Pick(kSpillBudgets, rng);
   exec.kernel = Pick(kKernels, rng);
+  exec.runner = Pick(kRunners, rng);
   return exec;
 }
 
@@ -73,21 +81,22 @@ std::string LatticePoint::Name() const {
     const exec::ExecConfig& e = fsjoin.exec;
     return StrFormat(
         "fsjoin(%s, backend=%s, maps=%u, reduces=%u, threads=%zu, "
-        "morsel=%zu, spill=%llu, kernel=%s)",
+        "morsel=%zu, spill=%llu, kernel=%s, runner=%s)",
         fsjoin.Summary().c_str(), exec::BackendKindName(e.backend),
         e.num_map_tasks, e.num_reduce_tasks, e.num_threads,
         e.parallel_fragment_join ? e.join_morsel_size : size_t{0},
         static_cast<unsigned long long>(e.shuffle_memory_bytes),
-        exec::KernelModeName(e.kernel));
+        exec::KernelModeName(e.kernel), mr::RunnerKindName(e.runner));
   }
   const exec::ExecConfig& e = baseline.exec;
   return StrFormat(
       "%s(theta=%.2f, fn=%s, backend=%s, maps=%u, reduces=%u, threads=%zu, "
-      "spill=%llu%s)",
+      "spill=%llu, runner=%s%s)",
       AlgorithmName(algorithm), baseline.theta,
       SimilarityFunctionName(baseline.function),
       exec::BackendKindName(e.backend), e.num_map_tasks, e.num_reduce_tasks,
       e.num_threads, static_cast<unsigned long long>(e.shuffle_memory_bytes),
+      mr::RunnerKindName(e.runner),
       algorithm == Algorithm::kMassJoin
           ? StrFormat(", lg=%u", massjoin_length_group).c_str()
           : "");

@@ -82,10 +82,14 @@ Result<FsJoinOutput> FsJoin::Run(const Corpus& corpus) const {
   mr::JobConfig ordering_cfg = MakeOrderingJobConfig(
       config_.exec.num_map_tasks, config_.exec.num_reduce_tasks);
   exec::Plan ordering_plan("ordering");
+  exec::StageHints ordering_hints;
+  ordering_hints.task_factory = ordering_cfg.task_factory;
+  ordering_hints.task_payload = ordering_cfg.task_payload;
   ordering_plan
       .FlatMap("tokenize", ordering_cfg.mapper_factory)
       .GroupByKey("ordering", ordering_cfg.reducer_factory,
-                  ordering_cfg.partitioner, ordering_cfg.combiner_factory);
+                  ordering_cfg.partitioner, ordering_cfg.combiner_factory,
+                  std::move(ordering_hints));
   FSJOIN_ASSIGN_OR_RETURN(mr::Dataset freq_out,
                           backend->Execute(ordering_plan, input));
   FSJOIN_ASSIGN_OR_RETURN(
@@ -130,11 +134,17 @@ Result<FsJoinOutput> FsJoin::Run(const Corpus& corpus) const {
   mr::JobConfig filtering_cfg = MakeFilteringJobConfig(filtering_ctx);
   mr::JobConfig verification_cfg = MakeVerificationJobConfig(verification_ctx);
   exec::Plan join_plan("join");
+  exec::StageHints filtering_hints;
+  filtering_hints.side = filtering_cfg.side;
+  exec::StageHints verification_hints;
+  verification_hints.side = verification_cfg.side;
   join_plan
       .FlatMap("vertical-split", filtering_cfg.mapper_factory)
       .GroupByKey("filtering", filtering_cfg.reducer_factory,
-                  filtering_cfg.partitioner)
-      .GroupByKey("verification", verification_cfg.reducer_factory);
+                  filtering_cfg.partitioner, nullptr,
+                  std::move(filtering_hints))
+      .GroupByKey("verification", verification_cfg.reducer_factory, nullptr,
+                  nullptr, std::move(verification_hints));
   FSJOIN_ASSIGN_OR_RETURN(mr::Dataset results_out,
                           backend->Execute(join_plan, input));
   FSJOIN_ASSIGN_OR_RETURN(output.pairs, DecodeJoinResults(results_out));

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/segments.h"
+#include "mr/task.h"
 #include "util/serde.h"
 
 namespace fsjoin {
@@ -223,6 +224,125 @@ class VerificationReducer : public mr::Reducer {
   uint64_t local_candidates_ = 0;
 };
 
+// ---- Task factories and side channels ----------------------------------
+
+/// The ordering job's operators are stateless and parameter-free, so its
+/// tasks can be described by a registered name and re-executed by a
+/// re-execed --worker-task process (mr/task.h). The filtering and
+/// verification jobs capture driver-built shared contexts in their
+/// closures; their tasks stay fork-only and report context mutations
+/// through the side channels below.
+[[maybe_unused]] const bool kOrderingFactoryRegistered =
+    mr::RegisterTaskFactory(
+        "core.ordering",
+        [](const std::string&) -> Result<mr::TaskFactories> {
+          mr::TaskFactories factories;
+          factories.mapper = [] { return std::make_unique<OrderingMapper>(); };
+          factories.reducer = [] { return std::make_unique<SumReducer>(); };
+          factories.combiner = [] { return std::make_unique<SumReducer>(); };
+          return factories;
+        });
+
+/// Fork-boundary channel for FilteringContext: a child task starts from
+/// zeroed counters (and no inherited morsel pool — its threads do not
+/// survive fork; joins run serially with byte-identical results), captures
+/// its deltas as bytes, and the scheduler merges them into the parent's
+/// context exactly once per logical task.
+mr::TaskSideChannel FilteringSideChannel(
+    std::shared_ptr<FilteringContext> ctx) {
+  mr::TaskSideChannel side;
+  side.reset = [ctx] {
+    // Leak the pool, never destroy it: ~ThreadPool joins worker threads
+    // that do not exist in a forked child, deadlocking forever on their
+    // inherited thread descriptors. The memory is a COW page the child's
+    // _exit reclaims; a null pool makes morsel joins run serially.
+    (void)ctx->join_pool.release();
+    ctx->totals = FilterCounters{};
+    ctx->captured_partials.clear();
+  };
+  side.capture = [ctx]() -> std::string {
+    std::string bytes;
+    std::lock_guard<std::mutex> lock(ctx->mu);
+    const FilterCounters& c = ctx->totals;
+    PutVarint64(&bytes, c.pairs_considered);
+    PutVarint64(&bytes, c.pruned_role);
+    PutVarint64(&bytes, c.pruned_strl);
+    PutVarint64(&bytes, c.pruned_segl);
+    PutVarint64(&bytes, c.pruned_segi);
+    PutVarint64(&bytes, c.pruned_segd);
+    PutVarint64(&bytes, c.empty_overlap);
+    PutVarint64(&bytes, c.emitted);
+    PutVarint64(&bytes, ctx->captured_partials.size());
+    for (const PartialOverlap& p : ctx->captured_partials) {
+      PutVarint32(&bytes, p.a);
+      PutVarint32(&bytes, p.b);
+      PutVarint32(&bytes, p.size_a);
+      PutVarint32(&bytes, p.size_b);
+      PutVarint64(&bytes, p.overlap);
+    }
+    return bytes;
+  };
+  side.merge = [ctx](const std::string& bytes) -> Status {
+    Decoder dec(bytes);
+    FilterCounters c;
+    FSJOIN_RETURN_NOT_OK(dec.GetVarint64(&c.pairs_considered));
+    FSJOIN_RETURN_NOT_OK(dec.GetVarint64(&c.pruned_role));
+    FSJOIN_RETURN_NOT_OK(dec.GetVarint64(&c.pruned_strl));
+    FSJOIN_RETURN_NOT_OK(dec.GetVarint64(&c.pruned_segl));
+    FSJOIN_RETURN_NOT_OK(dec.GetVarint64(&c.pruned_segi));
+    FSJOIN_RETURN_NOT_OK(dec.GetVarint64(&c.pruned_segd));
+    FSJOIN_RETURN_NOT_OK(dec.GetVarint64(&c.empty_overlap));
+    FSJOIN_RETURN_NOT_OK(dec.GetVarint64(&c.emitted));
+    uint64_t num_partials = 0;
+    FSJOIN_RETURN_NOT_OK(dec.GetVarint64(&num_partials));
+    std::vector<PartialOverlap> partials;
+    partials.reserve(num_partials);
+    for (uint64_t i = 0; i < num_partials; ++i) {
+      PartialOverlap p;
+      FSJOIN_RETURN_NOT_OK(dec.GetVarint32(&p.a));
+      FSJOIN_RETURN_NOT_OK(dec.GetVarint32(&p.b));
+      FSJOIN_RETURN_NOT_OK(dec.GetVarint32(&p.size_a));
+      FSJOIN_RETURN_NOT_OK(dec.GetVarint32(&p.size_b));
+      FSJOIN_RETURN_NOT_OK(dec.GetVarint64(&p.overlap));
+      partials.push_back(p);
+    }
+    if (!dec.done()) {
+      return Status::Corruption("trailing bytes in filtering side state");
+    }
+    std::lock_guard<std::mutex> lock(ctx->mu);
+    ctx->totals.Add(c);
+    ctx->captured_partials.insert(ctx->captured_partials.end(),
+                                  partials.begin(), partials.end());
+    return Status::OK();
+  };
+  return side;
+}
+
+/// Fork-boundary channel for VerificationContext: candidate-pair count only.
+mr::TaskSideChannel VerificationSideChannel(
+    std::shared_ptr<VerificationContext> ctx) {
+  mr::TaskSideChannel side;
+  side.reset = [ctx] { ctx->candidate_pairs = 0; };
+  side.capture = [ctx]() -> std::string {
+    std::string bytes;
+    std::lock_guard<std::mutex> lock(ctx->mu);
+    PutVarint64(&bytes, ctx->candidate_pairs);
+    return bytes;
+  };
+  side.merge = [ctx](const std::string& bytes) -> Status {
+    Decoder dec(bytes);
+    uint64_t count = 0;
+    FSJOIN_RETURN_NOT_OK(dec.GetVarint64(&count));
+    if (!dec.done()) {
+      return Status::Corruption("trailing bytes in verification side state");
+    }
+    std::lock_guard<std::mutex> lock(ctx->mu);
+    ctx->candidate_pairs += count;
+    return Status::OK();
+  };
+  return side;
+}
+
 }  // namespace
 
 mr::Dataset MakeCorpusDataset(const Corpus& corpus) {
@@ -255,6 +375,8 @@ mr::JobConfig MakeOrderingJobConfig(uint32_t num_map_tasks,
   config.mapper_factory = [] { return std::make_unique<OrderingMapper>(); };
   config.reducer_factory = [] { return std::make_unique<SumReducer>(); };
   config.combiner_factory = [] { return std::make_unique<SumReducer>(); };
+  // Stateless operators: tasks of this job can run via binary re-exec.
+  config.task_factory = "core.ordering";
   return config;
 }
 
@@ -300,6 +422,7 @@ mr::JobConfig MakeFilteringJobConfig(
   };
   config.partitioner = std::make_shared<FragmentPartitioner>(
       context->config.num_vertical_partitions);
+  config.side = FilteringSideChannel(context);
   return config;
 }
 
@@ -317,6 +440,7 @@ mr::JobConfig MakeVerificationJobConfig(
   config.reducer_factory = [context] {
     return std::make_unique<VerificationReducer>(context);
   };
+  config.side = VerificationSideChannel(context);
   return config;
 }
 

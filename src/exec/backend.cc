@@ -148,6 +148,8 @@ mr::EngineOptions EngineOptionsFrom(const ExecConfig& config) {
   options.num_threads = config.num_threads;
   options.shuffle_memory_bytes = config.shuffle_memory_bytes;
   options.spill_dir = config.spill_dir;
+  options.runner = config.runner;
+  options.task_retries = config.task_retries;
   return options;
 }
 
@@ -160,6 +162,7 @@ MapReduceBackend::MapReduceBackend(const ExecConfig& config)
 
 Result<mr::Dataset> MapReduceBackend::Execute(const Plan& plan,
                                               const mr::Dataset& input) {
+  FSJOIN_RETURN_NOT_OK(config_.Validate());
   FSJOIN_RETURN_NOT_OK(plan.Validate());
   std::vector<std::string> created;
   auto new_name = [&](const std::string& suffix) {
@@ -211,6 +214,9 @@ Result<mr::Dataset> MapReduceBackend::Execute(const Plan& plan,
         job.reducer_factory = stage.reducer;
         job.combiner_factory = stage.combiner;
         job.partitioner = stage.partitioner;
+        job.side = stage.side;
+        job.task_factory = stage.task_factory;
+        job.task_payload = stage.task_payload;
         pending.clear();
         std::string out = new_name(stage.name);
         st = pipeline_.RunJob(job, current, out);
@@ -253,6 +259,7 @@ Result<mr::Dataset> MapReduceBackend::Execute(const Plan& plan,
 
 Result<mr::Dataset> FusedFlowBackend::Execute(const Plan& plan,
                                               const mr::Dataset& input) {
+  FSJOIN_RETURN_NOT_OK(config_.Validate());
   FSJOIN_RETURN_NOT_OK(plan.Validate());
   mr::Dataset current = input;
   const std::vector<Stage>& stages = plan.stages();
@@ -273,6 +280,7 @@ Result<mr::Dataset> FusedFlowBackend::Execute(const Plan& plan,
     }
     flow::Pipeline pipeline(plan.name() + "#" + std::to_string(segment++),
                             config_.num_threads, config_.num_reduce_tasks);
+    pipeline.SetRunner(runner_.get(), config_.task_retries);
     if (config_.shuffle_memory_bytes > 0) {
       pipeline.SetSpill(flow::Pipeline::SpillOptions{
           config_.shuffle_memory_bytes, config_.spill_dir});
@@ -283,7 +291,7 @@ Result<mr::Dataset> FusedFlowBackend::Execute(const Plan& plan,
         pipeline.FlatMap(stage.name, stage.mapper);
       } else {
         pipeline.GroupByKey(stage.name, stage.reducer, stage.partitioner,
-                            stage.combiner);
+                            stage.combiner, stage.side);
       }
     }
     FSJOIN_ASSIGN_OR_RETURN(current, pipeline.Run(current));

@@ -76,7 +76,9 @@ class MapReduceBackend : public ExecutionBackend {
 /// scheduling or DFS materialization.
 class FusedFlowBackend : public ExecutionBackend {
  public:
-  explicit FusedFlowBackend(const ExecConfig& config) : config_(config) {}
+  explicit FusedFlowBackend(const ExecConfig& config)
+      : config_(config),
+        runner_(mr::MakeTaskRunner(config.runner, config.num_threads)) {}
 
   BackendKind kind() const override { return BackendKind::kFusedFlow; }
   Result<mr::Dataset> Execute(const Plan& plan,
@@ -90,6 +92,10 @@ class FusedFlowBackend : public ExecutionBackend {
 
  private:
   ExecConfig config_;
+  /// One runner for the whole session: segment pipelines borrow it via
+  /// Pipeline::SetRunner, so runner choice and retry budget apply to every
+  /// wide stage this backend executes.
+  std::unique_ptr<mr::TaskRunner> runner_;
   std::vector<mr::JobMetrics> history_;
   std::vector<flow::Pipeline::Metrics> flow_history_;
 };

@@ -1,7 +1,10 @@
 #include "exec/exec_config.h"
 
+#include <filesystem>
 #include <string>
+#include <system_error>
 
+#include "mr/engine.h"
 #include "util/simd.h"
 
 namespace fsjoin::exec {
@@ -54,6 +57,31 @@ KernelMode ResolveKernelMode(KernelMode mode) {
 Status ExecConfig::Validate() const {
   if (num_map_tasks == 0 || num_reduce_tasks == 0) {
     return Status::InvalidArgument("task counts must be >= 1");
+  }
+  if (parallel_fragment_join && join_morsel_size == 0) {
+    return Status::InvalidArgument(
+        "join_morsel_size must be >= 1 when parallel_fragment_join is set");
+  }
+  if (task_retries < 0) {
+    return Status::InvalidArgument("task_retries must be >= 0, got " +
+                                   std::to_string(task_retries));
+  }
+  if (shuffle_memory_bytes > 0 &&
+      shuffle_memory_bytes < mr::kMinShuffleMemoryBytes) {
+    return Status::InvalidArgument(
+        "shuffle_memory_bytes " + std::to_string(shuffle_memory_bytes) +
+        " is smaller than one arena charge (" +
+        std::to_string(mr::kMinShuffleMemoryBytes) +
+        "); use 0 for an unbounded in-memory shuffle");
+  }
+  if (!spill_dir.empty()) {
+    // Fail configuration, not the first job that tries to spill.
+    std::error_code ec;
+    std::filesystem::create_directories(spill_dir, ec);
+    if (ec) {
+      return Status::InvalidArgument("spill_dir '" + spill_dir +
+                                     "' is not creatable: " + ec.message());
+    }
   }
   return Status::OK();
 }

@@ -6,6 +6,7 @@
 #include <string>
 #include <string_view>
 
+#include "mr/runner.h"
 #include "util/status.h"
 
 namespace fsjoin::exec {
@@ -64,10 +65,11 @@ struct ExecConfig {
   /// byte-identical to the serial run (morsel outputs merge in
   /// deterministic order). false preserves the seed behavior exactly.
   bool parallel_fragment_join = false;
-  /// Probe segments per morsel when parallel_fragment_join is on. 0 falls
-  /// back to serial execution even when the flag is set. 64 balances
-  /// scheduling overhead against steal granularity on skewed fragments
-  /// (measured in bench_micro_kernels --json).
+  /// Probe segments per morsel when parallel_fragment_join is on. Must be
+  /// >= 1 when the flag is set (Validate rejects 0 — it used to silently
+  /// fall back to serial execution, hiding the misconfiguration). 64
+  /// balances scheduling overhead against steal granularity on skewed
+  /// fragments (measured in bench_micro_kernels --json).
   size_t join_morsel_size = 64;
 
   /// Overlap kernel family for fragment-join verification (taxonomy above).
@@ -98,6 +100,16 @@ struct ExecConfig {
   /// directory.
   std::string spill_dir;
 
+  /// How task attempts execute (mr/runner.h): inline, on a thread pool
+  /// (the default — num_threads == 0 still runs inline and deterministic),
+  /// or each in its own forked/re-execed child process.
+  mr::RunnerKind runner = mr::RunnerKind::kThreads;
+  /// Re-executions allowed per failed task on the subprocess runner.
+  int task_retries = 2;
+
+  /// Checks every knob up front — task counts, morsel size, retry budget,
+  /// shuffle memory floor, spill_dir creatability — returning a
+  /// descriptive InvalidArgument instead of silently misbehaving later.
   Status Validate() const;
 };
 

@@ -15,13 +15,16 @@ Plan& Plan::FlatMap(std::string stage_name, mr::MapperFactory factory) {
 
 Plan& Plan::GroupByKey(std::string stage_name, mr::ReducerFactory factory,
                        std::shared_ptr<const mr::Partitioner> partitioner,
-                       mr::ReducerFactory combiner) {
+                       mr::ReducerFactory combiner, StageHints hints) {
   Stage stage;
   stage.kind = Stage::Kind::kGroupByKey;
   stage.name = std::move(stage_name);
   stage.reducer = std::move(factory);
   stage.combiner = std::move(combiner);
   stage.partitioner = std::move(partitioner);
+  stage.side = std::move(hints.side);
+  stage.task_factory = std::move(hints.task_factory);
+  stage.task_payload = std::move(hints.task_payload);
   stages_.push_back(std::move(stage));
   return *this;
 }

@@ -37,6 +37,22 @@ struct Stage {
   /// kUnion: records appended to the stream (shared because drivers reuse
   /// one side dataset at several points, e.g. MassJoin's ranked records).
   std::shared_ptr<const mr::Dataset> dataset;
+
+  /// kGroupByKey execution hints (StageHints): fork-boundary side channel
+  /// for this stage's shared context, and the registered task-factory name
+  /// that lets the stage's tasks re-exec as --worker-task processes.
+  mr::TaskSideChannel side;
+  std::string task_factory;
+  std::string task_payload;
+};
+
+/// Optional per-wide-stage execution metadata passed to Plan::GroupByKey.
+/// Defaulted so stages that carry no shared mutable context (and offer no
+/// re-exec factory) list only their operators.
+struct StageHints {
+  mr::TaskSideChannel side;
+  std::string task_factory;
+  std::string task_payload;
 };
 
 /// A logical description of one multi-stage computation: a chain of named
@@ -60,7 +76,8 @@ class Plan {
   /// name, so reports and regression-pinned metrics key off it.
   Plan& GroupByKey(std::string stage_name, mr::ReducerFactory factory,
                    std::shared_ptr<const mr::Partitioner> partitioner = nullptr,
-                   mr::ReducerFactory combiner = nullptr);
+                   mr::ReducerFactory combiner = nullptr,
+                   StageHints hints = {});
 
   /// Appends a union point: `dataset`'s records join the stream here (the
   /// MassJoin drivers splice ranked record content next to candidates).

@@ -6,7 +6,9 @@
 #include <string_view>
 #include <utility>
 
+#include "mr/scheduler.h"
 #include "mr/shuffle.h"
+#include "mr/task.h"
 #include "store/memory_budget.h"
 #include "store/merge.h"
 #include "store/run_file.h"
@@ -42,7 +44,8 @@ Pipeline::Pipeline(std::string name, size_t num_threads,
                    uint32_t num_partitions)
     : name_(std::move(name)),
       num_partitions_(std::max<uint32_t>(num_partitions, 1)),
-      pool_(num_threads) {}
+      owned_runner_(mr::MakeTaskRunner(mr::RunnerKind::kThreads, num_threads)),
+      runner_(owned_runner_.get()) {}
 
 Pipeline& Pipeline::FlatMap(std::string stage_name, mr::MapperFactory factory) {
   Stage stage;
@@ -58,10 +61,16 @@ Pipeline& Pipeline::SetSpill(SpillOptions options) {
   return *this;
 }
 
+Pipeline& Pipeline::SetRunner(mr::TaskRunner* runner, int task_retries) {
+  runner_ = runner != nullptr ? runner : owned_runner_.get();
+  task_retries_ = task_retries;
+  return *this;
+}
+
 Pipeline& Pipeline::GroupByKey(
     std::string stage_name, mr::ReducerFactory factory,
     std::shared_ptr<const mr::Partitioner> partitioner,
-    mr::ReducerFactory combiner) {
+    mr::ReducerFactory combiner, mr::TaskSideChannel side) {
   Stage stage;
   stage.wide = true;
   stage.name = std::move(stage_name);
@@ -70,6 +79,7 @@ Pipeline& Pipeline::GroupByKey(
   stage.partitioner = partitioner != nullptr
                           ? std::move(partitioner)
                           : std::make_shared<mr::HashPartitioner>();
+  stage.side = std::move(side);
   stages_.push_back(std::move(stage));
   return *this;
 }
@@ -120,16 +130,22 @@ Result<mr::Dataset> Pipeline::Run(const mr::Dataset& input) {
   // External shuffle: buffered shuffle buckets are charged against this
   // budget (chained to the process-wide one); over-budget buckets are
   // sorted and written as run files into a Run-scoped scratch directory,
-  // removed when this function returns on every path.
+  // removed when this function returns on every path. An isolated runner
+  // needs the scratch directory even without a budget: it is where task
+  // attempts exchange their interchange files.
+  const bool isolated = runner_->isolated();
   std::optional<store::TempSpillDir> spill_scratch;
   std::optional<store::MemoryBudget> job_budget;
-  if (spill_.memory_bytes > 0) {
+  if (spill_.memory_bytes > 0 || isolated) {
     FSJOIN_ASSIGN_OR_RETURN(
         store::TempSpillDir dir,
         store::TempSpillDir::Create(spill_.dir, "fsjoin-spill-flow"));
     spill_scratch.emplace(std::move(dir));
+  }
+  if (spill_.memory_bytes > 0) {
     job_budget.emplace(spill_.memory_bytes, &store::ProcessMemoryBudget());
   }
+  mr::TaskScheduler scheduler(runner_, task_retries_);
 
   // Initial partitioning: contiguous splits (like input blocks).
   std::vector<mr::Dataset> partitions(num_partitions_);
@@ -144,6 +160,7 @@ Result<mr::Dataset> Pipeline::Run(const mr::Dataset& input) {
   }
 
   size_t s = 0;
+  uint32_t pass = 0;
   while (s < stages_.size()) {
     // Collect the maximal run of narrow stages starting at s, optionally
     // terminated by one wide stage: one fused pass handles narrow chain +
@@ -164,17 +181,19 @@ Result<mr::Dataset> Pipeline::Run(const mr::Dataset& input) {
     }
 
     // Per source-partition output buckets (either pass-through or keyed by
-    // the wide stage's partitioner).
-    std::vector<std::vector<mr::Dataset>> shuffled(
-        num_partitions_, std::vector<mr::Dataset>(has_wide ? num_partitions_ : 1));
-    std::vector<Status> statuses(num_partitions_);
+    // the wide stage's partitioner), landed from each map task's output.
+    const uint32_t num_buckets = has_wide ? num_partitions_ : 1;
+    std::vector<std::vector<mr::Dataset>> shuffled(num_partitions_);
     std::vector<uint64_t> combine_counts(num_partitions_, 0);
 
     // Spill bookkeeping for this stage: slot[src][dst] records the run file
     // a (src,dst) bucket was written to (empty path = still in memory), and
-    // charged[src] the budget charge held by src's surviving buckets. The
-    // guard releases the stage's charges on every exit path so the
-    // process-wide budget never leaks across stages or on errors.
+    // charged[src] the budget charge held by src's surviving buckets.
+    // Charging happens on the scheduling thread as each map task's buckets
+    // land (task-index order), so spill decisions are deterministic and
+    // identical across runners. The guard releases the stage's charges on
+    // every exit path so the process-wide budget never leaks across stages
+    // or on errors.
     struct SpillSlot {
       std::string path;
       uint64_t records = 0;
@@ -198,12 +217,35 @@ Result<mr::Dataset> Pipeline::Run(const mr::Dataset& input) {
       charge_guard.charges = &charged;
     }
 
-    pool_.ParallelFor(num_partitions_, [&](size_t p) {
+    // One fused pass = one stage of map tasks on the scheduler: each task
+    // runs the narrow chain over its partition and carries its routed
+    // buckets back in TaskOutput::buckets. Under an isolated runner the
+    // chain executes in a forked child (its closures cannot cross an exec
+    // boundary) and the buckets return through the CRC-framed run-file
+    // interchange.
+    std::vector<mr::TaskSpec> map_specs(num_partitions_);
+    for (uint32_t p = 0; p < num_partitions_; ++p) {
+      mr::TaskSpec& spec = map_specs[p];
+      spec.job_name =
+          name_ + "/" + (has_wide ? stages_[chain_end].name : "tail");
+      spec.kind = mr::TaskKind::kMap;
+      spec.task_index = p;
+      spec.num_partitions = num_buckets;
+      spec.input_end = partitions[p].size();
+      if (isolated) {
+        spec.output_base = spill_scratch->path() + "/p" +
+                           std::to_string(pass) + "-map-t" + std::to_string(p);
+      }
+    }
+    mr::TaskBody map_body = [&](const mr::TaskSpec& task,
+                                mr::TaskOutput* out) -> Status {
+      const size_t p = task.task_index;
+      out->buckets.assign(task.num_partitions, mr::Dataset());
       // Build the fused chain back-to-front: the last sink either routes
       // into shuffle buckets or appends to the single output bucket.
       const mr::Partitioner* partitioner =
           has_wide ? stages_[chain_end].partitioner.get() : nullptr;
-      std::vector<mr::Dataset>& sinks = shuffled[p];
+      std::vector<mr::Dataset>& sinks = out->buckets;
       CallbackEmitter::Sink sink = [&sinks, partitioner,
                                     this](mr::KeyValue kv) -> Status {
         const uint32_t bucket =
@@ -255,47 +297,58 @@ Result<mr::Dataset> Pipeline::Run(const mr::Dataset& input) {
       if (st.ok() && has_wide && stages_[chain_end].combiner) {
         // Map-side combine: shrink each outgoing bucket before it ships.
         for (mr::Dataset& bucket : sinks) {
-          combine_counts[p] += bucket.size();
+          out->combine_input_records += bucket.size();
           st = CombineBucket(stages_[chain_end].combiner, &bucket);
           if (!st.ok()) break;
         }
       }
-      if (st.ok() && spilling) {
-        // Charge each outgoing bucket; an over-budget charge sends that
-        // bucket to disk as a key-sorted run (stable sort, so the run
-        // preserves this source's emission order under equal keys).
-        for (uint32_t dst = 0; dst < sinks.size() && st.ok(); ++dst) {
-          mr::Dataset& bucket = sinks[dst];
-          if (bucket.empty()) continue;
-          const uint64_t bytes = mr::DatasetBytes(bucket);
-          if (job_budget->Charge(bytes)) {
-            charged[p] += bytes;
-            continue;
+      return st;
+    };
+    FSJOIN_RETURN_NOT_OK(scheduler.RunStage(
+        std::move(map_specs), map_body, mr::TaskSideChannel{},
+        [&](const mr::TaskSpec& task, mr::TaskOutput out) -> Status {
+          const size_t p = task.task_index;
+          if (out.buckets.size() != num_buckets) {
+            return Status::Internal(
+                "flow map task " + std::to_string(p) + " returned " +
+                std::to_string(out.buckets.size()) + " buckets, expected " +
+                std::to_string(num_buckets));
           }
-          job_budget->Release(bytes);
-          mr::SortDatasetByKey(&bucket);
-          SpillSlot& slot = spill_slots[p][dst];
-          slot.path = spill_scratch->path() + "/s" +
-                      std::to_string(metrics_.num_shuffles) + "-m" +
-                      std::to_string(p) + "-r" + std::to_string(dst) +
-                      ".run";
-          store::RunWriter writer(slot.path);
-          st = writer.Open();
-          for (const mr::KeyValue& kv : bucket) {
-            if (!st.ok()) break;
-            st = writer.Add(kv.key, kv.value);
+          combine_counts[p] = out.combine_input_records;
+          shuffled[p] = std::move(out.buckets);
+          if (!spilling) return Status::OK();
+          // Charge each landed bucket; an over-budget charge sends that
+          // bucket to disk as a key-sorted run (stable sort, so the run
+          // preserves its source's emission order under equal keys).
+          for (uint32_t dst = 0; dst < num_buckets; ++dst) {
+            mr::Dataset& bucket = shuffled[p][dst];
+            if (bucket.empty()) continue;
+            const uint64_t bytes = mr::DatasetBytes(bucket);
+            if (job_budget->Charge(bytes)) {
+              charged[p] += bytes;
+              continue;
+            }
+            job_budget->Release(bytes);
+            mr::SortDatasetByKey(&bucket);
+            SpillSlot& slot = spill_slots[p][dst];
+            slot.path = spill_scratch->path() + "/s" +
+                        std::to_string(metrics_.num_shuffles) + "-m" +
+                        std::to_string(p) + "-r" + std::to_string(dst) +
+                        ".run";
+            store::RunWriter writer(slot.path);
+            Status st = writer.Open();
+            for (const mr::KeyValue& kv : bucket) {
+              if (!st.ok()) break;
+              st = writer.Add(kv.key, kv.value);
+            }
+            if (st.ok()) st = writer.Finish();
+            FSJOIN_RETURN_NOT_OK(st);
+            slot.records = bucket.size();
+            slot.bytes = bytes;
+            mr::Dataset().swap(bucket);
           }
-          if (st.ok()) st = writer.Finish();
-          slot.records = bucket.size();
-          slot.bytes = bytes;
-          mr::Dataset().swap(bucket);
-        }
-      }
-      statuses[p] = st;
-    });
-    for (const Status& st : statuses) {
-      FSJOIN_RETURN_NOT_OK(st);
-    }
+          return Status::OK();
+        }));
 
     // Assemble the next generation of partitions.
     std::vector<mr::Dataset> next(num_partitions_);
@@ -352,14 +405,31 @@ Result<mr::Dataset> Pipeline::Run(const mr::Dataset& input) {
       metrics_.shuffle_bytes += stage_metrics.shuffle_bytes;
       metrics_.spilled_bytes += stage_metrics.spilled_bytes;
       metrics_.spill_runs += stage_metrics.spill_runs;
-      // Grouped reduce per partition.
+      // Grouped reduce per partition: one reduce task per destination,
+      // scheduled and retried like the map pass. The wide stage's side
+      // channel lets reducer mutations of shared driver context cross back
+      // from forked children.
       const Stage& wide = stages_[chain_end];
       std::vector<mr::Dataset> reduced(num_partitions_);
-      std::vector<Status> reduce_status(num_partitions_);
-      pool_.ParallelFor(num_partitions_, [&](size_t p) {
+      std::vector<mr::TaskSpec> red_specs(num_partitions_);
+      for (uint32_t p = 0; p < num_partitions_; ++p) {
+        mr::TaskSpec& spec = red_specs[p];
+        spec.job_name = name_ + "/" + wide.name;
+        spec.kind = mr::TaskKind::kReduce;
+        spec.task_index = p;
+        spec.num_partitions = num_partitions_;
+        if (isolated) {
+          spec.output_base = spill_scratch->path() + "/p" +
+                             std::to_string(pass) + "-red-t" +
+                             std::to_string(p);
+        }
+      }
+      mr::TaskBody red_body = [&](const mr::TaskSpec& task,
+                                  mr::TaskOutput* out) -> Status {
+        const size_t p = task.task_index;
         std::unique_ptr<mr::Reducer> reducer = wide.reducer();
-        CallbackEmitter emitter([&reduced, p](mr::KeyValue kv) -> Status {
-          reduced[p].push_back(std::move(kv));
+        CallbackEmitter emitter([out](mr::KeyValue kv) -> Status {
+          out->records.push_back(std::move(kv));
           return Status::OK();
         });
         if (merged_dst[p]) {
@@ -389,8 +459,7 @@ Result<mr::Dataset> Pipeline::Run(const mr::Dataset& input) {
             st = mr::ReduceMergedStream(reducer.get(), &merge, &emitter);
           }
           if (st.ok()) st = emitter.status();
-          reduce_status[p] = st;
-          return;
+          return st;
         }
         mr::SortDatasetByKey(&next[p]);
         Status st = reducer->Setup();
@@ -412,11 +481,14 @@ Result<mr::Dataset> Pipeline::Run(const mr::Dataset& input) {
         }
         if (st.ok()) st = reducer->Finish(&emitter);
         if (st.ok()) st = emitter.status();
-        reduce_status[p] = st;
-      });
-      for (const Status& st : reduce_status) {
-        FSJOIN_RETURN_NOT_OK(st);
-      }
+        return st;
+      };
+      FSJOIN_RETURN_NOT_OK(scheduler.RunStage(
+          std::move(red_specs), red_body, wide.side,
+          [&](const mr::TaskSpec& task, mr::TaskOutput out) -> Status {
+            reduced[task.task_index] = std::move(out.records);
+            return Status::OK();
+          }));
       next = std::move(reduced);
       for (const mr::Dataset& p : next) {
         stage_metrics.output_records += p.size();

@@ -8,8 +8,8 @@
 
 #include "mr/job.h"
 #include "mr/kv.h"
+#include "mr/runner.h"
 #include "util/status.h"
-#include "util/thread_pool.h"
 
 namespace fsjoin::flow {
 
@@ -52,10 +52,19 @@ class Pipeline {
   /// sort-group within each partition, apply the reducer. The optional
   /// combiner runs on each shuffle bucket before it ships (Spark's
   /// map-side combine) and must be result-compatible with the reducer.
+  /// `side` is the stage's fork-boundary side channel (mr/job.h): when the
+  /// pipeline runs on an isolated runner, reducer mutations of shared
+  /// driver context cross back via reset/capture/merge.
   Pipeline& GroupByKey(
       std::string stage_name, mr::ReducerFactory factory,
       std::shared_ptr<const mr::Partitioner> partitioner = nullptr,
-      mr::ReducerFactory combiner = nullptr);
+      mr::ReducerFactory combiner = nullptr, mr::TaskSideChannel side = {});
+
+  /// Routes every pass's tasks through `runner` (not owned, must outlive
+  /// the pipeline) with `task_retries` re-executions per failed task when
+  /// the runner is retryable. Default: an owned thread-pool runner over
+  /// the constructor's `num_threads`, no retries — the seed behavior.
+  Pipeline& SetRunner(mr::TaskRunner* runner, int task_retries);
 
   /// External-shuffle knobs (off by default: shuffles stay in memory).
   struct SpillOptions {
@@ -120,11 +129,14 @@ class Pipeline {
     mr::ReducerFactory reducer;
     mr::ReducerFactory combiner;
     std::shared_ptr<const mr::Partitioner> partitioner;
+    mr::TaskSideChannel side;
   };
 
   std::string name_;
   uint32_t num_partitions_;
-  ThreadPool pool_;
+  std::unique_ptr<mr::TaskRunner> owned_runner_;
+  mr::TaskRunner* runner_ = nullptr;
+  int task_retries_ = 0;
   std::vector<Stage> stages_;
   SpillOptions spill_;
   Metrics metrics_;

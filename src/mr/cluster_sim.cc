@@ -35,8 +35,11 @@ SimulatedJobTime SimulateJob(const JobMetrics& job, uint32_t num_nodes,
   std::vector<double> map_costs;
   map_costs.reserve(job.map_tasks.size());
   for (const TaskMetrics& t : job.map_tasks) {
+    // Startup/teardown is paid per attempt: a task the scheduler re-ran
+    // after a failure launched (attempts) containers, not one.
     map_costs.push_back(static_cast<double>(t.wall_micros) +
-                        model.per_task_overhead_micros);
+                        model.per_task_overhead_micros *
+                            std::max<uint32_t>(t.attempts, 1));
   }
   sim.map_phase_ms = ListScheduleMakespan(map_costs, slots) / 1000.0;
 
@@ -63,7 +66,8 @@ SimulatedJobTime SimulateJob(const JobMetrics& job, uint32_t num_nodes,
     }
     total_shuffle_micros += shuffle_micros;
     double cost = static_cast<double>(t.wall_micros) + shuffle_micros +
-                  model.per_task_overhead_micros;
+                  model.per_task_overhead_micros *
+                      std::max<uint32_t>(t.attempts, 1);
     reduce_costs.push_back(cost);
     total_reduce += cost;
     max_reduce = std::max(max_reduce, cost);

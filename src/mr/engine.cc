@@ -5,8 +5,10 @@
 #include <optional>
 #include <utility>
 
+#include "mr/scheduler.h"
 #include "mr/shuffle.h"
 #include "store/memory_budget.h"
+#include "store/run_file.h"
 #include "store/temp_dir.h"
 #include "util/logging.h"
 #include "util/timer.h"
@@ -14,75 +16,6 @@
 namespace fsjoin::mr {
 
 namespace {
-
-/// Emitter that routes pairs into per-reduce-partition arenas and counts
-/// them. One instance per map task (single-threaded within the task).
-/// Record bytes are appended once here and never copied again until the
-/// reduce output materializes.
-class PartitionedEmitter : public Emitter {
- public:
-  PartitionedEmitter(const Partitioner& partitioner, uint32_t num_partitions)
-      : partitioner_(partitioner), buffers_(num_partitions) {}
-
-  void Emit(std::string_view key, std::string_view value) override {
-    uint32_t p = partitioner_.Partition(
-        key, static_cast<uint32_t>(buffers_.size()));
-    FSJOIN_CHECK(p < buffers_.size());
-    records_ += 1;
-    bytes_ += key.size() + value.size();
-    buffers_[p].Append(key, value);
-  }
-
-  std::vector<KvBuffer>& buffers() { return buffers_; }
-  uint64_t records() const { return records_; }
-  uint64_t bytes() const { return bytes_; }
-
- private:
-  const Partitioner& partitioner_;
-  std::vector<KvBuffer> buffers_;
-  uint64_t records_ = 0;
-  uint64_t bytes_ = 0;
-};
-
-/// Emitter appending to a single arena (combiner output).
-class BufferEmitter : public Emitter {
- public:
-  explicit BufferEmitter(KvBuffer* out) : out_(out) {}
-
-  void Emit(std::string_view key, std::string_view value) override {
-    records_ += 1;
-    bytes_ += key.size() + value.size();
-    out_->Append(key, value);
-  }
-
-  uint64_t records() const { return records_; }
-  uint64_t bytes() const { return bytes_; }
-
- private:
-  KvBuffer* out_;
-  uint64_t records_ = 0;
-  uint64_t bytes_ = 0;
-};
-
-/// Emitter materializing records into a flat dataset (reduce output).
-class VectorEmitter : public Emitter {
- public:
-  explicit VectorEmitter(Dataset* out) : out_(out) {}
-
-  void Emit(std::string_view key, std::string_view value) override {
-    records_ += 1;
-    bytes_ += key.size() + value.size();
-    out_->push_back(KeyValue{std::string(key), std::string(value)});
-  }
-
-  uint64_t records() const { return records_; }
-  uint64_t bytes() const { return bytes_; }
-
- private:
-  Dataset* out_;
-  uint64_t records_ = 0;
-  uint64_t bytes_ = 0;
-};
 
 /// Sanitizes a job name into something safe for a directory component.
 std::string SpillDirPrefix(const std::string& job_name) {
@@ -95,20 +28,28 @@ std::string SpillDirPrefix(const std::string& job_name) {
   return prefix;
 }
 
-/// Sorts and combines one map-task partition buffer in place.
-Status CombineBuffer(const ReducerFactory& combiner_factory, KvBuffer* buffer,
-                     uint64_t* out_records, uint64_t* out_bytes) {
-  ShuffleShard shard;
-  FSJOIN_RETURN_NOT_OK(shard.AddBuffer(std::move(*buffer)));
-  shard.SortByKey();
-  KvBuffer combined;
-  BufferEmitter out(&combined);
-  std::unique_ptr<Reducer> combiner = combiner_factory();
-  FSJOIN_RETURN_NOT_OK(ReduceShard(combiner.get(), shard, &out));
-  *out_records += out.records();
-  *out_bytes += out.bytes();
-  *buffer = std::move(combined);
-  return Status::OK();
+/// Writes `input[begin..end)` as one CRC32C-framed transport run (not a
+/// spill run: records keep input order, and the bytes are not counted in
+/// the job's spill metrics).
+Status WriteInputRun(const std::string& path, const Dataset& input,
+                     size_t begin, size_t end) {
+  store::RunWriter writer(path);
+  FSJOIN_RETURN_NOT_OK(writer.Open());
+  for (size_t i = begin; i < end; ++i) {
+    FSJOIN_RETURN_NOT_OK(writer.Add(input[i].key, input[i].value));
+  }
+  return writer.Finish();
+}
+
+/// Writes a sorted, unspilled shard as one key-ordered transport run so an
+/// isolated reduce task can merge-stream it like a spill run.
+Status WriteShardRun(const std::string& path, const ShuffleShard& shard) {
+  store::RunWriter writer(path);
+  FSJOIN_RETURN_NOT_OK(writer.Open());
+  for (size_t i = 0; i < shard.NumRecords(); ++i) {
+    FSJOIN_RETURN_NOT_OK(writer.Add(shard.key(i), shard.value(i)));
+  }
+  return writer.Finish();
 }
 
 }  // namespace
@@ -125,15 +66,34 @@ uint32_t PrefixIdPartitioner::Partition(std::string_view key,
   return id % num_partitions;
 }
 
-Engine::Engine(size_t num_threads) : pool_(num_threads) {
+Status EngineOptions::Validate() const {
+  if (task_retries < 0) {
+    return Status::InvalidArgument(
+        "task_retries must be >= 0, got " + std::to_string(task_retries));
+  }
+  if (shuffle_memory_bytes > 0 &&
+      shuffle_memory_bytes < kMinShuffleMemoryBytes) {
+    return Status::InvalidArgument(
+        "shuffle_memory_bytes " + std::to_string(shuffle_memory_bytes) +
+        " is smaller than one arena charge (" +
+        std::to_string(kMinShuffleMemoryBytes) +
+        "); use 0 for an unbounded in-memory shuffle");
+  }
+  return Status::OK();
+}
+
+Engine::Engine(size_t num_threads) {
   options_.num_threads = num_threads;
+  runner_ = MakeTaskRunner(options_.runner, num_threads);
 }
 
 Engine::Engine(const EngineOptions& options)
-    : options_(options), pool_(options.num_threads) {}
+    : options_(options),
+      runner_(MakeTaskRunner(options.runner, options.num_threads)) {}
 
 Status Engine::Run(const JobConfig& config, const Dataset& input,
                    Dataset* output, JobMetrics* metrics) {
+  FSJOIN_RETURN_NOT_OK(options_.Validate());
   if (!config.mapper_factory) {
     return Status::InvalidArgument("job '" + config.name + "': no mapper");
   }
@@ -155,99 +115,110 @@ Status Engine::Run(const JobConfig& config, const Dataset& input,
   if (partitioner == nullptr) {
     partitioner = std::make_shared<HashPartitioner>();
   }
+  const TaskFactories factories{config.mapper_factory, config.reducer_factory,
+                                config.combiner_factory, partitioner};
 
   const uint32_t num_maps = std::min<uint32_t>(
       config.num_map_tasks,
       static_cast<uint32_t>(std::max<size_t>(input.size(), 1)));
   const uint32_t num_reds = config.num_reduce_tasks;
 
-  // ---- Map phase -----------------------------------------------------
-  // Each task gets a contiguous split of the input (Hadoop block split).
-  std::vector<std::vector<KvBuffer>> task_buffers(num_maps);
-  std::vector<TaskMetrics> map_task_metrics(num_maps);
-  std::vector<uint64_t> combine_inputs(num_maps, 0);
-  std::vector<Status> task_status(num_maps);
-  std::mutex status_mu;
-
-  const size_t per_task = (input.size() + num_maps - 1) / num_maps;
-  pool_.ParallelFor(num_maps, [&](size_t task) {
-    WallTimer timer;
-    const size_t begin = task * per_task;
-    const size_t end = std::min(input.size(), begin + per_task);
-
-    std::unique_ptr<Mapper> mapper = config.mapper_factory();
-    PartitionedEmitter emitter(*partitioner, num_reds);
-    Status st = mapper->Setup();
-    uint64_t in_bytes = 0;
-    for (size_t i = begin; st.ok() && i < end; ++i) {
-      in_bytes += input[i].SizeBytes();
-      st = mapper->Map(input[i], &emitter);
-    }
-    if (st.ok()) st = mapper->Finish(&emitter);
-
-    uint64_t out_records = emitter.records();
-    uint64_t out_bytes = emitter.bytes();
-
-    // Optional combiner: applied per partition buffer, like Hadoop's
-    // spill-time combine.
-    if (st.ok() && config.combiner_factory) {
-      combine_inputs[task] = out_records;
-      out_records = 0;
-      out_bytes = 0;
-      for (KvBuffer& buffer : emitter.buffers()) {
-        st = CombineBuffer(config.combiner_factory, &buffer, &out_records,
-                           &out_bytes);
-        if (!st.ok()) break;
-      }
-    }
-
-    task_buffers[task] = std::move(emitter.buffers());
-    TaskMetrics& tm = map_task_metrics[task];
-    tm.wall_micros = timer.ElapsedMicros();
-    tm.input_records = end - begin;
-    tm.input_bytes = in_bytes;
-    tm.output_records = out_records;
-    tm.output_bytes = out_bytes;
-    if (!st.ok()) {
-      std::lock_guard<std::mutex> lock(status_mu);
-      task_status[task] = st;
-    }
-  });
-
-  for (const Status& st : task_status) {
-    FSJOIN_RETURN_NOT_OK(st);
-  }
-  for (const TaskMetrics& tm : map_task_metrics) {
-    jm.map_output_records += tm.output_records;
-    jm.map_output_bytes += tm.output_bytes;
-    jm.map_wall_micros += tm.wall_micros;
-  }
-  for (uint64_t c : combine_inputs) jm.combine_input_records += c;
-  jm.map_tasks = std::move(map_task_metrics);
-
-  // ---- Shuffle -------------------------------------------------------
-  // Each reducer's shard takes ownership of its arena from every map task:
-  // a merge of buffer moves, no record ever copied. Merged in parallel
-  // across reducers. With a shuffle memory cap, each shard charges the
-  // per-job budget (chained to the process-wide one) and spills key-sorted
-  // run files into a job-scoped scratch directory whenever a charge trips;
-  // the directory is removed when this function returns, on every path.
-  std::optional<store::TempSpillDir> spill_scratch;
+  // Scratch directory: spill runs and (for process-isolated runners) task
+  // interchange files. Parent-owned — children never remove it — and
+  // removed when this function returns, on every path.
+  const bool isolated = runner_->isolated();
+  std::optional<store::TempSpillDir> scratch;
   std::optional<store::MemoryBudget> job_budget;
-  if (options_.shuffle_memory_bytes > 0) {
+  if (isolated || options_.shuffle_memory_bytes > 0) {
     FSJOIN_ASSIGN_OR_RETURN(
         store::TempSpillDir dir,
         store::TempSpillDir::Create(options_.spill_dir,
                                     SpillDirPrefix(config.name)));
-    spill_scratch.emplace(std::move(dir));
+    scratch.emplace(std::move(dir));
+  }
+  if (options_.shuffle_memory_bytes > 0) {
     job_budget.emplace(options_.shuffle_memory_bytes,
                        &store::ProcessMemoryBudget());
   }
+
+  TaskScheduler scheduler(runner_.get(), options_.task_retries);
+
+  // ---- Map stage -------------------------------------------------------
+  // Each task gets a contiguous split of the input (Hadoop block split).
+  // With a registered task factory under an isolated runner, the split is
+  // additionally materialized as a transport run so the task can re-exec
+  // as a --worker-task process that shares nothing with this one.
+  const bool exec_capable = isolated && !config.task_factory.empty() &&
+                            HasTaskFactory(config.task_factory);
+  const size_t per_task = (input.size() + num_maps - 1) / num_maps;
+  std::vector<TaskSpec> map_specs(num_maps);
+  for (uint32_t m = 0; m < num_maps; ++m) {
+    TaskSpec& spec = map_specs[m];
+    spec.job_name = config.name;
+    spec.kind = TaskKind::kMap;
+    spec.task_index = m;
+    spec.num_partitions = num_reds;
+    spec.input_begin = std::min<uint64_t>(input.size(), m * per_task);
+    spec.input_end = std::min<uint64_t>(input.size(),
+                                        spec.input_begin + per_task);
+    if (scratch.has_value()) {
+      spec.output_base = scratch->path() + "/map-t" + std::to_string(m);
+    }
+  }
+  if (exec_capable) {
+    std::vector<Status> write_status(num_maps);
+    runner_->ParallelRun(num_maps, [&](size_t m) {
+      TaskSpec& spec = map_specs[m];
+      const std::string path =
+          scratch->path() + "/map-in-t" + std::to_string(m) + ".run";
+      write_status[m] = WriteInputRun(path, input, spec.input_begin,
+                                      spec.input_end);
+      spec.input_runs = {path};
+      spec.factory = config.task_factory;
+      spec.payload = config.task_payload;
+    });
+    for (const Status& st : write_status) FSJOIN_RETURN_NOT_OK(st);
+  }
+
+  std::vector<std::vector<KvBuffer>> task_buffers(num_maps);
+  TaskBody map_body = [&](const TaskSpec& spec, TaskOutput* out) -> Status {
+    return ExecuteMapTask(spec, factories,
+                          input.data() + spec.input_begin,
+                          static_cast<size_t>(spec.input_end -
+                                              spec.input_begin),
+                          out);
+  };
+  auto map_done = [&](const TaskSpec& spec, TaskOutput out) -> Status {
+    if (out.partitions.size() != num_reds) {
+      return Status::Internal("job '" + config.name + "': map task " +
+                              std::to_string(spec.task_index) +
+                              " returned wrong partition count");
+    }
+    task_buffers[spec.task_index] = std::move(out.partitions);
+    jm.map_output_records += out.metrics.output_records;
+    jm.map_output_bytes += out.metrics.output_bytes;
+    jm.map_wall_micros += out.metrics.wall_micros;
+    jm.combine_input_records += out.combine_input_records;
+    jm.map_tasks.push_back(out.metrics);
+    return Status::OK();
+  };
+  // Mappers only read shared context, so the map stage needs no side
+  // channel even when it forks.
+  FSJOIN_RETURN_NOT_OK(
+      scheduler.RunStage(std::move(map_specs), map_body, {}, map_done));
+
+  // ---- Shuffle ---------------------------------------------------------
+  // Parent-side in every runner mode (on a cluster this is the fetch phase
+  // the coordinator orchestrates). Each reducer's shard takes ownership of
+  // its arena from every map task in map order: a merge of buffer moves,
+  // no record ever copied. With a shuffle memory cap, each shard charges
+  // the per-job budget (chained to the process-wide one) and spills
+  // key-sorted run files into the scratch directory when a charge trips.
   std::vector<ShuffleShard> shards(num_reds);
   std::vector<Status> shuffle_status(num_reds);
-  pool_.ParallelFor(num_reds, [&](size_t r) {
+  runner_->ParallelRun(num_reds, [&](size_t r) {
     if (job_budget.has_value()) {
-      shards[r].EnableSpill(&*job_budget, spill_scratch->path(),
+      shards[r].EnableSpill(&*job_budget, scratch->path(),
                             "r" + std::to_string(r));
     }
     Status st;
@@ -265,44 +236,87 @@ Status Engine::Run(const JobConfig& config, const Dataset& input,
     jm.shuffle_bytes += shard.PayloadBytes();
   }
 
-  // ---- Reduce phase ----------------------------------------------------
-  std::vector<Dataset> reduce_outputs(num_reds);
-  std::vector<TaskMetrics> reduce_task_metrics(num_reds);
-  std::vector<Status> reduce_status(num_reds);
-  pool_.ParallelFor(num_reds, [&](size_t r) {
-    WallTimer timer;
-    ShuffleShard& shard = shards[r];
-    TaskMetrics& tm = reduce_task_metrics[r];
-    tm.input_records = shard.NumRecords();
-    tm.input_bytes = shard.PayloadBytes();
-    tm.spilled_bytes = shard.spilled_bytes();
-    tm.spill_runs = shard.spill_runs();
-
-    if (!shard.spilled()) shard.SortByKey();
-    VectorEmitter out(&reduce_outputs[r]);
-    std::unique_ptr<Reducer> reducer = config.reducer_factory();
-    Status st = ReduceShard(reducer.get(), shard, &out, &tm.max_group_bytes);
-
-    tm.wall_micros = timer.ElapsedMicros();
-    tm.output_records = out.records();
-    tm.output_bytes = out.bytes();
-    if (!st.ok()) {
-      std::lock_guard<std::mutex> lock(status_mu);
-      reduce_status[r] = st;
+  // ---- Reduce stage ----------------------------------------------------
+  std::vector<TaskSpec> red_specs(num_reds);
+  for (uint32_t r = 0; r < num_reds; ++r) {
+    TaskSpec& spec = red_specs[r];
+    spec.job_name = config.name;
+    spec.kind = TaskKind::kReduce;
+    spec.task_index = r;
+    spec.num_partitions = num_reds;
+    if (scratch.has_value()) {
+      spec.output_base = scratch->path() + "/red-t" + std::to_string(r);
     }
-  });
-
-  for (const Status& st : reduce_status) {
-    FSJOIN_RETURN_NOT_OK(st);
   }
-  for (const TaskMetrics& tm : reduce_task_metrics) {
+
+  TaskBody red_body;
+  if (isolated) {
+    // Every isolated reduce input travels as key-sorted run files — the
+    // paper's materialized-intermediate discipline. Spilled shards already
+    // are runs; in-memory shards are sorted here and written as one
+    // transport run (not counted as spill). The merge tie-break then
+    // reproduces the in-memory order exactly, so results stay
+    // byte-identical to the in-process path.
+    std::vector<Status> write_status(num_reds);
+    runner_->ParallelRun(num_reds, [&](size_t r) {
+      TaskSpec& spec = red_specs[r];
+      ShuffleShard& shard = shards[r];
+      if (shard.spilled()) {
+        spec.input_runs = shard.run_paths();
+      } else if (shard.NumRecords() > 0) {
+        shard.SortByKey();
+        const std::string path =
+            scratch->path() + "/red-in-t" + std::to_string(r) + ".run";
+        write_status[r] = WriteShardRun(path, shard);
+        spec.input_runs = {path};
+      }
+      if (exec_capable) {
+        spec.factory = config.task_factory;
+        spec.payload = config.task_payload;
+      }
+    });
+    for (const Status& st : write_status) FSJOIN_RETURN_NOT_OK(st);
+    red_body = [&factories](const TaskSpec& spec, TaskOutput* out) -> Status {
+      return ExecuteReduceTaskFromRuns(spec, factories, out);
+    };
+  } else {
+    red_body = [&](const TaskSpec& spec, TaskOutput* out) -> Status {
+      WallTimer timer;
+      ShuffleShard& shard = shards[spec.task_index];
+      if (!shard.spilled()) shard.SortByKey();
+      VectorEmitter emit(&out->records);
+      std::unique_ptr<Reducer> reducer = config.reducer_factory();
+      FSJOIN_RETURN_NOT_OK(ReduceShard(reducer.get(), shard, &emit,
+                                       &out->metrics.max_group_bytes));
+      out->metrics.wall_micros = timer.ElapsedMicros();
+      out->metrics.output_records = emit.records();
+      out->metrics.output_bytes = emit.bytes();
+      return Status::OK();
+    };
+  }
+
+  std::vector<Dataset> reduce_outputs(num_reds);
+  auto red_done = [&](const TaskSpec& spec, TaskOutput out) -> Status {
+    const uint32_t r = spec.task_index;
+    reduce_outputs[r] = std::move(out.records);
+    TaskMetrics tm = out.metrics;
+    // Shard-side counters are authoritative for both execution paths (a
+    // transport run's reader would agree on records/bytes, but spill
+    // accounting must not count transport runs).
+    tm.input_records = shards[r].NumRecords();
+    tm.input_bytes = shards[r].PayloadBytes();
+    tm.spilled_bytes = shards[r].spilled_bytes();
+    tm.spill_runs = shards[r].spill_runs();
     jm.reduce_output_records += tm.output_records;
     jm.reduce_output_bytes += tm.output_bytes;
     jm.reduce_wall_micros += tm.wall_micros;
     jm.spilled_bytes += tm.spilled_bytes;
     jm.spill_runs += tm.spill_runs;
-  }
-  jm.reduce_tasks = std::move(reduce_task_metrics);
+    jm.reduce_tasks.push_back(tm);
+    return Status::OK();
+  };
+  FSJOIN_RETURN_NOT_OK(scheduler.RunStage(std::move(red_specs), red_body,
+                                          config.side, red_done));
 
   size_t out_total = 0;
   for (const Dataset& d : reduce_outputs) out_total += d.size();

@@ -9,10 +9,16 @@
 #include "mr/job.h"
 #include "mr/kv.h"
 #include "mr/metrics.h"
+#include "mr/runner.h"
 #include "util/status.h"
-#include "util/thread_pool.h"
 
 namespace fsjoin::mr {
+
+/// Smallest meaningful shuffle memory cap: one spill charge must be able
+/// to account at least a few records, or every AddBuffer would thrash a
+/// run file per record. Values below this (but nonzero) are configuration
+/// errors, caught by EngineOptions::Validate().
+inline constexpr uint64_t kMinShuffleMemoryBytes = 64;
 
 /// Engine construction knobs.
 struct EngineOptions {
@@ -24,10 +30,23 @@ struct EngineOptions {
   /// shards spill key-sorted run files to disk and the reduce side streams
   /// a k-way merge. Results are byte-identical to the in-memory path.
   uint64_t shuffle_memory_bytes = 0;
-  /// Base directory for spill runs; every job creates (and removes, even
-  /// on failure) its own unique subdirectory underneath. Empty = system
-  /// temp directory. Only used when shuffle_memory_bytes > 0.
+  /// Base directory for spill runs and task interchange files; every job
+  /// creates (and removes, even on failure) its own unique subdirectory
+  /// underneath. Empty = system temp directory. Used when
+  /// shuffle_memory_bytes > 0 or the runner is process-isolated.
   std::string spill_dir;
+  /// How task attempts execute (mr/runner.h). kThreads with num_threads
+  /// == 0 reproduces the seed engine exactly: inline, deterministic.
+  RunnerKind runner = RunnerKind::kThreads;
+  /// Re-executions allowed per failed task, on runners whose attempts are
+  /// hermetic (subprocess). In-process runners fail the job on first error
+  /// regardless — a half-run reducer may have mutated shared state.
+  int task_retries = 2;
+
+  /// Checks knob ranges (negative retry budget, sub-arena-block shuffle
+  /// cap) and returns a descriptive InvalidArgument instead of letting a
+  /// job misbehave later. Run() calls this first.
+  Status Validate() const;
 };
 
 /// In-process MapReduce engine. Substitutes for the paper's Hadoop cluster:
@@ -54,13 +73,19 @@ class Engine {
   /// Runs one job over `input`, appending results (in reduce-partition
   /// order, keys sorted within a partition) to `*output` and the job's
   /// counters to `*metrics`. Any Status error from user map/reduce code
-  /// aborts the job and is returned.
+  /// aborts the job and is returned. Execution is coordinated by a
+  /// TaskScheduler over the configured TaskRunner: map tasks, a parent-
+  /// side shuffle, then reduce tasks; on the subprocess runner each task
+  /// attempt runs in its own child and failed attempts are re-executed
+  /// within the retry budget.
   Status Run(const JobConfig& config, const Dataset& input, Dataset* output,
              JobMetrics* metrics);
 
+  const TaskRunner& runner() const { return *runner_; }
+
  private:
   EngineOptions options_;
-  ThreadPool pool_;
+  std::unique_ptr<TaskRunner> runner_;
 };
 
 }  // namespace fsjoin::mr

@@ -91,6 +91,26 @@ class PrefixIdPartitioner : public Partitioner {
 using MapperFactory = std::function<std::unique_ptr<Mapper>()>;
 using ReducerFactory = std::function<std::unique_ptr<Reducer>()>;
 
+/// Bridge for shared mutable job state (filter counters, candidate counts)
+/// across the subprocess runner's fork boundary. A forked child inherits a
+/// copy-on-write snapshot of the job's context objects; without help its
+/// mutations die with it. A stage that mutates shared context provides:
+///   reset   — child, right after fork: zero the inherited counters (they
+///             were already merged in the parent) and drop resources whose
+///             threads did not survive the fork (e.g. a morsel ThreadPool).
+///   capture — child, after the task body: serialize the deltas this task
+///             produced into opaque bytes shipped back with the output.
+///   merge   — parent, exactly once per logical task (the scheduler's
+///             metrics-merge rule): fold the captured bytes into the live
+///             context. Retried attempts are merged once, never per try.
+/// In-process runners ignore the channel — reducers mutate the shared
+/// context directly, as in the seed engine.
+struct TaskSideChannel {
+  std::function<void()> reset;
+  std::function<std::string()> capture;
+  std::function<Status(const std::string&)> merge;
+};
+
 /// Static description of one MapReduce job.
 struct JobConfig {
   std::string name = "job";
@@ -104,6 +124,16 @@ struct JobConfig {
   ReducerFactory combiner_factory;
   /// Key router; HashPartitioner when null.
   std::shared_ptr<const Partitioner> partitioner;
+  /// Fork-boundary bridge for shared mutable context (see above). Empty
+  /// members are simply skipped — stateless jobs leave this default.
+  TaskSideChannel side;
+  /// Registered task-factory name (mr/task.h) that rebuilds this job's
+  /// mapper/reducer/combiner/partitioner in another process. Empty = the
+  /// job's logic captures driver state and tasks cannot be re-execed; the
+  /// subprocess runner then uses fork-only isolation.
+  std::string task_factory;
+  /// Opaque parameter bytes for the task factory.
+  std::string task_payload;
 };
 
 }  // namespace fsjoin::mr

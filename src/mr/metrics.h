@@ -24,6 +24,12 @@ struct TaskMetrics {
   /// max_group_bytes heuristic when present.
   uint64_t spilled_bytes = 0;
   uint32_t spill_runs = 0;
+  /// Execution attempts of this logical task (1 = ran clean; > 1 means the
+  /// scheduler re-executed failed attempts). The counters above describe
+  /// the final, successful attempt only — the scheduler merges metrics
+  /// exactly once per logical task, so retries never double-count. The
+  /// cluster simulator charges per-task overhead once per attempt.
+  uint32_t attempts = 1;
 };
 
 /// Everything the engine measures about one MapReduce job. These counters

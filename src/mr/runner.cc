@@ -1,0 +1,60 @@
+#include "mr/runner.h"
+
+namespace fsjoin::mr {
+
+const char* RunnerKindName(RunnerKind kind) {
+  switch (kind) {
+    case RunnerKind::kInline:
+      return "inline";
+    case RunnerKind::kThreads:
+      return "threads";
+    case RunnerKind::kSubprocess:
+      return "subprocess";
+  }
+  return "?";
+}
+
+Result<RunnerKind> RunnerKindFromName(std::string_view name) {
+  if (name == "inline") return RunnerKind::kInline;
+  if (name == "threads") return RunnerKind::kThreads;
+  if (name == "subprocess") return RunnerKind::kSubprocess;
+  return Status::InvalidArgument("unknown runner: " + std::string(name) +
+                                 " (want inline|threads|subprocess)");
+}
+
+void InlineRunner::ParallelRun(size_t n,
+                               const std::function<void(size_t)>& fn) {
+  for (size_t i = 0; i < n; ++i) fn(i);
+}
+
+Status InlineRunner::RunAttempt(const TaskSpec& spec, const TaskBody& body,
+                                const TaskSideChannel& /*side*/,
+                                TaskOutput* out) {
+  return body(spec, out);
+}
+
+void ThreadPoolRunner::ParallelRun(size_t n,
+                                   const std::function<void(size_t)>& fn) {
+  pool_.ParallelFor(n, fn);
+}
+
+Status ThreadPoolRunner::RunAttempt(const TaskSpec& spec, const TaskBody& body,
+                                    const TaskSideChannel& /*side*/,
+                                    TaskOutput* out) {
+  return body(spec, out);
+}
+
+std::unique_ptr<TaskRunner> MakeTaskRunner(RunnerKind kind,
+                                           size_t num_threads) {
+  switch (kind) {
+    case RunnerKind::kInline:
+      return std::make_unique<InlineRunner>();
+    case RunnerKind::kThreads:
+      return std::make_unique<ThreadPoolRunner>(num_threads);
+    case RunnerKind::kSubprocess:
+      return std::make_unique<SubprocessRunner>(num_threads);
+  }
+  return std::make_unique<ThreadPoolRunner>(num_threads);
+}
+
+}  // namespace fsjoin::mr

@@ -1,0 +1,34 @@
+#ifndef FSJOIN_MR_WORKER_H_
+#define FSJOIN_MR_WORKER_H_
+
+#include <string>
+
+namespace fsjoin::mr {
+
+/// Binary entry hook for --worker-task mode. Call first thing in main():
+///
+///   int main(int argc, char** argv) {
+///     if (int rc = fsjoin::mr::WorkerTaskMainIfRequested(argc, argv);
+///         rc >= 0) {
+///       return rc;
+///     }
+///     ... normal program ...
+///   }
+///
+/// When argv contains `--worker-task <spec-file>` the process is a task
+/// worker: it decodes the TaskSpec, resolves the named task factory, runs
+/// the map/reduce body over the spec's input runs, writes output/result
+/// files and returns the protocol exit code (0 ok, 2 Status error written
+/// to <base>.err). Otherwise returns -1 — and records that this binary
+/// supports worker mode, which is what lets SubprocessRunner choose
+/// re-exec over fork for factory-named tasks.
+int WorkerTaskMainIfRequested(int argc, char** argv);
+
+/// The worker-mode body (exposed for tests): executes the task described
+/// by the serialized spec at `spec_path` and returns the protocol exit
+/// code.
+int RunWorkerTask(const std::string& spec_path);
+
+}  // namespace fsjoin::mr
+
+#endif  // FSJOIN_MR_WORKER_H_

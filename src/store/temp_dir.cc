@@ -46,7 +46,7 @@ Result<TempSpillDir> TempSpillDir::Create(const std::string& base,
         root / (prefix + "-" + std::to_string(CurrentPid()) + "-" +
                 std::to_string(sequence.fetch_add(1)));
     if (fs::create_directory(candidate, ec)) {
-      return TempSpillDir(candidate.string());
+      return TempSpillDir(candidate.string(), CurrentPid());
     }
     if (ec) {
       return Status::IoError("cannot create spill dir " + candidate.string() +
@@ -59,12 +59,14 @@ Result<TempSpillDir> TempSpillDir::Create(const std::string& base,
 }
 
 TempSpillDir::TempSpillDir(TempSpillDir&& other) noexcept
-    : path_(std::exchange(other.path_, std::string())) {}
+    : path_(std::exchange(other.path_, std::string())),
+      owner_pid_(std::exchange(other.owner_pid_, 0)) {}
 
 TempSpillDir& TempSpillDir::operator=(TempSpillDir&& other) noexcept {
   if (this != &other) {
     RemoveNow();
     path_ = std::exchange(other.path_, std::string());
+    owner_pid_ = std::exchange(other.owner_pid_, 0);
   }
   return *this;
 }
@@ -73,6 +75,13 @@ TempSpillDir::~TempSpillDir() { RemoveNow(); }
 
 void TempSpillDir::RemoveNow() {
   if (path_.empty()) return;
+  if (CurrentPid() != owner_pid_) {
+    // A forked child inherited this handle; the directory belongs to the
+    // parent, which may still be handing it to sibling tasks. Drop the
+    // handle without touching the filesystem.
+    path_.clear();
+    return;
+  }
   std::error_code ec;
   fs::remove_all(path_, ec);  // best effort: leaking temp files beats
   path_.clear();              // throwing from a destructor

@@ -12,6 +12,14 @@ namespace fsjoin::store {
 /// outlive their job — including on error paths, where the stack unwind
 /// still runs the destructor. Move-only; a moved-from instance owns nothing
 /// and its destructor is a no-op.
+///
+/// Ownership is per-process: the pid that called Create() owns the
+/// directory. A forked child inherits the object but not ownership, so any
+/// cleanup it runs (destructor or RemoveNow()) is a no-op — the parent's
+/// scratch must survive until every child task has finished and is then
+/// removed exactly once, by the parent, on success and failure paths alike.
+/// (Subprocess task children additionally _exit() without unwinding; the
+/// pid guard covers code that does unwind, e.g. error paths before exec.)
 class TempSpillDir {
  public:
   /// Creates `<base>/<prefix>-<pid>-<seq>`. An empty `base` uses the
@@ -26,15 +34,19 @@ class TempSpillDir {
 
   ~TempSpillDir();
 
-  /// Removes the directory now (best effort); the destructor then no-ops.
+  /// Removes the directory now (best effort) if this process owns it; the
+  /// destructor then no-ops. In a forked child this only releases the
+  /// handle, never the parent's files.
   void RemoveNow();
 
   const std::string& path() const { return path_; }
 
  private:
-  explicit TempSpillDir(std::string path) : path_(std::move(path)) {}
+  TempSpillDir(std::string path, long owner_pid)
+      : path_(std::move(path)), owner_pid_(owner_pid) {}
 
   std::string path_;
+  long owner_pid_ = 0;
 };
 
 }  // namespace fsjoin::store

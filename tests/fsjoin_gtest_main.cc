@@ -1,0 +1,18 @@
+// Shared gtest main for every test binary in the repo. It differs from
+// GTest's stock main in one way: it routes through the --worker-task hook
+// first, so the subprocess TaskRunner can re-exec the test binary itself
+// as a task worker (exec mode). Without this, tests exercising the
+// subprocess runner would silently fall back to fork-mode isolation.
+
+#include <gtest/gtest.h>
+
+#include "mr/worker.h"
+
+int main(int argc, char** argv) {
+  if (const int code = fsjoin::mr::WorkerTaskMainIfRequested(argc, argv);
+      code >= 0) {
+    return code;
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -190,7 +190,7 @@ TEST(EngineTest, MapErrorAbortsJob) {
   JobMetrics metrics;
   Status st = engine.Run(config, WordsInput(), &output, &metrics);
   ASSERT_FALSE(st.ok());
-  EXPECT_EQ(st.message(), "boom");
+  EXPECT_EQ(st.message(), "task 'wordcount/map0' failed after 1 attempt(s): boom");
 }
 
 TEST(EngineTest, ReduceErrorAbortsJob) {
@@ -588,7 +588,7 @@ TEST(EngineSpillTest, NoSpillFilesSurviveCompletedOrFailedJobs) {
   auto base = store::TempSpillDir::Create("", "fsjoin-engine-test");
   ASSERT_TRUE(base.ok()) << base.status().ToString();
   EngineOptions options;
-  options.shuffle_memory_bytes = 1;  // spill everything
+  options.shuffle_memory_bytes = kMinShuffleMemoryBytes;  // spill everything
   options.spill_dir = base->path();
 
   const Dataset input = BigWordsInput(100, 93);

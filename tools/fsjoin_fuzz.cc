@@ -27,6 +27,7 @@
 
 #include "check/sweeper.h"
 #include "core/filters.h"
+#include "mr/worker.h"
 #include "util/string_util.h"
 
 namespace {
@@ -59,6 +60,12 @@ bool ParseUint64(const char* text, uint64_t* value) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Subprocess-runner children re-exec this binary in --worker-task mode;
+  // the lattice samples that runner, so the fuzz driver must speak it.
+  if (const int code = fsjoin::mr::WorkerTaskMainIfRequested(argc, argv);
+      code >= 0) {
+    return code;
+  }
   using fsjoin::FilterFaultInjection;
   using fsjoin::check::RunSweep;
   using fsjoin::check::SweepFailure;
