@@ -1,0 +1,230 @@
+// Headline bench for cost-based auto-tuning (DESIGN.md §5i): --auto vs a
+// spread of hand-tuned configurations on three corpus shapes — zipfian
+// (skewed token frequencies, the shape vertical pivots care about),
+// uniform (no skew: the degenerate case where tuning must not hurt), and
+// clustered (near-duplicate heavy with a wide length spread, the shape
+// horizontal splitting cares about).
+//
+// The claim under test: one flag lands within ~10% of the best hand-tuned
+// configuration on every shape, and beats the worst hand configuration by
+// >= 1.5x on at least one — while producing byte-identical results
+// (ResultDigest) to every hand configuration. Rows land in
+// BENCH_auto.json as <shape>/hand/<cfg> and <shape>/auto.
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "check/invariants.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace fsjoin::bench {
+namespace {
+
+struct Shape {
+  std::string name;
+  Corpus corpus;
+};
+
+std::vector<Shape> MakeShapes() {
+  const double scale = BenchScale();
+  std::vector<Shape> shapes;
+  {
+    SyntheticCorpusConfig cfg;
+    cfg.name = "zipf";
+    cfg.num_records = static_cast<uint64_t>(4000 * scale);
+    cfg.vocab_size = 20000;
+    cfg.zipf_skew = 1.1;  // heavy head -> skewed fragments under even-tf
+    cfg.avg_len = 30;
+    cfg.len_sigma = 0.5;
+    cfg.seed = 71;
+    shapes.push_back({cfg.name, GenerateCorpus(cfg)});
+  }
+  {
+    SyntheticCorpusConfig cfg;
+    cfg.name = "uniform";
+    cfg.num_records = static_cast<uint64_t>(4000 * scale);
+    cfg.vocab_size = 20000;
+    cfg.zipf_skew = 0.0;  // flat token popularity, no fragment skew
+    cfg.avg_len = 25;
+    cfg.len_sigma = 0.3;
+    cfg.seed = 72;
+    shapes.push_back({cfg.name, GenerateCorpus(cfg)});
+  }
+  {
+    SyntheticCorpusConfig cfg;
+    cfg.name = "clustered";
+    cfg.num_records = static_cast<uint64_t>(3000 * scale);
+    cfg.vocab_size = 8000;
+    cfg.zipf_skew = 0.9;
+    cfg.avg_len = 45;
+    cfg.len_sigma = 1.0;  // wide length spread -> many length windows
+    cfg.near_duplicate_fraction = 0.5;
+    cfg.mutation_rate = 0.05;
+    cfg.seed = 73;
+    shapes.push_back({cfg.name, GenerateCorpus(cfg)});
+  }
+  return shapes;
+}
+
+struct HandConfig {
+  std::string name;
+  FsJoinConfig config;
+};
+
+// Hand-tuned spread, best to worst: the paper-default prefix/even-tf/30
+// is what an expert would pick; the tail (loop joins, the scalar kernel,
+// random pivots, too few fragments) is what a first-time user gets wrong.
+std::vector<HandConfig> MakeHandConfigs(double theta) {
+  std::vector<HandConfig> configs;
+  auto base = [theta] { return DefaultFsConfig(theta); };
+  {
+    HandConfig h{"prefix_evtf_30", base()};
+    configs.push_back(std::move(h));
+  }
+  {
+    HandConfig h{"prefix_evtf_30_h2", base()};
+    h.config.num_horizontal_partitions = 2;
+    configs.push_back(std::move(h));
+  }
+  {
+    HandConfig h{"prefix_evtf_8", base()};
+    h.config.num_vertical_partitions = 8;
+    configs.push_back(std::move(h));
+  }
+  {
+    HandConfig h{"index_evtf_30", base()};
+    h.config.join_method = JoinMethod::kIndex;
+    configs.push_back(std::move(h));
+  }
+  {
+    HandConfig h{"prefix_random_30", base()};
+    h.config.pivot_strategy = PivotStrategy::kRandom;
+    configs.push_back(std::move(h));
+  }
+  {
+    HandConfig h{"prefix_evint_30_scalar", base()};
+    h.config.pivot_strategy = PivotStrategy::kEvenInterval;
+    h.config.exec.kernel = exec::KernelMode::kScalar;
+    configs.push_back(std::move(h));
+  }
+  {
+    HandConfig h{"loop_evtf_8_scalar", base()};
+    h.config.join_method = JoinMethod::kLoop;
+    h.config.num_vertical_partitions = 8;
+    h.config.exec.kernel = exec::KernelMode::kScalar;
+    configs.push_back(std::move(h));
+  }
+  return configs;
+}
+
+void Run(int argc, char** argv) {
+  BenchOptions options = ParseBenchOptions("auto", argc, argv);
+  PrintBanner("Auto-tuning — --auto vs hand-tuned configurations",
+              "one flag lands near the best hand-tuned config on every "
+              "corpus shape, byte-identically");
+
+  const double theta = 0.8;
+  std::vector<BenchRecord> records;
+  bool any_big_win = false;
+  bool all_within = true;
+
+  for (const Shape& shape : MakeShapes()) {
+    std::printf("\n[%s] %zu records, theta = %.1f\n", shape.name.c_str(),
+                shape.corpus.NumRecords(), theta);
+    TablePrinter table({"config", "filter wall (ms)", "vs best hand",
+                        "vs auto"});
+
+    uint32_t digest = 0;
+    bool have_digest = false;
+    double best_hand = 0.0, worst_hand = 0.0;
+    std::string best_name;
+    struct Row {
+      std::string name;
+      double wall_ms;
+    };
+    std::vector<Row> rows;
+
+    FsJoinOutput keep;  // last measured output (for the auto report lines)
+    auto measure = [&](const std::string& label, const FsJoinConfig& config,
+                       const FsJoinReport** last_report) -> double {
+      const double us = MinWallMicros(options, [&] {
+        Result<FsJoinOutput> out = FsJoin(config).Run(shape.corpus);
+        if (!out.ok()) {
+          std::fprintf(stderr, "FAIL %s: %s\n", label.c_str(),
+                       out.status().ToString().c_str());
+          std::exit(1);
+        }
+        const uint32_t d = check::ResultDigest(out->pairs);
+        if (!have_digest) {
+          digest = d;
+          have_digest = true;
+        } else if (d != digest) {
+          std::fprintf(stderr,
+                       "DIGEST MISMATCH on %s/%s: %08x != %08x — the tuner "
+                       "changed the result set\n",
+                       shape.name.c_str(), label.c_str(), d, digest);
+          std::exit(1);
+        }
+        keep = std::move(*out);
+      });
+      if (last_report) *last_report = &keep.report;
+      return us;
+    };
+
+    for (const HandConfig& hand : MakeHandConfigs(theta)) {
+      const double us = measure(hand.name, hand.config, nullptr);
+      const double ms = us / 1000.0;
+      rows.push_back({"hand/" + hand.name, ms});
+      records.push_back({shape.name + "/hand/" + hand.name, us});
+      if (best_hand == 0.0 || ms < best_hand) {
+        best_hand = ms;
+        best_name = hand.name;
+      }
+      if (ms > worst_hand) worst_hand = ms;
+    }
+
+    FsJoinConfig auto_config = DefaultFsConfig(theta);
+    auto_config.exec.auto_tune = true;
+    const FsJoinReport* auto_report = nullptr;
+    const double auto_us = measure("auto", auto_config, &auto_report);
+    const double auto_ms = auto_us / 1000.0;
+    rows.push_back({"auto", auto_ms});
+    records.push_back({shape.name + "/auto", auto_us});
+
+    for (const Row& row : rows) {
+      table.AddRow({row.name, StrFormat("%.0f", row.wall_ms),
+                    StrFormat("%.2fx", row.wall_ms / best_hand),
+                    StrFormat("%.2fx", row.wall_ms / auto_ms)});
+    }
+    table.Print(std::cout);
+    std::printf("  best hand: %s (%.0f ms); auto/best = %.2f, "
+                "worst/auto = %.2f\n",
+                best_name.c_str(), best_hand, auto_ms / best_hand,
+                worst_hand / auto_ms);
+    if (auto_report && auto_report->tuning.enabled) {
+      for (const std::string& line : auto_report->tuning.lines) {
+        std::printf("  auto: %s\n", line.c_str());
+      }
+    }
+    if (auto_ms > best_hand * 1.10) all_within = false;
+    if (worst_hand >= auto_ms * 1.5) any_big_win = true;
+  }
+
+  std::printf("\nacceptance: auto within 10%% of best hand on all shapes: "
+              "%s; >=1.5x over worst hand on some shape: %s\n",
+              all_within ? "yes" : "NO", any_big_win ? "yes" : "NO");
+  WriteBenchJson(options, "auto", records);
+}
+
+}  // namespace
+}  // namespace fsjoin::bench
+
+int main(int argc, char** argv) {
+  fsjoin::bench::Run(argc, argv);
+  return 0;
+}

@@ -616,6 +616,68 @@ int RunKernelComparison(int argc, char** argv) {
   std::printf("  runs x runs     %10.0f us  (clustered 512-token sets)\n",
               runs_us);
 
+  // 1e) Crossover sweep (feeds the tuner): scalar vs packed vs simd across
+  // segment lengths 2..512. The per-fragment decision layer's
+  // TuningPolicy::simd_min_avg_len is calibrated from these rows — the
+  // smallest length where the simd column beats packed is the crossover,
+  // and the rows land in BENCH_kernels.json so recalibrating after a kernel
+  // change is a diff of two bench files, not a guess.
+  std::printf("crossover (scalar vs packed vs simd by segment length):\n");
+  std::printf("  %6s %10s %10s %10s  %s\n", "len", "scalar", "packed", "simd",
+              "winner");
+  for (size_t len : {2, 4, 8, 16, 32, 64, 128, 256, 512}) {
+    Rng cross_rng(1000 + static_cast<uint64_t>(len));
+    // Domain scales with length so density (and bitmap selectivity) stays
+    // comparable across rows; pair count shrinks so long rows stay cheap.
+    const uint32_t domain = static_cast<uint32_t>(len) * 256;
+    const size_t count = 1024;
+    const ShortSegments cs = MakeShortSegments(cross_rng, count, len, domain);
+    const size_t pairs = std::max<size_t>(20'000, 2'000'000 / len);
+    uint64_t cross_scalar = 0, cross_packed = 0, cross_simd = 0;
+    const double cross_scalar_us = bench::MinWallMicros(options, [&] {
+      cross_scalar = SweepPairs(cs, pairs, [&cs](size_t i, size_t j) {
+        return LinearOverlap(cs.sets[i].data(), cs.sets[i].size(),
+                             cs.sets[j].data(), cs.sets[j].size());
+      });
+    });
+    const double cross_packed_us = bench::MinWallMicros(options, [&] {
+      cross_packed = SweepPairs(cs, pairs, [&cs](size_t i, size_t j) {
+        return PackedOverlap(cs.sets[i].data(), cs.sets[i].size(),
+                             cs.bitmaps[i], cs.sets[j].data(),
+                             cs.sets[j].size(), cs.bitmaps[j]);
+      });
+    });
+    const double cross_simd_us = bench::MinWallMicros(options, [&] {
+      cross_simd = SweepPairs(cs, pairs, [&cs](size_t i, size_t j) {
+        return (cs.bitmaps[i] & cs.bitmaps[j]) == 0
+                   ? uint64_t{0}
+                   : SimdOverlap(cs.sets[i].data(), cs.sets[i].size(),
+                                 cs.sets[j].data(), cs.sets[j].size());
+      });
+    });
+    if (cross_scalar != cross_packed || cross_scalar != cross_simd) {
+      std::fprintf(stderr,
+                   "crossover mismatch at len=%zu: scalar=%llu packed=%llu "
+                   "simd=%llu\n",
+                   len, static_cast<unsigned long long>(cross_scalar),
+                   static_cast<unsigned long long>(cross_packed),
+                   static_cast<unsigned long long>(cross_simd));
+      return 1;
+    }
+    // Normalize to microseconds per million pairs so rows with different
+    // pair counts compare directly.
+    const double scale = 1'000'000.0 / static_cast<double>(pairs);
+    const double ns = cross_scalar_us * scale;
+    const double np = cross_packed_us * scale;
+    const double nv = cross_simd_us * scale;
+    records.push_back({"crossover/len" + std::to_string(len) + "/scalar", ns});
+    records.push_back({"crossover/len" + std::to_string(len) + "/packed", np});
+    records.push_back({"crossover/len" + std::to_string(len) + "/simd", nv});
+    const char* winner =
+        nv <= np && nv <= ns ? "simd" : (np <= ns ? "packed" : "scalar");
+    std::printf("  %6zu %10.0f %10.0f %10.0f  %s\n", len, ns, np, nv, winner);
+  }
+
   // 2) JoinFragment aggregate, serial vs morsel-parallel on 8 threads.
   Rng frag_rng(6);
   const std::vector<std::vector<SegmentRecord>> fragments =

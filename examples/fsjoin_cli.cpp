@@ -11,6 +11,13 @@
 //   --fragments N       vertical partitions                   [30]
 //   --horizontal N      horizontal length pivots (0 = off)    [0]
 //   --method NAME       loop | index | prefix                 [prefix]
+//   --auto              cost-based auto-tuning: sample-refined pivots,
+//                       skew-triggered horizontal splitting, per-fragment
+//                       join method + kernel. Explicitly passed knobs
+//                       (--method, --kernel, --horizontal) stay pinned and
+//                       override the tuner, with the override logged.
+//   --sample-rate X     tuning sample rate in (0, 1]; requires --auto
+//                       [0.05]
 //   --aggressive        paper-aggressive segment prefixes (faster,
 //                       may miss borderline pairs)
 //   --backend NAME      mr | flow (execution backend)         [mr]
@@ -70,6 +77,13 @@ struct CliOptions {
   bool parallel_join = false;
   bool aggressive = false;
   bool report = false;
+  bool auto_tune = false;
+  double sample_rate = 0.0;
+  // Which knobs were passed explicitly: with --auto they stay pinned and
+  // the override is logged instead of being silently ignored.
+  bool method_set = false;
+  bool kernel_set = false;
+  bool horizontal_set = false;
 };
 
 int Usage(const char* argv0) {
@@ -77,7 +91,8 @@ int Usage(const char* argv0) {
                "usage: %s --input FILE [--rs FILE] [--theta X] "
                "[--function jaccard|dice|cosine] [--tokenizer "
                "word|whitespace|qgramN] [--fragments N] [--horizontal N] "
-               "[--method loop|index|prefix] [--aggressive] "
+               "[--method loop|index|prefix] [--auto] [--sample-rate X] "
+               "[--aggressive] "
                "[--backend mr|flow] [--kernel auto|scalar|packed|simd] "
                "[--threads N] "
                "[--parallel-join] [--morsel N] "
@@ -171,6 +186,13 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Usage(argv[0]);
       opts.method = v;
+      opts.method_set = true;
+    } else if (arg == "--auto") {
+      opts.auto_tune = true;
+    } else if (arg == "--sample-rate") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      opts.sample_rate = std::atof(v);
     } else if (arg == "--fragments") {
       const char* v = next();
       if (!v) return Usage(argv[0]);
@@ -179,6 +201,7 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Usage(argv[0]);
       opts.horizontal = static_cast<uint32_t>(std::atoi(v));
+      opts.horizontal_set = true;
     } else if (arg == "--backend") {
       const char* v = next();
       if (!v) return Usage(argv[0]);
@@ -187,6 +210,7 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Usage(argv[0]);
       opts.kernel = v;
+      opts.kernel_set = true;
     } else if (arg == "--threads") {
       const char* v = next();
       if (!v) return Usage(argv[0]);
@@ -298,6 +322,35 @@ int main(int argc, char** argv) {
   } else {
     std::fprintf(stderr, "unknown join method: %s\n", opts.method.c_str());
     return 1;
+  }
+  config.exec.auto_tune = opts.auto_tune;
+  config.exec.tune_sample_rate = opts.sample_rate;
+  if (opts.auto_tune) {
+    // Explicitly passed knobs stay pinned: --auto fills in only what the
+    // user left unset, and each override is logged instead of one side
+    // silently losing (the old behavior accepted e.g. --auto --method loop
+    // and ignored the --method).
+    config.pinned.join_method = opts.method_set;
+    config.pinned.kernel = opts.kernel_set;
+    config.pinned.horizontal = opts.horizontal_set;
+    if (opts.method_set) {
+      std::fprintf(stderr,
+                   "[auto] --method %s set explicitly; pinning it and "
+                   "skipping the per-fragment method choice\n",
+                   opts.method.c_str());
+    }
+    if (opts.kernel_set) {
+      std::fprintf(stderr,
+                   "[auto] --kernel %s set explicitly; pinning it and "
+                   "skipping the per-fragment kernel choice\n",
+                   opts.kernel.c_str());
+    }
+    if (opts.horizontal_set) {
+      std::fprintf(stderr,
+                   "[auto] --horizontal %u set explicitly; pinning it and "
+                   "skipping the tuned horizontal split\n",
+                   opts.horizontal);
+    }
   }
 
   fsjoin::Result<fsjoin::FsJoinOutput> out =

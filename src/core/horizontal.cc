@@ -70,13 +70,19 @@ bool HorizontalScheme::ShouldJoinInGroup(uint32_t group, uint32_t len_a,
 std::vector<uint32_t> SelectLengthPivots(
     const std::vector<OrderedRecord>& records, uint32_t t,
     SimilarityFunction fn, double theta) {
-  std::vector<uint32_t> pivots;
-  if (t == 0 || records.empty()) return pivots;
   std::vector<uint32_t> lengths;
   lengths.reserve(records.size());
   for (const OrderedRecord& r : records) {
     lengths.push_back(static_cast<uint32_t>(r.Size()));
   }
+  return SelectLengthPivotsFromLengths(std::move(lengths), t, fn, theta);
+}
+
+std::vector<uint32_t> SelectLengthPivotsFromLengths(
+    std::vector<uint32_t> lengths, uint32_t t, SimilarityFunction fn,
+    double theta) {
+  std::vector<uint32_t> pivots;
+  if (t == 0 || lengths.empty()) return pivots;
   std::sort(lengths.begin(), lengths.end());
   for (uint32_t k = 1; k <= t; ++k) {
     size_t idx = static_cast<size_t>(

@@ -73,16 +73,43 @@ class FilteringMapper : public mr::Mapper {
     }
     std::sort(ordered.tokens.begin(), ordered.tokens.end());
 
-    const std::vector<uint32_t> groups =
-        ctx_->horizontal.GroupsOf(static_cast<uint32_t>(ordered.Size()));
+    const uint32_t len = static_cast<uint32_t>(ordered.Size());
     SegmentSplit split = SplitIntoSegments(ordered, ctx_->pivots);
-    for (uint32_t h : groups) {
-      for (size_t i = 0; i < split.segments.size(); ++i) {
+    if (ctx_->split_fragment.empty()) {
+      const std::vector<uint32_t> groups = ctx_->horizontal.GroupsOf(len);
+      for (uint32_t h : groups) {
+        for (size_t i = 0; i < split.segments.size(); ++i) {
+          std::string key;
+          PutFixed32BE(&key, h);
+          PutFixed32BE(&key, split.fragment_ids[i]);
+          std::string value;
+          EncodeSegment(split.segments[i], &value);
+          out->Emit(std::move(key), std::move(value));
+        }
+      }
+      return Status::OK();
+    }
+    // Skew-triggered splitting (--auto): only fragments flagged heavy pay
+    // the horizontal duplication; light fragments route to group 0, where
+    // the reducer joins every pair (no band dedup needed — one group means
+    // one chance per pair).
+    std::vector<uint32_t> groups;  // computed lazily for the first heavy hit
+    for (size_t i = 0; i < split.segments.size(); ++i) {
+      const uint32_t v = split.fragment_ids[i];
+      std::string value;
+      EncodeSegment(split.segments[i], &value);
+      if (v < ctx_->split_fragment.size() && ctx_->split_fragment[v] != 0) {
+        if (groups.empty()) groups = ctx_->horizontal.GroupsOf(len);
+        for (uint32_t h : groups) {
+          std::string key;
+          PutFixed32BE(&key, h);
+          PutFixed32BE(&key, v);
+          out->Emit(std::move(key), value);
+        }
+      } else {
         std::string key;
-        PutFixed32BE(&key, h);
-        PutFixed32BE(&key, split.fragment_ids[i]);
-        std::string value;
-        EncodeSegment(split.segments[i], &value);
+        PutFixed32BE(&key, uint32_t{0});
+        PutFixed32BE(&key, v);
         out->Emit(std::move(key), std::move(value));
       }
     }
@@ -125,16 +152,45 @@ class FilteringReducer : public mr::Reducer {
     opts.use_segment_intersection_filter = cfg.use_segment_intersection_filter;
     opts.use_segment_difference_filter = cfg.use_segment_difference_filter;
     opts.kernel = cfg.exec.kernel;
+    if (cfg.exec.auto_tune &&
+        (ctx_->auto_choose_method || ctx_->auto_choose_kernel) &&
+        !batch.empty()) {
+      // Per-fragment decision at Seal time: the shape aggregates are
+      // permutation-invariant over the fragment's segments, so the choice
+      // is identical on every backend, runner and thread count.
+      tune::FragmentShape shape;
+      shape.num_segments = batch.size();
+      shape.total_tokens = batch.total_tokens();
+      for (uint32_t i = 0; i < batch.size(); ++i) {
+        shape.max_segment_len = std::max(shape.max_segment_len,
+                                         batch.length(i));
+      }
+      const tune::FragmentPlan plan =
+          tune::ChooseFragmentPlan(shape, ctx_->policy);
+      if (ctx_->auto_choose_method) opts.method = plan.method;
+      if (ctx_->auto_choose_kernel) opts.kernel = plan.kernel;
+      std::lock_guard<std::mutex> lock(ctx_->mu);
+      ++ctx_->auto_method_counts[static_cast<int>(opts.method)];
+      ++ctx_->auto_kernel_counts[static_cast<int>(
+          exec::ResolveKernelMode(opts.kernel))];
+    }
 
     const HorizontalScheme* horizontal = &ctx_->horizontal;
     const std::optional<RecordId> rs_boundary = cfg.rs_boundary;
-    opts.pair_allowed = [group, horizontal, rs_boundary](
+    // Light fragments under skew-triggered splitting carry one length
+    // group, so every pair is joined where it lands (see FilteringMapper).
+    const bool use_scheme =
+        ctx_->split_fragment.empty() ||
+        (fragment < ctx_->split_fragment.size() &&
+         ctx_->split_fragment[fragment] != 0);
+    opts.pair_allowed = [group, horizontal, rs_boundary, use_scheme](
                             const SegmentView& a, const SegmentView& b) {
       if (a.rid == b.rid) return false;
       if (rs_boundary.has_value() &&
           (a.rid < *rs_boundary) == (b.rid < *rs_boundary)) {
         return false;  // R-S join: pairs must straddle the boundary
       }
+      if (!use_scheme) return true;
       return horizontal->ShouldJoinInGroup(group, a.record_size,
                                            b.record_size);
     };
@@ -259,6 +315,8 @@ mr::TaskSideChannel FilteringSideChannel(
     (void)ctx->join_pool.release();
     ctx->totals = FilterCounters{};
     ctx->captured_partials.clear();
+    for (uint64_t& c : ctx->auto_method_counts) c = 0;
+    for (uint64_t& c : ctx->auto_kernel_counts) c = 0;
   };
   side.capture = [ctx]() -> std::string {
     std::string bytes;
@@ -272,6 +330,8 @@ mr::TaskSideChannel FilteringSideChannel(
     PutVarint64(&bytes, c.pruned_segd);
     PutVarint64(&bytes, c.empty_overlap);
     PutVarint64(&bytes, c.emitted);
+    for (uint64_t count : ctx->auto_method_counts) PutVarint64(&bytes, count);
+    for (uint64_t count : ctx->auto_kernel_counts) PutVarint64(&bytes, count);
     PutVarint64(&bytes, ctx->captured_partials.size());
     for (const PartialOverlap& p : ctx->captured_partials) {
       PutVarint32(&bytes, p.a);
@@ -293,6 +353,14 @@ mr::TaskSideChannel FilteringSideChannel(
     FSJOIN_RETURN_NOT_OK(dec.GetVarint64(&c.pruned_segd));
     FSJOIN_RETURN_NOT_OK(dec.GetVarint64(&c.empty_overlap));
     FSJOIN_RETURN_NOT_OK(dec.GetVarint64(&c.emitted));
+    uint64_t method_counts[3] = {0, 0, 0};
+    uint64_t kernel_counts[4] = {0, 0, 0, 0};
+    for (uint64_t& count : method_counts) {
+      FSJOIN_RETURN_NOT_OK(dec.GetVarint64(&count));
+    }
+    for (uint64_t& count : kernel_counts) {
+      FSJOIN_RETURN_NOT_OK(dec.GetVarint64(&count));
+    }
     uint64_t num_partials = 0;
     FSJOIN_RETURN_NOT_OK(dec.GetVarint64(&num_partials));
     std::vector<PartialOverlap> partials;
@@ -311,6 +379,8 @@ mr::TaskSideChannel FilteringSideChannel(
     }
     std::lock_guard<std::mutex> lock(ctx->mu);
     ctx->totals.Add(c);
+    for (int i = 0; i < 3; ++i) ctx->auto_method_counts[i] += method_counts[i];
+    for (int i = 0; i < 4; ++i) ctx->auto_kernel_counts[i] += kernel_counts[i];
     ctx->captured_partials.insert(ctx->captured_partials.end(),
                                   partials.begin(), partials.end());
     return Status::OK();

@@ -74,6 +74,17 @@ Status ExecConfig::Validate() const {
         std::to_string(mr::kMinShuffleMemoryBytes) +
         "); use 0 for an unbounded in-memory shuffle");
   }
+  if (!auto_tune && tune_sample_rate != 0.0) {
+    return Status::InvalidArgument(
+        "tune_sample_rate is set but auto_tune is off (--sample-rate "
+        "requires --auto)");
+  }
+  if (auto_tune &&
+      (tune_sample_rate < 0.0 || tune_sample_rate > 1.0)) {
+    return Status::InvalidArgument(
+        "tune_sample_rate must be in (0, 1] (or 0 for the default), got " +
+        std::to_string(tune_sample_rate));
+  }
   if (!spill_dir.empty()) {
     // Fail configuration, not the first job that tries to spill.
     std::error_code ec;

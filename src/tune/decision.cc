@@ -1,0 +1,33 @@
+#include "tune/decision.h"
+
+#include "util/simd.h"
+
+namespace fsjoin::tune {
+
+FragmentPlan ChooseFragmentPlan(const FragmentShape& shape,
+                                const TuningPolicy& policy) {
+  FragmentPlan plan;
+  const uint32_t n = shape.num_segments;
+  const uint32_t avg_len =
+      n == 0 ? 0
+             : static_cast<uint32_t>(shape.total_tokens / n);
+
+  if (n <= policy.loop_max_segments) {
+    plan.method = JoinMethod::kLoop;
+  } else if (avg_len <= policy.index_max_avg_len) {
+    plan.method = JoinMethod::kIndex;
+  } else {
+    plan.method = JoinMethod::kPrefix;
+  }
+
+  // kScalar is never chosen: it is the verification baseline, dominated by
+  // kPacked at every measured length (BENCH_kernels.json crossover sweep).
+  if (SimdAvailable() && avg_len >= policy.simd_min_avg_len) {
+    plan.kernel = exec::KernelMode::kSimd;
+  } else {
+    plan.kernel = exec::KernelMode::kPacked;
+  }
+  return plan;
+}
+
+}  // namespace fsjoin::tune

@@ -1,0 +1,217 @@
+#include "tune/pivot_refiner.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fsjoin::tune {
+
+namespace {
+
+/// Even-TF chunking of the rank domain: up to `count` strictly increasing
+/// boundaries so each chunk carries ~equal total term frequency (the same
+/// rule core's Even-TF pivot strategy uses, just finer-grained).
+std::vector<TokenRank> EvenTfBoundaries(const GlobalOrder& order,
+                                        uint32_t count) {
+  std::vector<TokenRank> boundaries;
+  const size_t n = order.NumTokens();
+  if (count == 0 || n < 2) return boundaries;
+  const uint64_t total = order.TotalFrequency();
+  if (total == 0) {
+    // Degenerate: no frequencies — equally spaced ranks.
+    for (uint32_t k = 1; k <= count; ++k) {
+      const TokenRank r = static_cast<TokenRank>(
+          static_cast<uint64_t>(k) * n / (count + 1));
+      if (r > 0 && (boundaries.empty() || r > boundaries.back()) && r < n) {
+        boundaries.push_back(r);
+      }
+    }
+    return boundaries;
+  }
+  uint64_t acc = 0;
+  uint32_t next = 1;
+  for (TokenRank r = 0; r < n && next <= count; ++r) {
+    acc += order.FrequencyAt(r);
+    // Boundary after rank r once this chunk reached its frequency share.
+    if (acc * (count + 1) >= static_cast<uint64_t>(next) * total &&
+        r + 1 < n) {
+      boundaries.push_back(r + 1);
+      ++next;
+    }
+  }
+  return boundaries;
+}
+
+/// Chunk index of a rank for boundaries b: the number of b[i] <= rank.
+size_t ChunkOf(const std::vector<TokenRank>& boundaries, TokenRank rank) {
+  return static_cast<size_t>(
+      std::upper_bound(boundaries.begin(), boundaries.end(), rank) -
+      boundaries.begin());
+}
+
+}  // namespace
+
+PivotPlan RefinePivots(const Corpus& corpus, const GlobalOrder& order,
+                       const SampleStats& stats, uint32_t num_fragments,
+                       double skew_factor, uint32_t chunks_per_fragment) {
+  PivotPlan plan;
+  if (num_fragments == 0) num_fragments = 1;
+  const uint32_t want_pivots = num_fragments - 1;
+  if (chunks_per_fragment == 0) chunks_per_fragment = 1;
+
+  // Fine-grained Even-TF candidate boundaries; final pivots are a subset.
+  // Chunk count is capped so the O(chunks^2) cost tables stay around a
+  // megabyte no matter how many fragments the run configures.
+  const uint32_t want_chunks =
+      std::min<uint32_t>(num_fragments * chunks_per_fragment, 256);
+  std::vector<TokenRank> boundaries =
+      EvenTfBoundaries(order, want_chunks > 0 ? want_chunks - 1 : 0);
+  const size_t num_chunks = boundaries.size() + 1;
+
+  // Sampled per-chunk token counts plus, per record, which chunks it
+  // touches. A record contributes one segment to every *fragment* (chunk
+  // group) it has a token in, so the per-group segment count is a distinct
+  // count, NOT a sum over chunks: merging two chunks both touched by the
+  // same record yields one segment, not two. The prev[] trick below makes
+  // every contiguous group's distinct count computable from prefix sums:
+  // a record touches group [lo, hi) iff it touches some chunk c in the
+  // range whose previous touched chunk is < lo — and that c is unique.
+  std::vector<uint64_t> chunk_tokens(num_chunks, 0);
+  // add[c * (num_chunks + 1) + p]: records touching chunk c whose previous
+  // touched chunk is p - 1 (p == 0 means c is the record's first chunk).
+  std::vector<uint32_t> add((num_chunks) * (num_chunks + 1), 0);
+  std::vector<size_t> touch;  // scratch: this record's touched chunks
+  uint64_t sampled_total = 0;
+  for (const Record& rec : corpus.records) {
+    if (!SampleIncludesRecord(stats.seed, rec.id, stats.rate)) continue;
+    touch.clear();
+    for (TokenId t : rec.tokens) {
+      const size_t c = ChunkOf(boundaries, order.RankOf(t));
+      ++chunk_tokens[c];
+      ++sampled_total;
+      touch.push_back(c);
+    }
+    // Record tokens are sorted by id, not rank — sort the chunk list.
+    std::sort(touch.begin(), touch.end());
+    touch.erase(std::unique(touch.begin(), touch.end()), touch.end());
+    for (size_t i = 0; i < touch.size(); ++i) {
+      const size_t p = i == 0 ? 0 : touch[i - 1] + 1;
+      ++add[touch[i] * (num_chunks + 1) + p];
+    }
+  }
+
+  if (sampled_total == 0) {
+    // Empty sample (or empty corpus): plain Even-TF pivots, no skew signal.
+    plan.pivots = EvenTfBoundaries(order, want_pivots);
+    plan.est_load.assign(plan.pivots.size() + 1, 0);
+    plan.heavy.assign(plan.pivots.size() + 1, 0);
+    return plan;
+  }
+
+  // first_touch[c][lo] = records touching chunk c whose previous touched
+  // chunk is < lo; then segs([lo, hi)) = sum_{c in [lo, hi)} first_touch[c][lo].
+  // A record's previous touched chunk is < lo iff its bucket p = prev + 1
+  // is <= lo, so the prefix sum over p must INCLUDE bucket lo (p = 0 is
+  // "no previous chunk", counted for every lo).
+  std::vector<uint32_t> first_touch(num_chunks * (num_chunks + 1), 0);
+  for (size_t c = 0; c < num_chunks; ++c) {
+    uint32_t acc = 0;
+    for (size_t lo = 0; lo <= num_chunks; ++lo) {
+      acc += add[c * (num_chunks + 1) + lo];
+      first_touch[c * (num_chunks + 1) + lo] = acc;
+    }
+  }
+  std::vector<uint64_t> tok_prefix(num_chunks + 1, 0);
+  for (size_t c = 0; c < num_chunks; ++c) {
+    tok_prefix[c + 1] = tok_prefix[c] + chunk_tokens[c];
+  }
+
+  // Estimated join cost of fragment [lo, hi): candidate pairs plus a linear
+  // scan/shuffle term, Horvitz–Thompson scaled from the sample. Pairs are
+  // the driver — a fragment touched by S records considers ~S^2/2 pairs —
+  // which is why minimizing the TOTAL cost (not just balancing the max)
+  // matters: spreading a universally-shared token head across k fragments
+  // multiplies the quadratic term by k. Wall time is the sum; stragglers
+  // inside one big fragment are the morsel pool's job, not the pivots'.
+  const double inv_rate = 1.0 / stats.rate;
+  std::vector<double> cost(num_chunks * (num_chunks + 1), 0.0);
+  for (size_t lo = 0; lo < num_chunks; ++lo) {
+    uint64_t segs = 0;
+    for (size_t hi = lo + 1; hi <= num_chunks; ++hi) {
+      segs += first_touch[(hi - 1) * (num_chunks + 1) + lo];
+      const double s = static_cast<double>(segs) * inv_rate;
+      const double toks =
+          static_cast<double>(tok_prefix[hi] - tok_prefix[lo]) * inv_rate;
+      cost[lo * (num_chunks + 1) + hi] = 0.5 * s * (s - 1.0) + toks;
+    }
+  }
+
+  // Contiguous partition of the chunks into at most num_fragments groups
+  // minimizing total estimated cost. Allowed to choose FEWER groups: on
+  // skewed corpora the optimum often concentrates the frequent-token tail
+  // into one fragment instead of paying its quadratic cost repeatedly.
+  const double kInf = 1e300;
+  const size_t stride = num_chunks + 1;
+  std::vector<double> dp_prev(num_chunks + 1, kInf);
+  std::vector<double> dp_cur(num_chunks + 1, kInf);
+  // back[g][i]: split point j achieving dp[g][i].
+  std::vector<uint32_t> back(
+      static_cast<size_t>(num_fragments) * (num_chunks + 1), 0);
+  for (size_t i = 1; i <= num_chunks; ++i) dp_prev[i] = cost[0 * stride + i];
+  double best_total = dp_prev[num_chunks];
+  uint32_t best_groups = 1;
+  for (uint32_t g = 2; g <= num_fragments && g <= num_chunks; ++g) {
+    std::fill(dp_cur.begin(), dp_cur.end(), kInf);
+    for (size_t i = g; i <= num_chunks; ++i) {
+      for (size_t j = g - 1; j < i; ++j) {
+        const double candidate = dp_prev[j] + cost[j * stride + i];
+        if (candidate < dp_cur[i]) {
+          dp_cur[i] = candidate;
+          back[(g - 1) * stride + i] = static_cast<uint32_t>(j);
+        }
+      }
+    }
+    if (dp_cur[num_chunks] < best_total) {
+      best_total = dp_cur[num_chunks];
+      best_groups = g;
+    }
+    dp_prev.swap(dp_cur);
+  }
+
+  // Reconstruct the winning cut. back[] rows were filled for every g, so
+  // walking from (best_groups, num_chunks) recovers the boundary chunks.
+  std::vector<size_t> cut_starts(best_groups, 0);
+  {
+    size_t i = num_chunks;
+    for (uint32_t g = best_groups; g >= 2; --g) {
+      const size_t j = back[(g - 1) * stride + i];
+      cut_starts[g - 1] = j;
+      i = j;
+    }
+  }
+  for (uint32_t g = 1; g < best_groups; ++g) {
+    plan.pivots.push_back(boundaries[cut_starts[g] - 1]);
+  }
+  while (plan.pivots.size() > want_pivots) plan.pivots.pop_back();
+
+  // Per-fragment cost estimates and heavy flags under the chosen pivots.
+  const size_t frags = plan.pivots.size() + 1;
+  plan.est_load.assign(frags, 0);
+  for (size_t f = 0; f < frags; ++f) {
+    const size_t lo = f == 0 ? 0 : cut_starts[f];
+    const size_t hi = f + 1 < frags ? cut_starts[f + 1] : num_chunks;
+    plan.est_load[f] = static_cast<uint64_t>(cost[lo * stride + hi]);
+  }
+  double mean = 0;
+  for (uint64_t l : plan.est_load) mean += static_cast<double>(l);
+  mean /= static_cast<double>(frags);
+  plan.heavy.assign(frags, 0);
+  for (size_t f = 0; f < frags; ++f) {
+    plan.heavy[f] =
+        mean > 0 && static_cast<double>(plan.est_load[f]) > skew_factor * mean
+            ? 1
+            : 0;
+  }
+  return plan;
+}
+
+}  // namespace fsjoin::tune

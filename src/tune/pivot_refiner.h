@@ -1,0 +1,55 @@
+#ifndef FSJOIN_TUNE_PIVOT_REFINER_H_
+#define FSJOIN_TUNE_PIVOT_REFINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/global_order.h"
+#include "text/corpus.h"
+#include "tune/stats.h"
+
+namespace fsjoin::tune {
+
+/// Refined vertical pivots plus the per-fragment cost estimates they were
+/// optimized against.
+struct PivotPlan {
+  /// Strictly increasing pivot ranks (at most num_fragments - 1; fewer when
+  /// merging fragments lowers total cost or the rank domain is too small) —
+  /// same contract as core SelectPivots.
+  std::vector<TokenRank> pivots;
+  /// Estimated join cost of each fragment (sample-scaled candidate pairs
+  /// plus a linear scan term). One entry per fragment; empty when the
+  /// sample was empty.
+  std::vector<uint64_t> est_load;
+  /// est_load[v] > skew_factor x mean — the fragments skew-triggered
+  /// horizontal splitting should split.
+  std::vector<uint8_t> heavy;
+};
+
+/// Refines vertical pivots from the sample (DESIGN.md §5i).
+///
+/// Even-TF balances *token frequency* per fragment, but the wall time of
+/// the filtering phase tracks the TOTAL join cost — roughly sum over
+/// fragments of (#segments)^2/2 candidate pairs plus a linear scan term —
+/// and segment counts are not additive across a pivot move: a record
+/// contributes one segment to every fragment it touches, so spreading a
+/// universally-shared frequent-token head across k fragments multiplies
+/// its quadratic cost by k. The refiner therefore cuts the rank domain
+/// into fine-grained Even-TF chunks, measures per-chunk sampled token
+/// counts and per-record chunk-touch sets (giving exact distinct segment
+/// counts for every contiguous chunk range), and picks the contiguous
+/// partition into AT MOST num_fragments groups that minimizes total
+/// estimated cost by dynamic programming. Balance across fragments is the
+/// morsel pool's job (work-stealing inside big fragments), not the
+/// pivots'; the per-fragment estimates still feed the heavy flags so
+/// skew-triggered horizontal splitting knows where the mass ended up.
+///
+/// Falls back to plain Even-TF boundaries when the sample is empty (tiny
+/// corpora at low rates). Deterministic for fixed inputs.
+PivotPlan RefinePivots(const Corpus& corpus, const GlobalOrder& order,
+                       const SampleStats& stats, uint32_t num_fragments,
+                       double skew_factor, uint32_t chunks_per_fragment = 8);
+
+}  // namespace fsjoin::tune
+
+#endif  // FSJOIN_TUNE_PIVOT_REFINER_H_

@@ -1,0 +1,35 @@
+#include "tune/stats.h"
+
+#include "util/hash.h"
+
+namespace fsjoin::tune {
+
+bool SampleIncludesRecord(uint64_t seed, RecordId rid, double rate) {
+  if (rate >= 1.0) return true;
+  if (rate <= 0.0) return false;
+  // Fixed per-record uniform in [0, 1): 53 mantissa bits of a mixed hash.
+  const uint64_t h = Mix64(seed ^ Mix64(static_cast<uint64_t>(rid) + 1));
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < rate;
+}
+
+SampleStats SampleCorpusStats(const Corpus& corpus, double rate,
+                              uint64_t seed) {
+  SampleStats stats;
+  if (rate <= 0.0) rate = kDefaultSampleRate;
+  if (rate > 1.0) rate = 1.0;
+  stats.rate = rate;
+  stats.seed = seed;
+  stats.total_records = corpus.records.size();
+  stats.sampled_frequency.assign(corpus.dictionary.size(), 0);
+  for (const Record& rec : corpus.records) {
+    if (!SampleIncludesRecord(seed, rec.id, rate)) continue;
+    ++stats.sampled_records;
+    stats.sampled_tokens += rec.tokens.size();
+    stats.sampled_lengths.push_back(static_cast<uint32_t>(rec.tokens.size()));
+    for (TokenId t : rec.tokens) ++stats.sampled_frequency[t];
+  }
+  return stats;
+}
+
+}  // namespace fsjoin::tune

@@ -1,0 +1,92 @@
+#include "tune/tuner.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace fsjoin::tune {
+
+namespace {
+
+/// Number of disjoint similarity-length windows the sampled lengths span:
+/// chains of lengths where consecutive windows cannot hold a θ-similar
+/// pair. 1 means every pair already passes the length filter structurally,
+/// so horizontal partitioning could only add duplication.
+uint32_t CountLengthWindows(std::vector<uint32_t> lengths,
+                            SimilarityFunction fn, double theta) {
+  if (lengths.empty()) return 0;
+  std::sort(lengths.begin(), lengths.end());
+  uint32_t windows = 1;
+  uint32_t head = lengths.front();
+  for (uint32_t len : lengths) {
+    if (PartnerSizeLowerBound(fn, theta, len) > head) {
+      ++windows;
+      head = len;
+    }
+  }
+  return windows;
+}
+
+}  // namespace
+
+TunePlan PlanTuning(const Corpus& corpus, const GlobalOrder& order,
+                    const TuneOptions& options) {
+  TunePlan plan;
+  const SampleStats stats =
+      SampleCorpusStats(corpus, options.sample_rate, options.seed);
+  plan.sampled_records = stats.sampled_records;
+  plan.total_records = stats.total_records;
+  plan.log_lines.push_back(StrFormat(
+      "sample: rate=%.2f -> %llu/%llu records, %llu tokens", stats.rate,
+      static_cast<unsigned long long>(stats.sampled_records),
+      static_cast<unsigned long long>(stats.total_records),
+      static_cast<unsigned long long>(stats.sampled_tokens)));
+
+  PivotPlan pivot_plan = RefinePivots(corpus, order, stats,
+                                      options.num_fragments,
+                                      options.skew_factor);
+  plan.pivots = std::move(pivot_plan.pivots);
+  plan.est_fragment_load = std::move(pivot_plan.est_load);
+  uint64_t max_load = 0, total_load = 0;
+  uint32_t num_heavy = 0;
+  for (size_t f = 0; f < plan.est_fragment_load.size(); ++f) {
+    max_load = std::max(max_load, plan.est_fragment_load[f]);
+    total_load += plan.est_fragment_load[f];
+    num_heavy += pivot_plan.heavy[f];
+  }
+  const double mean_load =
+      plan.est_fragment_load.empty()
+          ? 0.0
+          : static_cast<double>(total_load) /
+                static_cast<double>(plan.est_fragment_load.size());
+  plan.log_lines.push_back(StrFormat(
+      "pivots: chose %zu fragments (configured %u; est cost max/mean=%.2f)",
+      plan.est_fragment_load.size(), options.num_fragments,
+      mean_load > 0 ? static_cast<double>(max_load) / mean_load : 0.0));
+
+  // Horizontal t: worth paying only when (a) some fragment is heavy enough
+  // that cutting its quadratic loop matters, and (b) the sampled length
+  // distribution spans more than one similarity window, so length groups
+  // actually prune pairs instead of just duplicating segments.
+  const uint32_t windows =
+      CountLengthWindows(stats.sampled_lengths, options.function,
+                         options.theta);
+  if (num_heavy > 0 && windows >= 2) {
+    plan.horizontal_t =
+        std::min(options.max_horizontal, windows - 1);
+    plan.split_fragment = std::move(pivot_plan.heavy);
+    plan.log_lines.push_back(StrFormat(
+        "horizontal: t=%u, splitting %u/%zu heavy fragments (%u length "
+        "windows sampled)",
+        plan.horizontal_t, num_heavy, plan.est_fragment_load.size(),
+        windows));
+  } else {
+    plan.horizontal_t = 0;
+    plan.log_lines.push_back(StrFormat(
+        "horizontal: off (%u heavy fragments, %u length windows sampled)",
+        num_heavy, windows));
+  }
+  return plan;
+}
+
+}  // namespace fsjoin::tune

@@ -1,0 +1,66 @@
+#ifndef FSJOIN_TUNE_TUNER_H_
+#define FSJOIN_TUNE_TUNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/global_order.h"
+#include "sim/similarity.h"
+#include "text/corpus.h"
+#include "tune/decision.h"
+#include "tune/pivot_refiner.h"
+#include "tune/stats.h"
+
+namespace fsjoin::tune {
+
+/// Inputs of one tuning pass (the --auto mode's driver-side half).
+struct TuneOptions {
+  /// Record-sampling rate in (0, 1]; <= 0 means kDefaultSampleRate.
+  double sample_rate = 0.0;
+  uint64_t seed = 7;
+  /// Fragment count the pivots are refined for (the run's configured
+  /// vertical partition count; the tuner places boundaries, it does not
+  /// change the count).
+  uint32_t num_fragments = 8;
+  SimilarityFunction function = SimilarityFunction::kJaccard;
+  double theta = 0.8;
+  /// A fragment is heavy past skew_factor x mean estimated load. The
+  /// total-cost pivot DP deliberately concentrates an unsplittable
+  /// frequent-token head into one fragment rather than duplicating its
+  /// quadratic cost, so a 2x-mean fragment is the expected signature of
+  /// skew the vertical cut could not remove — exactly what horizontal
+  /// splitting is for.
+  double skew_factor = 2.0;
+  /// Cap on the auto-chosen horizontal t.
+  uint32_t max_horizontal = 4;
+};
+
+/// Everything the driver needs to configure the run: refined pivots, the
+/// horizontal-t / skew-split decision, and human-readable resolved-choice
+/// lines for the job report.
+struct TunePlan {
+  std::vector<TokenRank> pivots;
+  /// Auto-chosen horizontal pivot count (0 = horizontal partitioning off).
+  uint32_t horizontal_t = 0;
+  /// Per-fragment skew flags (size = #fragments) when horizontal_t > 0:
+  /// only flagged fragments pay the horizontal duplication; the rest
+  /// collapse to one length group. Empty when horizontal_t == 0.
+  std::vector<uint8_t> split_fragment;
+  std::vector<uint64_t> est_fragment_load;
+  uint64_t sampled_records = 0;
+  uint64_t total_records = 0;
+  /// Resolved-choice lines ("pivots: ...", "horizontal: ...") for the
+  /// report, PR 6 kernel-logging style.
+  std::vector<std::string> log_lines;
+};
+
+/// Runs the sample pass and both driver-side decisions. Deterministic for
+/// fixed (corpus, order, options); O(sample tokens) beyond the Even-TF
+/// boundary walk.
+TunePlan PlanTuning(const Corpus& corpus, const GlobalOrder& order,
+                    const TuneOptions& options);
+
+}  // namespace fsjoin::tune
+
+#endif  // FSJOIN_TUNE_TUNER_H_
