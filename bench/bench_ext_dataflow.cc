@@ -17,6 +17,7 @@
 #include "exec/exec_config.h"
 #include "mr/runner.h"
 #include "mr/worker.h"
+#include "net/worker.h"
 #include "sim/join_result.h"
 #include "util/simd.h"
 #include "util/string_util.h"
@@ -187,14 +188,85 @@ void Run(const BenchOptions& options) {
     runtime_options.json_path = "BENCH_runtime.json";
   }
   WriteBenchJson(runtime_options, "runtime", runtime_records);
+
+  // Cluster scaling: the same plans on the socket-RPC cluster runner with
+  // 1, 2 and 4 spawned loopback workers (DESIGN.md §5j). The quantity
+  // under test is the networked runtime's overhead and scaling — RPC
+  // framing, input streaming, and the worker-to-worker network shuffle —
+  // against the inline runner's zero-cost baseline. Records into its own
+  // JSON (BENCH_cluster.json).
+  PrintBanner("Extension — cluster runtime scaling: inline vs 1/2/4 "
+              "loopback socket workers",
+              "same plans, same digests; the delta is RPC dispatch, "
+              "stream framing, and network-shuffle cost");
+  std::vector<BenchRecord> cluster_records;
+  for (Workload& w : AllWorkloads(0.25)) {
+    std::printf("\n[%s] %zu records, theta = %.2f\n", w.name.c_str(),
+                w.corpus.NumRecords(), theta);
+    TablePrinter table(
+        {"runner", "workers", "wall (ms)", "shuffle", "results", "digest"});
+    std::optional<uint32_t> reference_digest;
+    for (int workers : {0, 1, 2, 4}) {
+      FsJoinConfig config = DefaultFsConfig(theta);
+      config.exec.backend = exec::BackendKind::kMapReduce;
+      if (workers == 0) {
+        config.exec.runner = mr::RunnerKind::kInline;
+      } else {
+        config.exec.runner = mr::RunnerKind::kCluster;
+        config.exec.spawn_local_workers = workers;
+      }
+      std::optional<Result<FsJoinOutput>> result;
+      double wall_micros = MinWallMicros(options, [&] {
+        result.emplace(FsJoin(config).Run(w.corpus));
+      });
+      Result<FsJoinOutput>& out = *result;
+      if (!out.ok()) {
+        std::printf("FAIL: %s\n", out.status().ToString().c_str());
+        continue;
+      }
+      uint64_t shuffle = 0;
+      for (const mr::JobMetrics& j : out->report.AllJobs()) {
+        shuffle += j.shuffle_bytes;
+      }
+      const uint32_t digest = check::ResultDigest(out->pairs);
+      if (!reference_digest) reference_digest = digest;
+      const bool same = digest == *reference_digest;
+      table.AddRow({workers == 0 ? "inline" : "cluster",
+                    workers == 0 ? "-" : StrFormat("%d", workers),
+                    StrFormat("%.0f", wall_micros / 1000.0),
+                    HumanBytes(shuffle), WithThousandsSep(out->pairs.size()),
+                    same ? StrFormat("%08x", digest)
+                         : StrFormat("%08x MISMATCH!", digest)});
+
+      BenchRecord record;
+      record.name =
+          workers == 0
+              ? StrFormat("%s/inline", w.name.c_str())
+              : StrFormat("%s/cluster%d", w.name.c_str(), workers);
+      record.wall_micros = wall_micros;
+      record.shuffle_bytes = shuffle;
+      cluster_records.push_back(std::move(record));
+    }
+    table.Print(std::cout);
+  }
+  BenchOptions cluster_options = options;
+  if (!options.json_path.empty()) {
+    cluster_options.json_path = "BENCH_cluster.json";
+  }
+  WriteBenchJson(cluster_options, "cluster", cluster_records);
 }
 
 }  // namespace
 }  // namespace fsjoin::bench
 
 int main(int argc, char** argv) {
-  // Subprocess-runner children re-exec this binary in --worker-task mode.
+  // Subprocess-runner children re-exec this binary in --worker-task mode,
+  // and the cluster runner spawns it in --worker-serve mode.
   if (const int code = fsjoin::mr::WorkerTaskMainIfRequested(argc, argv);
+      code >= 0) {
+    return code;
+  }
+  if (const int code = fsjoin::net::WorkerServeMainIfRequested(argc, argv);
       code >= 0) {
     return code;
   }

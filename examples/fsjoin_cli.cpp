@@ -31,16 +31,25 @@
 //                       bytes; accepts k/m/g suffixes         [0 = in memory]
 //   --spill-dir PATH    where spill runs are written (removed when the job
 //                       finishes)                             [system temp]
-//   --runner NAME       inline | threads | subprocess task execution
-//                       (subprocess forks/re-execs one child per task
-//                       attempt and retries failures)         [threads]
+//   --runner NAME       inline | threads | subprocess | cluster task
+//                       execution (subprocess forks/re-execs one child per
+//                       task attempt and retries failures; cluster runs
+//                       tasks on socket-RPC workers)          [threads]
 //   --task-retries N    re-executions per failed task on the subprocess
-//                       runner                                [2]
+//                       or cluster runner                     [2]
+//   --workers LIST      cluster: comma-separated host:port list of
+//                       pre-started fsjoin_worker processes to dial
+//   --spawn-local-workers N
+//                       cluster: fork/exec N loopback workers from this
+//                       binary instead of dialing --workers
+//   --heartbeat-ms N    cluster liveness probe interval       [2000]
 //   --output PATH       write "idA idB similarity" lines      [stdout]
 //   --report            print the execution report to stderr
 //
 // Internal: --worker-task SPEC re-executes one serialized task and exits
 // (the subprocess runner launches the binary this way; see mr/worker.h).
+// Internal: --worker-serve HOST:PORT turns the process into a cluster
+// worker dialing that coordinator (spawn-local mode; see net/worker.h).
 
 #include <cstdio>
 #include <cstdlib>
@@ -51,6 +60,7 @@
 
 #include "core/fsjoin.h"
 #include "mr/worker.h"
+#include "net/worker.h"
 #include "text/corpus_io.h"
 #include "text/tokenizer.h"
 
@@ -67,6 +77,9 @@ struct CliOptions {
   std::string kernel = "auto";
   std::string runner = "threads";
   std::string spill_dir;
+  std::string workers;
+  int spawn_local_workers = 0;
+  int heartbeat_ms = 2000;
   int task_retries = 2;
   double theta = 0.8;
   uint32_t fragments = 30;
@@ -97,7 +110,10 @@ int Usage(const char* argv0) {
                "[--threads N] "
                "[--parallel-join] [--morsel N] "
                "[--shuffle-mem SIZE] [--spill-dir DIR] "
-               "[--runner inline|threads|subprocess] [--task-retries N] "
+               "[--runner inline|threads|subprocess|cluster] "
+               "[--task-retries N] "
+               "[--workers host:port,...] [--spawn-local-workers N] "
+               "[--heartbeat-ms N] "
                "[--output FILE] [--report]\n",
                argv0);
   return 2;
@@ -149,6 +165,13 @@ int main(int argc, char** argv) {
   // that one task and exit. Must run before any CLI work so a re-execed
   // child never re-runs the whole join.
   if (const int code = fsjoin::mr::WorkerTaskMainIfRequested(argc, argv);
+      code >= 0) {
+    return code;
+  }
+  // Cluster worker mode: `fsjoin_cli --worker-serve host:port` (how
+  // --spawn-local-workers re-execs this binary) serves tasks until the
+  // coordinator shuts the session down.
+  if (const int code = fsjoin::net::WorkerServeMainIfRequested(argc, argv);
       code >= 0) {
     return code;
   }
@@ -239,6 +262,18 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Usage(argv[0]);
       opts.task_retries = std::atoi(v);
+    } else if (arg == "--workers") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      opts.workers = v;
+    } else if (arg == "--spawn-local-workers") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      opts.spawn_local_workers = std::atoi(v);
+    } else if (arg == "--heartbeat-ms") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      opts.heartbeat_ms = std::atoi(v);
     } else if (arg == "--aggressive") {
       opts.aggressive = true;
     } else if (arg == "--report") {
@@ -280,6 +315,9 @@ int main(int argc, char** argv) {
   config.exec.shuffle_memory_bytes = opts.shuffle_mem;
   config.exec.spill_dir = opts.spill_dir;
   config.exec.task_retries = opts.task_retries;
+  config.exec.workers = opts.workers;
+  config.exec.spawn_local_workers = opts.spawn_local_workers;
+  config.exec.heartbeat_ms = opts.heartbeat_ms;
   {
     auto runner = fsjoin::mr::RunnerKindFromName(opts.runner);
     if (!runner.ok()) {

@@ -4,7 +4,8 @@
 #   scripts/check.sh                 # default preset, full test suite
 #   scripts/check.sh --fast          # unit tests only (skips the slow
 #                                    # end-to-end sweeps, the fuzz-smoke
-#                                    # tier and the bench smoke)
+#                                    # and cluster tiers and the bench
+#                                    # smoke)
 #   scripts/check.sh --sanitizers    # default + asan + ubsan
 #   PRESETS="ubsan" scripts/check.sh # explicit preset list
 #   FUZZ_SEEDS=1:200 scripts/check.sh
@@ -33,18 +34,26 @@ for preset in $presets; do
   cmake --preset "$preset"
   cmake --build --preset "$preset" -j "$(nproc)"
   if [[ "$fast" == 1 ]]; then
-    # fast tier: everything not labeled slow or fuzz-smoke. The multiproc
-    # tier stays in — it is quick and covers the fork/exec task runners.
-    ctest --preset "$preset" -LE "slow|fuzz-smoke"
+    # fast tier: everything not labeled slow, fuzz-smoke or cluster. The
+    # multiproc tier stays in — it is quick and covers the fork/exec task
+    # runners.
+    ctest --preset "$preset" -LE "slow|fuzz-smoke|cluster"
     continue
   fi
-  ctest --preset "$preset" -LE "multiproc"
+  ctest --preset "$preset" -LE "multiproc|cluster"
   # Cross-process runner tier (label multiproc): subprocess task execution,
   # fault-injected retries, and run-file interchange across fork/exec.
   # Runs under every preset — the asan/ubsan builds shake out lifetime bugs
   # around fork boundaries that an unsanitized run would miss.
   echo "---- multiproc tier ($preset) ----"
   ctest --preset "$preset" -L "multiproc"
+  # Cluster runtime tier (label cluster): socket-RPC workers spawned from
+  # the test binary, digest identity against the inline runner, network
+  # shuffle, and kill-a-worker fault injection. Serialized like multiproc
+  # (workers fork from the test binary) and run under every preset — the
+  # sanitizers cover the socket/thread lifetime seams.
+  echo "---- cluster tier ($preset) ----"
+  ctest --preset "$preset" -L "cluster"
   bindir="build"
   [[ "$preset" != "default" ]] && bindir="build-$preset"
   # Smoke the external-shuffle bench at a tiny scale: its built-in checks

@@ -4,7 +4,9 @@
 #include <utility>
 #include <vector>
 
+#include "net/cluster_runner.h"
 #include "store/memory_budget.h"
+#include "util/endpoint.h"
 
 namespace fsjoin::exec {
 
@@ -143,25 +145,60 @@ const std::vector<flow::Pipeline::Metrics>& ExecutionBackend::flow_history()
 
 namespace {
 
-mr::EngineOptions EngineOptionsFrom(const ExecConfig& config) {
+mr::EngineOptions EngineOptionsFrom(const ExecConfig& config,
+                                    mr::TaskRunner* external) {
   mr::EngineOptions options;
   options.num_threads = config.num_threads;
   options.shuffle_memory_bytes = config.shuffle_memory_bytes;
   options.spill_dir = config.spill_dir;
   options.runner = config.runner;
   options.task_retries = config.task_retries;
+  options.external_runner = external;
   return options;
+}
+
+/// Builds the cluster runner for RunnerKind::kCluster, or null for every
+/// other runner kind. Bring-up failures (bad worker list, connect/handshake
+/// errors) land in *error; backend constructors can't return Status, so the
+/// first Execute surfaces them.
+std::unique_ptr<mr::TaskRunner> MaybeMakeClusterRunner(
+    const ExecConfig& config, Status* error) {
+  if (config.runner != mr::RunnerKind::kCluster) return nullptr;
+  if (Status st = config.Validate(); !st.ok()) {
+    *error = std::move(st);
+    return nullptr;
+  }
+  net::ClusterOptions options;
+  if (!config.workers.empty()) {
+    auto list = ParseEndpointList(config.workers);
+    if (!list.ok()) {
+      *error = list.status();
+      return nullptr;
+    }
+    options.workers = std::move(list).value();
+  }
+  options.spawn_local_workers = config.spawn_local_workers;
+  options.heartbeat_ms = config.heartbeat_ms;
+  options.num_threads = config.num_threads;
+  auto runner = net::ClusterTaskRunner::Create(options);
+  if (!runner.ok()) {
+    *error = runner.status();
+    return nullptr;
+  }
+  return std::move(runner).value();
 }
 
 }  // namespace
 
 MapReduceBackend::MapReduceBackend(const ExecConfig& config)
     : config_(config),
-      engine_(EngineOptionsFrom(config)),
+      cluster_runner_(MaybeMakeClusterRunner(config, &init_error_)),
+      engine_(EngineOptionsFrom(config, cluster_runner_.get())),
       pipeline_(&engine_, &dfs_) {}
 
 Result<mr::Dataset> MapReduceBackend::Execute(const Plan& plan,
                                               const mr::Dataset& input) {
+  FSJOIN_RETURN_NOT_OK(init_error_);
   FSJOIN_RETURN_NOT_OK(config_.Validate());
   FSJOIN_RETURN_NOT_OK(plan.Validate());
   std::vector<std::string> created;
@@ -257,8 +294,15 @@ Result<mr::Dataset> MapReduceBackend::Execute(const Plan& plan,
   return result;
 }
 
+FusedFlowBackend::FusedFlowBackend(const ExecConfig& config)
+    : config_(config),
+      runner_(config.runner == mr::RunnerKind::kCluster
+                  ? MaybeMakeClusterRunner(config, &init_error_)
+                  : mr::MakeTaskRunner(config.runner, config.num_threads)) {}
+
 Result<mr::Dataset> FusedFlowBackend::Execute(const Plan& plan,
                                               const mr::Dataset& input) {
+  FSJOIN_RETURN_NOT_OK(init_error_);
   FSJOIN_RETURN_NOT_OK(config_.Validate());
   FSJOIN_RETURN_NOT_OK(plan.Validate());
   mr::Dataset current = input;

@@ -64,6 +64,12 @@ class MapReduceBackend : public ExecutionBackend {
 
  private:
   ExecConfig config_;
+  /// Topology bring-up failure (cluster runner only), surfaced by the
+  /// first Execute — constructors can't return Status.
+  Status init_error_;
+  /// RunnerKind::kCluster only; owned here (declared before engine_ so it
+  /// outlives the engine that borrows it via EngineOptions::external_runner).
+  std::unique_ptr<mr::TaskRunner> cluster_runner_;
   mr::Engine engine_;
   mr::MiniDfs dfs_;
   mr::Pipeline pipeline_;
@@ -76,9 +82,7 @@ class MapReduceBackend : public ExecutionBackend {
 /// scheduling or DFS materialization.
 class FusedFlowBackend : public ExecutionBackend {
  public:
-  explicit FusedFlowBackend(const ExecConfig& config)
-      : config_(config),
-        runner_(mr::MakeTaskRunner(config.runner, config.num_threads)) {}
+  explicit FusedFlowBackend(const ExecConfig& config);
 
   BackendKind kind() const override { return BackendKind::kFusedFlow; }
   Result<mr::Dataset> Execute(const Plan& plan,
@@ -92,9 +96,13 @@ class FusedFlowBackend : public ExecutionBackend {
 
  private:
   ExecConfig config_;
+  /// Topology bring-up failure (cluster runner only), surfaced by the
+  /// first Execute.
+  Status init_error_;
   /// One runner for the whole session: segment pipelines borrow it via
   /// Pipeline::SetRunner, so runner choice and retry budget apply to every
-  /// wide stage this backend executes.
+  /// wide stage this backend executes. For RunnerKind::kCluster this is a
+  /// net::ClusterTaskRunner (whose closure-only fallback covers flow tasks).
   std::unique_ptr<mr::TaskRunner> runner_;
   std::vector<mr::JobMetrics> history_;
   std::vector<flow::Pipeline::Metrics> flow_history_;

@@ -5,6 +5,7 @@
 #include <system_error>
 
 #include "mr/engine.h"
+#include "util/endpoint.h"
 #include "util/simd.h"
 
 namespace fsjoin::exec {
@@ -84,6 +85,36 @@ Status ExecConfig::Validate() const {
     return Status::InvalidArgument(
         "tune_sample_rate must be in (0, 1] (or 0 for the default), got " +
         std::to_string(tune_sample_rate));
+  }
+  if (runner == mr::RunnerKind::kCluster) {
+    const bool have_dial = !workers.empty();
+    const bool have_spawn = spawn_local_workers > 0;
+    if (have_dial == have_spawn) {
+      return Status::InvalidArgument(
+          have_dial
+              ? "--workers and --spawn-local-workers are mutually exclusive"
+              : "--runner cluster needs a worker topology: pass --workers "
+                "host:port,... or --spawn-local-workers N");
+    }
+    if (have_dial) {
+      auto list = ParseEndpointList(workers);
+      if (!list.ok()) return list.status();
+    }
+    if (spawn_local_workers < 0) {
+      return Status::InvalidArgument(
+          "spawn_local_workers must be >= 0, got " +
+          std::to_string(spawn_local_workers));
+    }
+    if (heartbeat_ms < 50) {
+      return Status::InvalidArgument(
+          "heartbeat_ms must be >= 50 (got " + std::to_string(heartbeat_ms) +
+          "); sub-50ms probes misdiagnose a busy loopback worker as dead");
+    }
+  } else if (!workers.empty() || spawn_local_workers != 0) {
+    return Status::InvalidArgument(
+        std::string(!workers.empty() ? "--workers" : "--spawn-local-workers") +
+        " requires --runner cluster (current runner: " +
+        mr::RunnerKindName(runner) + ")");
   }
   if (!spill_dir.empty()) {
     // Fail configuration, not the first job that tries to spill.

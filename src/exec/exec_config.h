@@ -116,14 +116,29 @@ struct ExecConfig {
 
   /// How task attempts execute (mr/runner.h): inline, on a thread pool
   /// (the default — num_threads == 0 still runs inline and deterministic),
-  /// or each in its own forked/re-execed child process.
+  /// each in its own forked/re-execed child process, or on socket-RPC
+  /// cluster workers (DESIGN.md §5j).
   mr::RunnerKind runner = mr::RunnerKind::kThreads;
   /// Re-executions allowed per failed task on the subprocess runner.
   int task_retries = 2;
 
+  /// Cluster runner only: comma-separated "host:port" list of pre-started
+  /// fsjoin_worker processes to dial. Exactly one of workers /
+  /// spawn_local_workers must be set when runner is kCluster; both are
+  /// rejected for any other runner (the knob would be a silent no-op).
+  std::string workers;
+  /// Cluster runner only: fork/exec this many loopback workers from the
+  /// current binary instead of dialing `workers`.
+  int spawn_local_workers = 0;
+  /// Cluster liveness probe interval in milliseconds; a worker missing
+  /// net::kMaxMissedHeartbeats consecutive probes is declared dead.
+  int heartbeat_ms = 2000;
+
   /// Checks every knob up front — task counts, morsel size, retry budget,
-  /// shuffle memory floor, spill_dir creatability — returning a
-  /// descriptive InvalidArgument instead of silently misbehaving later.
+  /// shuffle memory floor, spill_dir creatability, cluster topology
+  /// (worker list well-formedness, exactly-one of --workers /
+  /// --spawn-local-workers) — returning a descriptive InvalidArgument
+  /// instead of silently misbehaving later.
   Status Validate() const;
 };
 

@@ -79,21 +79,39 @@ Status EngineOptions::Validate() const {
         std::to_string(kMinShuffleMemoryBytes) +
         "); use 0 for an unbounded in-memory shuffle");
   }
+  if (runner == RunnerKind::kCluster && external_runner == nullptr) {
+    return Status::InvalidArgument(
+        "runner 'cluster' needs an externally-built runner: construct one "
+        "with net::ClusterTaskRunner::Create (from --workers host:port,... "
+        "or --spawn-local-workers N) and pass it via "
+        "EngineOptions::external_runner");
+  }
   return Status::OK();
 }
 
 Engine::Engine(size_t num_threads) {
   options_.num_threads = num_threads;
-  runner_ = MakeTaskRunner(options_.runner, num_threads);
+  owned_runner_ = MakeTaskRunner(options_.runner, num_threads);
+  runner_ = owned_runner_.get();
 }
 
-Engine::Engine(const EngineOptions& options)
-    : options_(options),
-      runner_(MakeTaskRunner(options.runner, options.num_threads)) {}
+Engine::Engine(const EngineOptions& options) : options_(options) {
+  if (options.external_runner != nullptr) {
+    runner_ = options.external_runner;
+  } else {
+    owned_runner_ = MakeTaskRunner(options.runner, options.num_threads);
+    runner_ = owned_runner_.get();
+  }
+}
 
 Status Engine::Run(const JobConfig& config, const Dataset& input,
                    Dataset* output, JobMetrics* metrics) {
   FSJOIN_RETURN_NOT_OK(options_.Validate());
+  if (runner_ == nullptr) {
+    return Status::InvalidArgument(
+        "runner 'cluster' needs an externally-built net::ClusterTaskRunner "
+        "(EngineOptions::external_runner); MakeTaskRunner cannot create it");
+  }
   if (!config.mapper_factory) {
     return Status::InvalidArgument("job '" + config.name + "': no mapper");
   }
@@ -141,7 +159,7 @@ Status Engine::Run(const JobConfig& config, const Dataset& input,
                        &store::ProcessMemoryBudget());
   }
 
-  TaskScheduler scheduler(runner_.get(), options_.task_retries);
+  TaskScheduler scheduler(runner_, options_.task_retries);
 
   // ---- Map stage -------------------------------------------------------
   // Each task gets a contiguous split of the input (Hadoop block split).
@@ -150,6 +168,21 @@ Status Engine::Run(const JobConfig& config, const Dataset& input,
   // as a --worker-task process that shares nothing with this one.
   const bool exec_capable = isolated && !config.task_factory.empty() &&
                             HasTaskFactory(config.task_factory);
+  // Distributed runners stream the shuffle worker-to-worker instead of
+  // moving arenas through this process: map tasks retain their sorted
+  // partitions on the executing worker, reduce tasks pull them directly
+  // (DESIGN.md §5j). Factory-named jobs only — closures cannot cross the
+  // wire, and those jobs take the materialized-run path below instead.
+  const bool net_shuffle = exec_capable && runner_->distributed();
+  // Retained partitions must be dropped on every exit path, success or not.
+  struct JobFinisher {
+    TaskRunner* runner;
+    const std::string& job;
+    bool active;
+    ~JobFinisher() {
+      if (active) runner->FinishJob(job);
+    }
+  } job_finisher{runner_, config.name, net_shuffle};
   const size_t per_task = (input.size() + num_maps - 1) / num_maps;
   std::vector<TaskSpec> map_specs(num_maps);
   for (uint32_t m = 0; m < num_maps; ++m) {
@@ -176,6 +209,7 @@ Status Engine::Run(const JobConfig& config, const Dataset& input,
       spec.input_runs = {path};
       spec.factory = config.task_factory;
       spec.payload = config.task_payload;
+      spec.retain_shuffle = net_shuffle;
     });
     for (const Status& st : write_status) FSJOIN_RETURN_NOT_OK(st);
   }
@@ -189,12 +223,25 @@ Status Engine::Run(const JobConfig& config, const Dataset& input,
                           out);
   };
   auto map_done = [&](const TaskSpec& spec, TaskOutput out) -> Status {
-    if (out.partitions.size() != num_reds) {
+    if (net_shuffle) {
+      // The data stayed on the worker; only the per-partition stats came
+      // back, and they are the job's shuffle accounting.
+      if (out.partition_stats.size() != num_reds) {
+        return Status::Internal("job '" + config.name + "': map task " +
+                                std::to_string(spec.task_index) +
+                                " returned wrong partition-stat count");
+      }
+      for (const PartitionStat& stat : out.partition_stats) {
+        jm.shuffle_records += stat.records;
+        jm.shuffle_bytes += stat.bytes;
+      }
+    } else if (out.partitions.size() != num_reds) {
       return Status::Internal("job '" + config.name + "': map task " +
                               std::to_string(spec.task_index) +
                               " returned wrong partition count");
+    } else {
+      task_buffers[spec.task_index] = std::move(out.partitions);
     }
-    task_buffers[spec.task_index] = std::move(out.partitions);
     jm.map_output_records += out.metrics.output_records;
     jm.map_output_bytes += out.metrics.output_bytes;
     jm.map_wall_micros += out.metrics.wall_micros;
@@ -215,25 +262,27 @@ Status Engine::Run(const JobConfig& config, const Dataset& input,
   // the per-job budget (chained to the process-wide one) and spills
   // key-sorted run files into the scratch directory when a charge trips.
   std::vector<ShuffleShard> shards(num_reds);
-  std::vector<Status> shuffle_status(num_reds);
-  runner_->ParallelRun(num_reds, [&](size_t r) {
-    if (job_budget.has_value()) {
-      shards[r].EnableSpill(&*job_budget, scratch->path(),
-                            "r" + std::to_string(r));
+  if (!net_shuffle) {
+    std::vector<Status> shuffle_status(num_reds);
+    runner_->ParallelRun(num_reds, [&](size_t r) {
+      if (job_budget.has_value()) {
+        shards[r].EnableSpill(&*job_budget, scratch->path(),
+                              "r" + std::to_string(r));
+      }
+      Status st;
+      for (uint32_t m = 0; st.ok() && m < num_maps; ++m) {
+        st = shards[r].AddBuffer(std::move(task_buffers[m][r]));
+      }
+      if (st.ok()) st = shards[r].Seal();
+      if (!st.ok()) shuffle_status[r] = std::move(st);
+    });
+    for (const Status& st : shuffle_status) {
+      FSJOIN_RETURN_NOT_OK(st);
     }
-    Status st;
-    for (uint32_t m = 0; st.ok() && m < num_maps; ++m) {
-      st = shards[r].AddBuffer(std::move(task_buffers[m][r]));
+    for (const ShuffleShard& shard : shards) {
+      jm.shuffle_records += shard.NumRecords();
+      jm.shuffle_bytes += shard.PayloadBytes();
     }
-    if (st.ok()) st = shards[r].Seal();
-    if (!st.ok()) shuffle_status[r] = std::move(st);
-  });
-  for (const Status& st : shuffle_status) {
-    FSJOIN_RETURN_NOT_OK(st);
-  }
-  for (const ShuffleShard& shard : shards) {
-    jm.shuffle_records += shard.NumRecords();
-    jm.shuffle_bytes += shard.PayloadBytes();
   }
 
   // ---- Reduce stage ----------------------------------------------------
@@ -250,7 +299,27 @@ Status Engine::Run(const JobConfig& config, const Dataset& input,
   }
 
   TaskBody red_body;
-  if (isolated) {
+  if (net_shuffle) {
+    // Each reduce pulls every map's retained partition over the shuffle
+    // sockets, in map-task order — the loser tree's source-index tie-break
+    // then reproduces the in-memory stable sort's order exactly. The
+    // cluster runner resolves the empty endpoints from its location table
+    // at dispatch time.
+    for (uint32_t r = 0; r < num_reds; ++r) {
+      TaskSpec& spec = red_specs[r];
+      spec.factory = config.task_factory;
+      spec.payload = config.task_payload;
+      spec.shuffle_sources.reserve(num_maps);
+      for (uint32_t m = 0; m < num_maps; ++m) {
+        spec.shuffle_sources.push_back(ShuffleSource{config.name, m, ""});
+      }
+    }
+    red_body = [&config](const TaskSpec& spec, TaskOutput*) -> Status {
+      return Status::Internal("job '" + config.name + "': reduce task " +
+                              std::to_string(spec.task_index) +
+                              " with shuffle sources cannot run in-process");
+    };
+  } else if (isolated) {
     // Every isolated reduce input travels as key-sorted run files — the
     // paper's materialized-intermediate discipline. Spilled shards already
     // are runs; in-memory shards are sorted here and written as one
@@ -300,13 +369,17 @@ Status Engine::Run(const JobConfig& config, const Dataset& input,
     const uint32_t r = spec.task_index;
     reduce_outputs[r] = std::move(out.records);
     TaskMetrics tm = out.metrics;
-    // Shard-side counters are authoritative for both execution paths (a
-    // transport run's reader would agree on records/bytes, but spill
-    // accounting must not count transport runs).
-    tm.input_records = shards[r].NumRecords();
-    tm.input_bytes = shards[r].PayloadBytes();
-    tm.spilled_bytes = shards[r].spilled_bytes();
-    tm.spill_runs = shards[r].spill_runs();
+    if (!net_shuffle) {
+      // Shard-side counters are authoritative for both execution paths (a
+      // transport run's reader would agree on records/bytes, but spill
+      // accounting must not count transport runs). Network-shuffle tasks
+      // instead report the totals their stream trailers cross-checked, and
+      // never spill on the coordinator.
+      tm.input_records = shards[r].NumRecords();
+      tm.input_bytes = shards[r].PayloadBytes();
+      tm.spilled_bytes = shards[r].spilled_bytes();
+      tm.spill_runs = shards[r].spill_runs();
+    }
     jm.reduce_output_records += tm.output_records;
     jm.reduce_output_bytes += tm.output_bytes;
     jm.reduce_wall_micros += tm.wall_micros;

@@ -42,6 +42,11 @@ struct EngineOptions {
   /// hermetic (subprocess). In-process runners fail the job on first error
   /// regardless — a half-run reducer may have mutated shared state.
   int task_retries = 2;
+  /// Externally-owned runner overriding `runner`; must outlive the engine.
+  /// Needed for RunnerKind::kCluster, whose runner lives in src/net (it
+  /// needs sockets the mr layer knows nothing about) and is built via
+  /// net::ClusterTaskRunner::Create, not MakeTaskRunner.
+  TaskRunner* external_runner = nullptr;
 
   /// Checks knob ranges (negative retry budget, sub-arena-block shuffle
   /// cap) and returns a descriptive InvalidArgument instead of letting a
@@ -85,7 +90,11 @@ class Engine {
 
  private:
   EngineOptions options_;
-  std::unique_ptr<TaskRunner> runner_;
+  std::unique_ptr<TaskRunner> owned_runner_;
+  /// The runner in use: options_.external_runner if set, else
+  /// owned_runner_.get(). Null only for kCluster without an external
+  /// runner, which Run() rejects with an actionable error.
+  TaskRunner* runner_ = nullptr;
 };
 
 }  // namespace fsjoin::mr

@@ -10,6 +10,8 @@ const char* RunnerKindName(RunnerKind kind) {
       return "threads";
     case RunnerKind::kSubprocess:
       return "subprocess";
+    case RunnerKind::kCluster:
+      return "cluster";
   }
   return "?";
 }
@@ -18,8 +20,9 @@ Result<RunnerKind> RunnerKindFromName(std::string_view name) {
   if (name == "inline") return RunnerKind::kInline;
   if (name == "threads") return RunnerKind::kThreads;
   if (name == "subprocess") return RunnerKind::kSubprocess;
+  if (name == "cluster") return RunnerKind::kCluster;
   return Status::InvalidArgument("unknown runner: " + std::string(name) +
-                                 " (want inline|threads|subprocess)");
+                                 " (want inline|threads|subprocess|cluster)");
 }
 
 void InlineRunner::ParallelRun(size_t n,
@@ -53,6 +56,12 @@ std::unique_ptr<TaskRunner> MakeTaskRunner(RunnerKind kind,
       return std::make_unique<ThreadPoolRunner>(num_threads);
     case RunnerKind::kSubprocess:
       return std::make_unique<SubprocessRunner>(num_threads);
+    case RunnerKind::kCluster:
+      // The cluster runner lives in src/net (it needs sockets and worker
+      // endpoints the mr layer knows nothing about); callers construct it
+      // via net::ClusterTaskRunner::Create and hand it to the engine as
+      // EngineOptions::external_runner.
+      return nullptr;
   }
   return std::make_unique<ThreadPoolRunner>(num_threads);
 }

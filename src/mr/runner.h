@@ -23,6 +23,7 @@ enum class RunnerKind : uint32_t {
   kInline = 0,      ///< caller's thread, one task at a time
   kThreads = 1,     ///< ThreadPool workers (the seed engine's path)
   kSubprocess = 2,  ///< forked children / re-execed --worker-task processes
+  kCluster = 3,     ///< socket RPC workers (net/cluster_runner.h)
 };
 
 const char* RunnerKindName(RunnerKind kind);
@@ -46,6 +47,16 @@ class TaskRunner {
   /// a half-run attempt cannot be safely repeated. Subprocess attempts are
   /// hermetic (side effects die with the child) and always retryable.
   virtual bool retryable() const { return false; }
+
+  /// True when tasks run on networked workers that can hold retained map
+  /// output: the engine switches to the streaming network shuffle
+  /// (TaskSpec::retain_shuffle / shuffle_sources) instead of shipping map
+  /// partitions back through the coordinator.
+  virtual bool distributed() const { return false; }
+
+  /// Called once after a job's last stage completes (success or failure);
+  /// distributed runners release the job's retained shuffle partitions.
+  virtual void FinishJob(const std::string& job_name) { (void)job_name; }
 
   /// Runs fn(i) for i in [0, n), with whatever concurrency the runner has.
   /// Also used by the engine for its parent-side shuffle phase.

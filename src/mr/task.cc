@@ -146,6 +146,13 @@ void TaskSpec::EncodeTo(std::string* dst) const {
   PutLengthPrefixed(dst, factory);
   PutLengthPrefixed(dst, payload);
   PutVarint32(dst, attempt);
+  PutVarint32(dst, retain_shuffle ? 1 : 0);
+  PutVarint32(dst, static_cast<uint32_t>(shuffle_sources.size()));
+  for (const ShuffleSource& src : shuffle_sources) {
+    PutLengthPrefixed(dst, src.job);
+    PutVarint32(dst, src.map_task);
+    PutLengthPrefixed(dst, src.endpoint);
+  }
 }
 
 Result<TaskSpec> TaskSpec::Decode(std::string_view data) {
@@ -178,6 +185,25 @@ Result<TaskSpec> TaskSpec::Decode(std::string_view data) {
   FSJOIN_RETURN_NOT_OK(dec.GetLengthPrefixed(&view));
   spec.payload = std::string(view);
   FSJOIN_RETURN_NOT_OK(dec.GetVarint32(&spec.attempt));
+  uint32_t retain = 0;
+  FSJOIN_RETURN_NOT_OK(dec.GetVarint32(&retain));
+  if (retain > 1) {
+    return Status::Corruption("task spec: bad retain-shuffle flag " +
+                              std::to_string(retain));
+  }
+  spec.retain_shuffle = retain == 1;
+  uint32_t num_sources = 0;
+  FSJOIN_RETURN_NOT_OK(dec.GetVarint32(&num_sources));
+  spec.shuffle_sources.reserve(num_sources);
+  for (uint32_t i = 0; i < num_sources; ++i) {
+    ShuffleSource src;
+    FSJOIN_RETURN_NOT_OK(dec.GetLengthPrefixed(&view));
+    src.job = std::string(view);
+    FSJOIN_RETURN_NOT_OK(dec.GetVarint32(&src.map_task));
+    FSJOIN_RETURN_NOT_OK(dec.GetLengthPrefixed(&view));
+    src.endpoint = std::string(view);
+    spec.shuffle_sources.push_back(std::move(src));
+  }
   if (!dec.done()) {
     return Status::Corruption("task spec: trailing bytes");
   }
@@ -418,6 +444,118 @@ Status ReadTaskOutputFiles(const std::string& base, TaskOutput* out) {
   if (has) {
     return Status::Corruption("task data " + base +
                               ".dat: more records than result footer");
+  }
+  return Status::OK();
+}
+
+void EncodeTaskOutputWire(const TaskOutput& out, std::string* dst) {
+  // Same footer layout as the .res file, followed by the data records
+  // inline (the frame's payload CRC plays the run file's role).
+  if (!out.buckets.empty()) {
+    PutVarint32(dst, kGroupBuckets);
+    PutVarint32(dst, static_cast<uint32_t>(out.buckets.size()));
+    for (const Dataset& bucket : out.buckets) {
+      PutVarint64(dst, bucket.size());
+    }
+  } else if (!out.partitions.empty()) {
+    PutVarint32(dst, kGroupPartitions);
+    PutVarint32(dst, static_cast<uint32_t>(out.partitions.size()));
+    for (const KvBuffer& buffer : out.partitions) {
+      PutVarint64(dst, buffer.size());
+    }
+  } else {
+    PutVarint32(dst, kGroupRecords);
+    PutVarint32(dst, 1);
+    PutVarint64(dst, out.records.size());
+  }
+  EncodeMetrics(out.metrics, dst);
+  PutVarint64(dst, out.combine_input_records);
+  PutLengthPrefixed(dst, out.side_state);
+  PutVarint32(dst, static_cast<uint32_t>(out.partition_stats.size()));
+  for (const PartitionStat& stat : out.partition_stats) {
+    PutVarint64(dst, stat.records);
+    PutVarint64(dst, stat.bytes);
+  }
+  PutLengthPrefixed(dst, out.shuffle_endpoint);
+  for (const Dataset& bucket : out.buckets) {
+    for (const KeyValue& kv : bucket) {
+      PutLengthPrefixed(dst, kv.key);
+      PutLengthPrefixed(dst, kv.value);
+    }
+  }
+  for (const KvBuffer& buffer : out.partitions) {
+    for (size_t i = 0; i < buffer.size(); ++i) {
+      PutLengthPrefixed(dst, buffer.key(i));
+      PutLengthPrefixed(dst, buffer.value(i));
+    }
+  }
+  for (const KeyValue& kv : out.records) {
+    PutLengthPrefixed(dst, kv.key);
+    PutLengthPrefixed(dst, kv.value);
+  }
+}
+
+Status DecodeTaskOutputWire(std::string_view data, TaskOutput* out) {
+  Decoder dec(data);
+  uint32_t group_kind = 0;
+  uint32_t num_groups = 0;
+  FSJOIN_RETURN_NOT_OK(dec.GetVarint32(&group_kind));
+  FSJOIN_RETURN_NOT_OK(dec.GetVarint32(&num_groups));
+  if (group_kind > kGroupRecords) {
+    return Status::Corruption("task result wire: bad group kind");
+  }
+  std::vector<uint64_t> counts(num_groups, 0);
+  for (uint64_t& c : counts) FSJOIN_RETURN_NOT_OK(dec.GetVarint64(&c));
+  FSJOIN_RETURN_NOT_OK(DecodeMetrics(&dec, &out->metrics));
+  FSJOIN_RETURN_NOT_OK(dec.GetVarint64(&out->combine_input_records));
+  std::string_view view;
+  FSJOIN_RETURN_NOT_OK(dec.GetLengthPrefixed(&view));
+  out->side_state = std::string(view);
+  uint32_t num_stats = 0;
+  FSJOIN_RETURN_NOT_OK(dec.GetVarint32(&num_stats));
+  out->partition_stats.resize(num_stats);
+  for (PartitionStat& stat : out->partition_stats) {
+    FSJOIN_RETURN_NOT_OK(dec.GetVarint64(&stat.records));
+    FSJOIN_RETURN_NOT_OK(dec.GetVarint64(&stat.bytes));
+  }
+  FSJOIN_RETURN_NOT_OK(dec.GetLengthPrefixed(&view));
+  out->shuffle_endpoint = std::string(view);
+
+  auto next = [&](std::string_view* key, std::string_view* value) -> Status {
+    FSJOIN_RETURN_NOT_OK(dec.GetLengthPrefixed(key));
+    return dec.GetLengthPrefixed(value);
+  };
+  std::string_view key, value;
+  if (group_kind == kGroupPartitions) {
+    out->partitions.resize(num_groups);
+    for (uint32_t g = 0; g < num_groups; ++g) {
+      for (uint64_t i = 0; i < counts[g]; ++i) {
+        FSJOIN_RETURN_NOT_OK(next(&key, &value));
+        out->partitions[g].Append(key, value);
+      }
+    }
+  } else if (group_kind == kGroupBuckets) {
+    out->buckets.resize(num_groups);
+    for (uint32_t g = 0; g < num_groups; ++g) {
+      out->buckets[g].reserve(counts[g]);
+      for (uint64_t i = 0; i < counts[g]; ++i) {
+        FSJOIN_RETURN_NOT_OK(next(&key, &value));
+        out->buckets[g].push_back(KeyValue{std::string(key),
+                                           std::string(value)});
+      }
+    }
+  } else {
+    if (num_groups != 1) {
+      return Status::Corruption("task result wire: record output needs 1 group");
+    }
+    out->records.reserve(counts[0]);
+    for (uint64_t i = 0; i < counts[0]; ++i) {
+      FSJOIN_RETURN_NOT_OK(next(&key, &value));
+      out->records.push_back(KeyValue{std::string(key), std::string(value)});
+    }
+  }
+  if (!dec.done()) {
+    return Status::Corruption("task result wire: trailing bytes");
   }
   return Status::OK();
 }

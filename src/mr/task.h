@@ -29,6 +29,18 @@ enum class TaskKind : uint32_t {
 
 const char* TaskKindName(TaskKind kind);
 
+/// One remote map output a reduce task pulls over the network shuffle:
+/// the worker holding `endpoint` retained (job, map_task)'s sorted
+/// partitions and serves them over its shuffle port (net/frame.h).
+struct ShuffleSource {
+  std::string job;
+  uint32_t map_task = 0;
+  /// "host:port" of the holder's shuffle server. The cluster runner fills
+  /// this from its location table at dispatch time; the engine leaves it
+  /// empty.
+  std::string endpoint;
+};
+
 /// Serde-encoded descriptor of one task attempt. Everything a worker
 /// process needs to re-execute the task lives here; in-process runners
 /// additionally receive the stage's TaskBody closure, which may capture
@@ -59,9 +71,24 @@ struct TaskSpec {
   std::string payload;
   /// Zero-based attempt number, assigned by the scheduler.
   uint32_t attempt = 0;
+  /// Map tasks under a distributed runner: keep the sorted per-partition
+  /// output resident on the executing worker (served via its shuffle port)
+  /// instead of shipping it back; the result then carries only
+  /// TaskOutput::partition_stats.
+  bool retain_shuffle = false;
+  /// Reduce tasks under a distributed runner: the retained map outputs to
+  /// pull and merge, in map-task order (the loser tree's source-index
+  /// tie-break makes that order part of the result's byte identity).
+  std::vector<ShuffleSource> shuffle_sources;
 
   void EncodeTo(std::string* dst) const;
   static Result<TaskSpec> Decode(std::string_view data);
+};
+
+/// Record/byte counts of one retained shuffle partition.
+struct PartitionStat {
+  uint64_t records = 0;
+  uint64_t bytes = 0;
 };
 
 /// Everything one task attempt produces. Exactly one of the data members
@@ -78,6 +105,13 @@ struct TaskOutput {
   /// Captured TaskSideChannel bytes (subprocess runner only); merged into
   /// the parent's shared context exactly once by the scheduler.
   std::string side_state;
+  /// Map tasks with TaskSpec::retain_shuffle: per-reduce-partition record
+  /// and byte counts of the retained output (the data itself stayed on the
+  /// worker). Size == num_partitions when set.
+  std::vector<PartitionStat> partition_stats;
+  /// "host:port" of the shuffle server holding this task's retained
+  /// output; filled by the cluster runner from the executing worker.
+  std::string shuffle_endpoint;
 };
 
 /// The work of one task, shared by every runner: in-process runners call it
@@ -133,6 +167,15 @@ Status WriteTaskOutputFiles(const std::string& base, const TaskOutput& out);
 /// Reads files written by WriteTaskOutputFiles, rebuilding the groups in
 /// order. Any corruption class detectable by RunReader surfaces here.
 Status ReadTaskOutputFiles(const std::string& base, TaskOutput* out);
+
+/// Encodes a whole TaskOutput as one serde byte string for socket
+/// transport (net/frame.h kTaskResult payload) — the wire sibling of
+/// WriteTaskOutputFiles, minus the file indirection. Retained-shuffle map
+/// results encode only partition_stats + shuffle_endpoint, not the data.
+void EncodeTaskOutputWire(const TaskOutput& out, std::string* dst);
+
+/// Decodes EncodeTaskOutputWire bytes; trailing bytes are Corruption.
+Status DecodeTaskOutputWire(std::string_view data, TaskOutput* out);
 
 /// Persists/loads a task attempt's terminal Status (base.err) so a worker
 /// exit can carry a real error message across the process boundary. The

@@ -1,0 +1,148 @@
+#ifndef FSJOIN_NET_FRAME_H_
+#define FSJOIN_NET_FRAME_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "net/socket.h"
+#include "util/status.h"
+
+namespace fsjoin::net {
+
+/// The cluster RPC wire format: length-prefixed, CRC32C-framed messages,
+/// the socket sibling of the PR 4 run-file block framing. Every frame is
+///
+///   magic  fixed32-BE   0x4653'4A4E ("FSJN") — desync/garbage detector
+///   type   fixed32-BE   MsgType
+///   len    fixed32-BE   payload byte count
+///   hcrc   fixed32-BE   crc32c over the 12 magic/type/len bytes
+///   pcrc   fixed32-BE   crc32c over the payload
+///   payload[len]
+///
+/// The header carries its own CRC so a corrupted length can never send the
+/// reader off into the stream (the run-file footer plays the same role on
+/// disk); the payload CRC makes every bit flip in transit a detected
+/// Corruption instead of a silently wrong task result. Payload contents
+/// use the util/serde.h varint codec, exactly like TaskSpec.
+enum class MsgType : uint32_t {
+  // Control channel (coordinator <-> worker).
+  kHello = 1,         ///< worker -> coordinator: version, pid, shuffle port
+  kHelloAck = 2,      ///< coordinator -> worker: accepted, worker id
+  kHeartbeat = 3,     ///< coordinator -> worker: liveness probe
+  kHeartbeatAck = 4,  ///< worker -> coordinator: probe answer
+  kDispatchTask = 5,  ///< coordinator -> worker: TaskSpec + stream count
+  kTaskData = 6,      ///< a chunk of one streamed input run
+  kTaskDataEnd = 7,   ///< end of one input run: records/bytes/chunks trailer
+  kTaskResult = 8,    ///< worker -> coordinator: encoded TaskOutput
+  kTaskError = 9,     ///< worker -> coordinator: task's terminal Status
+  kShutdown = 10,     ///< coordinator -> worker: exit cleanly
+  // Shuffle channel (worker <-> worker, also served to the coordinator).
+  kShuffleFetch = 11,    ///< fetch one retained (job, map task, partition)
+  kShuffleChunk = 12,    ///< a chunk of the fetched sorted partition
+  kShuffleEnd = 13,      ///< end of fetch: records/bytes/chunks trailer
+  kShuffleRelease = 14,  ///< coordinator -> worker: drop a job's partitions
+};
+
+const char* MsgTypeName(MsgType type);
+
+inline constexpr uint32_t kFrameMagic = 0x46534A4Eu;  // "FSJN"
+inline constexpr size_t kFrameHeaderBytes = 20;
+/// Frames above this are rejected before allocation: no legitimate message
+/// (a task result is the largest) approaches it, and a corrupted length
+/// must not become a 4 GiB allocation.
+inline constexpr uint32_t kMaxFramePayload = 1u << 30;
+
+struct Frame {
+  MsgType type = MsgType::kHello;
+  std::string payload;
+};
+
+/// Appends one encoded frame to `dst`.
+void EncodeFrame(MsgType type, std::string_view payload, std::string* dst);
+
+/// Decodes one frame from the start of `data` (pure function — the
+/// fault-injection tests run the whole corruption battery without a
+/// socket). On success sets *frame and *consumed. Incomplete input is
+/// IoError("frame truncated..."); any CRC/magic/type violation is
+/// Corruption.
+Status DecodeFrame(std::string_view data, Frame* frame, size_t* consumed);
+
+/// Sends one frame over `socket`.
+Status SendFrame(Socket* socket, MsgType type, std::string_view payload);
+
+/// Reads exactly one frame, validating magic, header CRC, size bound and
+/// payload CRC.
+Status RecvFrame(Socket* socket, Frame* frame);
+
+// ---- Message payloads ----------------------------------------------------
+
+inline constexpr uint32_t kProtocolVersion = 1;
+
+/// Worker's registration, sent first on every control connection.
+struct HelloMsg {
+  uint32_t protocol_version = kProtocolVersion;
+  uint64_t pid = 0;
+  /// Port of the worker's shuffle server, on the same host the coordinator
+  /// reached the worker at; peers dial it to pull retained map output.
+  uint32_t shuffle_port = 0;
+
+  void EncodeTo(std::string* dst) const;
+  static Result<HelloMsg> Decode(std::string_view data);
+};
+
+struct HelloAckMsg {
+  uint32_t worker_id = 0;
+
+  void EncodeTo(std::string* dst) const;
+  static Result<HelloAckMsg> Decode(std::string_view data);
+};
+
+/// End-of-stream trailer for kTaskDataEnd / kShuffleEnd: the receiver
+/// cross-checks its running counts against it, so a stream that lost a
+/// whole frame (not just flipped bits) is detected too — the socket
+/// analogue of the run-file footer.
+struct StreamTrailer {
+  uint64_t records = 0;
+  uint64_t payload_bytes = 0;
+  uint32_t chunks = 0;
+
+  void EncodeTo(std::string* dst) const;
+  static Result<StreamTrailer> Decode(std::string_view data);
+};
+
+/// Terminal task failure. `lost_endpoint` is set when the failure was a
+/// dead shuffle source — the coordinator uses it to mark the holder dead
+/// and re-run its map tasks before retrying the reduce.
+struct TaskErrorMsg {
+  Status error = Status::OK();
+  std::string lost_endpoint;
+
+  void EncodeTo(std::string* dst) const;
+  static Result<TaskErrorMsg> Decode(std::string_view data);
+};
+
+/// Shuffle-fetch request: one retained (job, map task) partition.
+struct ShuffleFetchMsg {
+  std::string job;
+  uint32_t map_task = 0;
+  uint32_t partition = 0;
+
+  void EncodeTo(std::string* dst) const;
+  static Result<ShuffleFetchMsg> Decode(std::string_view data);
+};
+
+// ---- Record chunks -------------------------------------------------------
+
+/// Records inside kTaskData/kShuffleChunk frames use the run-file block
+/// payload layout: (key_len varint, val_len varint, key, value)*. The
+/// frame's payload CRC plays the block CRC's role.
+void AppendChunkRecord(std::string* chunk, std::string_view key,
+                       std::string_view value);
+
+/// Soft chunk-size target, matching store::kDefaultRunBlockBytes.
+inline constexpr size_t kChunkTargetBytes = 256 * 1024;
+
+}  // namespace fsjoin::net
+
+#endif  // FSJOIN_NET_FRAME_H_

@@ -1,0 +1,102 @@
+#include "net/stream.h"
+
+#include "util/serde.h"
+
+namespace fsjoin::net {
+
+Status ChunkStreamWriter::Add(std::string_view key, std::string_view value) {
+  AppendChunkRecord(&chunk_, key, value);
+  records_ += 1;
+  payload_bytes_ += key.size() + value.size();
+  if (chunk_.size() >= kChunkTargetBytes) {
+    return FlushChunk();
+  }
+  return Status::OK();
+}
+
+Status ChunkStreamWriter::FlushChunk() {
+  if (chunk_.empty()) return Status::OK();
+  FSJOIN_RETURN_NOT_OK(SendFrame(socket_, chunk_type_, chunk_));
+  chunk_.clear();
+  chunks_ += 1;
+  return Status::OK();
+}
+
+Status ChunkStreamWriter::Finish() {
+  FSJOIN_RETURN_NOT_OK(FlushChunk());
+  StreamTrailer trailer;
+  trailer.records = records_;
+  trailer.payload_bytes = payload_bytes_;
+  trailer.chunks = chunks_;
+  std::string payload;
+  trailer.EncodeTo(&payload);
+  return SendFrame(socket_, end_type_, payload);
+}
+
+Status FrameRecordStream::FetchChunk() {
+  Frame frame;
+  FSJOIN_RETURN_NOT_OK(RecvFrame(socket_, &frame));
+  if (frame.type == chunk_type_) {
+    if (frame.payload.empty()) {
+      return Status::Corruption("record stream: empty chunk frame");
+    }
+    chunk_ = std::move(frame.payload);
+    pos_ = 0;
+    chunks_ += 1;
+    return Status::OK();
+  }
+  if (frame.type == end_type_) {
+    FSJOIN_ASSIGN_OR_RETURN(StreamTrailer trailer,
+                            StreamTrailer::Decode(frame.payload));
+    if (trailer.records != records_ ||
+        trailer.payload_bytes != payload_bytes_ ||
+        trailer.chunks != chunks_) {
+      return Status::Corruption(
+          "record stream: trailer mismatch (got " +
+          std::to_string(records_) + " records / " +
+          std::to_string(payload_bytes_) + " bytes / " +
+          std::to_string(chunks_) + " chunks, trailer says " +
+          std::to_string(trailer.records) + " / " +
+          std::to_string(trailer.payload_bytes) + " / " +
+          std::to_string(trailer.chunks) + ")");
+    }
+    done_ = true;
+    chunk_.clear();
+    pos_ = 0;
+    return Status::OK();
+  }
+  if (frame.type == MsgType::kTaskError) {
+    FSJOIN_ASSIGN_OR_RETURN(TaskErrorMsg msg,
+                            TaskErrorMsg::Decode(frame.payload));
+    return msg.error;
+  }
+  return Status::Corruption(std::string("record stream: unexpected ") +
+                            MsgTypeName(frame.type) + " frame");
+}
+
+Status FrameRecordStream::Next(bool* has_record, std::string_view* key,
+                               std::string_view* value) {
+  *has_record = false;
+  while (pos_ == chunk_.size()) {
+    if (done_) return Status::OK();
+    FSJOIN_RETURN_NOT_OK(FetchChunk());
+  }
+  Decoder dec(std::string_view(chunk_).substr(pos_));
+  uint32_t key_len = 0, val_len = 0;
+  FSJOIN_RETURN_NOT_OK(dec.GetVarint32(&key_len));
+  FSJOIN_RETURN_NOT_OK(dec.GetVarint32(&val_len));
+  const size_t header = chunk_.size() - pos_ - dec.remaining();
+  if (dec.remaining() < static_cast<size_t>(key_len) + val_len) {
+    return Status::Corruption("record stream: record overruns chunk");
+  }
+  const char* base = chunk_.data() + pos_ + header;
+  *key = std::string_view(base, key_len);
+  *value = std::string_view(base + key_len, val_len);
+  pos_ += header + key_len + val_len;
+  records_ += 1;
+  payload_bytes_ += key_len + val_len;
+  *has_record = true;
+  return Status::OK();
+}
+
+}  // namespace fsjoin::net

@@ -1,0 +1,86 @@
+#ifndef FSJOIN_NET_STREAM_H_
+#define FSJOIN_NET_STREAM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "net/frame.h"
+#include "net/socket.h"
+#include "store/record_stream.h"
+#include "util/status.h"
+
+namespace fsjoin::net {
+
+/// Writer half of a record stream over frames: buffers records into
+/// ~kChunkTargetBytes chunks, sends each as one `chunk_type` frame, and
+/// finishes with an `end_type` trailer carrying the totals the reader
+/// cross-checks. Used for coordinator -> worker input runs (kTaskData/
+/// kTaskDataEnd) and worker -> worker shuffle fetches (kShuffleChunk/
+/// kShuffleEnd).
+class ChunkStreamWriter {
+ public:
+  ChunkStreamWriter(Socket* socket, MsgType chunk_type, MsgType end_type)
+      : socket_(socket), chunk_type_(chunk_type), end_type_(end_type) {}
+
+  Status Add(std::string_view key, std::string_view value);
+
+  /// Flushes the last chunk and sends the trailer. Call exactly once.
+  Status Finish();
+
+  uint64_t records() const { return records_; }
+  uint64_t payload_bytes() const { return payload_bytes_; }
+
+ private:
+  Status FlushChunk();
+
+  Socket* socket_;
+  MsgType chunk_type_;
+  MsgType end_type_;
+  std::string chunk_;
+  uint64_t records_ = 0;
+  uint64_t payload_bytes_ = 0;
+  uint32_t chunks_ = 0;
+};
+
+/// Reader half: a store::RecordStream that pulls `chunk_type` frames off a
+/// socket lazily — one chunk resident at a time — so a loser-tree merge
+/// over k remote sources streams with O(k) chunk buffers, exactly like
+/// merging k spill runs from disk. The `end_type` trailer is verified
+/// against the running record/byte/chunk counts (a lost or replayed frame
+/// is Corruption, not silent data loss). A kTaskError frame in place of a
+/// chunk carries the sender's Status and fails the stream with it.
+///
+/// If the stream came with key-sorted records (retained shuffle partitions
+/// always are), Next() yields them in key order, making this a valid merge
+/// source.
+class FrameRecordStream : public store::RecordStream {
+ public:
+  /// `socket` is borrowed and must stay open while the stream is consumed.
+  FrameRecordStream(Socket* socket, MsgType chunk_type, MsgType end_type)
+      : socket_(socket), chunk_type_(chunk_type), end_type_(end_type) {}
+
+  Status Next(bool* has_record, std::string_view* key,
+              std::string_view* value) override;
+
+  /// Totals consumed so far (== the trailer's totals once exhausted).
+  uint64_t records() const { return records_; }
+  uint64_t payload_bytes() const { return payload_bytes_; }
+
+ private:
+  Status FetchChunk();
+
+  Socket* socket_;
+  MsgType chunk_type_;
+  MsgType end_type_;
+  std::string chunk_;
+  size_t pos_ = 0;
+  bool done_ = false;
+  uint64_t records_ = 0;
+  uint64_t payload_bytes_ = 0;
+  uint32_t chunks_ = 0;
+};
+
+}  // namespace fsjoin::net
+
+#endif  // FSJOIN_NET_STREAM_H_

@@ -26,6 +26,28 @@ long CurrentPid() {
 #endif
 }
 
+/// Short sanitized hostname for spill-dir names. With cluster workers on
+/// several machines sharing a filesystem (NFS scratch), pid alone can
+/// collide across hosts; "host-pid" cannot.
+std::string HostTag() {
+#ifdef _WIN32
+  return "localhost";
+#else
+  char buf[256];
+  if (gethostname(buf, sizeof(buf)) != 0) return "localhost";
+  buf[sizeof(buf) - 1] = '\0';
+  std::string tag;
+  for (const char* p = buf; *p != '\0' && tag.size() < 32; ++p) {
+    const char c = *p;
+    if (c == '.') break;  // short name only: "node3.cluster" -> "node3"
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '_';
+    tag.push_back(safe ? c : '_');
+  }
+  return tag.empty() ? "localhost" : tag;
+#endif
+}
+
 }  // namespace
 
 Result<TempSpillDir> TempSpillDir::Create(const std::string& base,
@@ -41,9 +63,11 @@ Result<TempSpillDir> TempSpillDir::Create(const std::string& base,
     return Status::IoError("cannot create spill base " + root.string() +
                            ": " + ec.message());
   }
+  static const std::string host_tag = HostTag();
   for (int attempt = 0; attempt < 64; ++attempt) {
     fs::path candidate =
-        root / (prefix + "-" + std::to_string(CurrentPid()) + "-" +
+        root / (prefix + "-" + host_tag + "-" +
+                std::to_string(CurrentPid()) + "-" +
                 std::to_string(sequence.fetch_add(1)));
     if (fs::create_directory(candidate, ec)) {
       return TempSpillDir(candidate.string(), CurrentPid());

@@ -22,8 +22,11 @@ namespace fsjoin::store {
 /// pid guard covers code that does unwind, e.g. error paths before exec.)
 class TempSpillDir {
  public:
-  /// Creates `<base>/<prefix>-<pid>-<seq>`. An empty `base` uses the
-  /// system temp directory. `base` is created first if missing.
+  /// Creates `<base>/<prefix>-<host>-<pid>-<seq>` (`host` is the sanitized
+  /// short hostname, "localhost" when unavailable — pid alone is not unique
+  /// when cluster workers on different machines share a scratch
+  /// filesystem). An empty `base` uses the system temp directory. `base`
+  /// is created first if missing.
   static Result<TempSpillDir> Create(const std::string& base,
                                      const std::string& prefix);
 

@@ -1,0 +1,88 @@
+#include "util/endpoint.h"
+
+#include <set>
+
+namespace fsjoin {
+
+namespace {
+
+Status BadEndpoint(std::string_view text, const std::string& why) {
+  return Status::InvalidArgument("bad endpoint '" + std::string(text) +
+                                 "': " + why + " (want host:port)");
+}
+
+}  // namespace
+
+Result<Endpoint> ParseEndpoint(std::string_view text) {
+  // IPv6 literal: "[addr]:port" — the colon split must skip the brackets.
+  size_t colon;
+  Endpoint ep;
+  if (!text.empty() && text.front() == '[') {
+    const size_t close = text.find(']');
+    if (close == std::string_view::npos) {
+      return BadEndpoint(text, "unterminated '[' in host");
+    }
+    ep.host = std::string(text.substr(1, close - 1));
+    if (close + 1 >= text.size() || text[close + 1] != ':') {
+      return BadEndpoint(text, "missing ':port' after ']'");
+    }
+    colon = close + 1;
+  } else {
+    colon = text.rfind(':');
+    if (colon == std::string_view::npos) {
+      return BadEndpoint(text, "missing ':port'");
+    }
+    ep.host = std::string(text.substr(0, colon));
+  }
+  if (ep.host.empty()) {
+    return BadEndpoint(text, "empty host");
+  }
+  const std::string_view port_str = text.substr(colon + 1);
+  if (port_str.empty()) {
+    return BadEndpoint(text, "empty port");
+  }
+  uint64_t port = 0;
+  for (char c : port_str) {
+    if (c < '0' || c > '9') {
+      return BadEndpoint(text, "non-numeric port '" + std::string(port_str) +
+                                   "'");
+    }
+    port = port * 10 + static_cast<uint64_t>(c - '0');
+    if (port > 65535) {
+      return BadEndpoint(text, "port " + std::string(port_str) +
+                                   " out of range [1, 65535]");
+    }
+  }
+  if (port == 0) {
+    return BadEndpoint(text, "port 0 is not dialable");
+  }
+  ep.port = static_cast<uint16_t>(port);
+  return ep;
+}
+
+Result<std::vector<Endpoint>> ParseEndpointList(std::string_view text) {
+  std::vector<Endpoint> endpoints;
+  std::set<std::string> seen;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t comma = text.find(',', pos);
+    if (comma == std::string_view::npos) comma = text.size();
+    const std::string_view element = text.substr(pos, comma - pos);
+    if (element.empty()) {
+      return Status::InvalidArgument(
+          "bad endpoint list '" + std::string(text) +
+          "': empty element (stray comma or empty list)");
+    }
+    FSJOIN_ASSIGN_OR_RETURN(Endpoint ep, ParseEndpoint(element));
+    if (!seen.insert(ep.ToString()).second) {
+      return Status::InvalidArgument("bad endpoint list '" +
+                                     std::string(text) +
+                                     "': duplicate endpoint " + ep.ToString());
+    }
+    endpoints.push_back(std::move(ep));
+    pos = comma + 1;
+  }
+  return endpoints;
+}
+
+}  // namespace fsjoin

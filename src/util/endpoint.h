@@ -1,0 +1,42 @@
+#ifndef FSJOIN_UTIL_ENDPOINT_H_
+#define FSJOIN_UTIL_ENDPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fsjoin {
+
+/// A network address in "host:port" form, the currency of the cluster
+/// runtime (net/): worker lists on the command line, shuffle-source
+/// locations inside TaskSpecs, listen/connect arguments of fsjoin_worker.
+/// Lives in util (not net) so config validation in mr/ and exec/ can parse
+/// endpoint lists without depending on the socket layer.
+struct Endpoint {
+  std::string host;
+  uint16_t port = 0;
+
+  std::string ToString() const { return host + ":" + std::to_string(port); }
+
+  bool operator==(const Endpoint& other) const {
+    return host == other.host && port == other.port;
+  }
+};
+
+/// Parses one "host:port". Rejects an empty host, a missing/empty/
+/// non-numeric port, and ports outside [1, 65535], each with a message
+/// naming the offending input. IPv6 literals use brackets: "[::1]:9000".
+Result<Endpoint> ParseEndpoint(std::string_view text);
+
+/// Parses a comma-separated endpoint list ("hostA:9000,hostB:9000").
+/// Beyond per-endpoint validation, rejects an empty list, empty elements
+/// (stray commas) and duplicate endpoints — a duplicated worker address is
+/// always a typo, and dispatching to it twice would double-count its slots.
+Result<std::vector<Endpoint>> ParseEndpointList(std::string_view text);
+
+}  // namespace fsjoin
+
+#endif  // FSJOIN_UTIL_ENDPOINT_H_

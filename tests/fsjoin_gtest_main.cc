@@ -1,15 +1,22 @@
 // Shared gtest main for every test binary in the repo. It differs from
-// GTest's stock main in one way: it routes through the --worker-task hook
-// first, so the subprocess TaskRunner can re-exec the test binary itself
-// as a task worker (exec mode). Without this, tests exercising the
-// subprocess runner would silently fall back to fork-mode isolation.
+// GTest's stock main in one way: it routes through the --worker-task and
+// --worker-serve hooks first, so the subprocess TaskRunner can re-exec the
+// test binary itself as a task worker (exec mode) and the cluster runner
+// can spawn it as a loopback socket worker. Without this, tests exercising
+// those runners would silently fall back to fork-mode isolation (or fail
+// to bring a cluster up at all).
 
 #include <gtest/gtest.h>
 
 #include "mr/worker.h"
+#include "net/worker.h"
 
 int main(int argc, char** argv) {
   if (const int code = fsjoin::mr::WorkerTaskMainIfRequested(argc, argv);
+      code >= 0) {
+    return code;
+  }
+  if (const int code = fsjoin::net::WorkerServeMainIfRequested(argc, argv);
       code >= 0) {
     return code;
   }
