@@ -254,6 +254,86 @@ void Run(const BenchOptions& options) {
     cluster_options.json_path = "BENCH_cluster.json";
   }
   WriteBenchJson(cluster_options, "cluster", cluster_records);
+
+  // R-S two-collection joins: the same corpus split at three |R|:|S|
+  // ratios, run on both backends. The quantity under test is the
+  // side-tagged fragment join's cost shape — the probe x build pair space
+  // shrinks from n^2/2 toward n_r * n_s, so the skewed ratios should be
+  // cheaper than 1:1 at equal total input. Digests must agree across
+  // backends per ratio. Records into its own JSON (BENCH_rs.json).
+  PrintBanner("Extension — R-S two-collection joins: |R|:|S| ratio x "
+              "backend",
+              "same merged corpus, boundary moved; probe x build pair "
+              "space and both backends' wall time per ratio");
+  std::vector<BenchRecord> rs_records;
+  for (Workload& w : AllWorkloads(0.25)) {
+    const uint64_t n = w.corpus.NumRecords();
+    struct Ratio {
+      const char* name;
+      RecordId boundary;
+    };
+    const Ratio kRatios[] = {
+        {"1:1", static_cast<RecordId>(n / 2)},
+        {"1:10", static_cast<RecordId>(n / 11)},
+        {"10:1", static_cast<RecordId>(n - n / 11)},
+    };
+    std::printf("\n[%s] %zu records, theta = %.2f\n", w.name.c_str(),
+                w.corpus.NumRecords(), theta);
+    TablePrinter table({"ratio", "backend", "wall (ms)", "shuffle",
+                        "candidates", "results", "digest"});
+    for (const Ratio& ratio : kRatios) {
+      std::optional<uint32_t> reference_digest;  // per ratio
+      for (exec::BackendKind kind :
+           {exec::BackendKind::kMapReduce, exec::BackendKind::kFusedFlow}) {
+        FsJoinConfig config = DefaultFsConfig(theta);
+        config.exec.backend = kind;
+        config.rs_boundary = ratio.boundary;
+        std::optional<Result<FsJoinOutput>> result;
+        double wall_micros = MinWallMicros(options, [&] {
+          result.emplace(FsJoin(config).Run(w.corpus));
+        });
+        Result<FsJoinOutput>& out = *result;
+        if (!out.ok()) {
+          std::printf("FAIL: %s\n", out.status().ToString().c_str());
+          continue;
+        }
+        uint64_t shuffle = 0;
+        if (kind == exec::BackendKind::kMapReduce) {
+          for (const mr::JobMetrics& j : out->report.AllJobs()) {
+            shuffle += j.shuffle_bytes;
+          }
+        } else {
+          for (const flow::Pipeline::Metrics& p :
+               out->report.flow_pipelines) {
+            shuffle += p.shuffle_bytes;
+          }
+        }
+        const uint32_t digest = check::ResultDigest(out->pairs);
+        if (!reference_digest) reference_digest = digest;
+        const bool same = digest == *reference_digest;
+        table.AddRow({ratio.name, exec::BackendKindName(kind),
+                      StrFormat("%.0f", wall_micros / 1000.0),
+                      HumanBytes(shuffle),
+                      WithThousandsSep(out->report.candidate_pairs),
+                      WithThousandsSep(out->pairs.size()),
+                      same ? StrFormat("%08x", digest)
+                           : StrFormat("%08x MISMATCH!", digest)});
+
+        BenchRecord record;
+        record.name = StrFormat("%s/rs%s/%s", w.name.c_str(), ratio.name,
+                                exec::BackendKindName(kind));
+        record.wall_micros = wall_micros;
+        record.shuffle_bytes = shuffle;
+        rs_records.push_back(std::move(record));
+      }
+    }
+    table.Print(std::cout);
+  }
+  BenchOptions rs_options = options;
+  if (!options.json_path.empty()) {
+    rs_options.json_path = "BENCH_rs.json";
+  }
+  WriteBenchJson(rs_options, "rs", rs_records);
 }
 
 }  // namespace

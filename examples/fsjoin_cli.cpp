@@ -3,8 +3,13 @@
 //   fsjoin_cli --input corpus.txt --theta 0.8 [options]
 //
 // Options:
-//   --input PATH        self-join this file (required unless --rs given)
-//   --rs PATH           R-S join: --input is R, --rs is S
+//   --input PATH        the (left) input file: the whole collection for a
+//                       self join, the R side for --join rs     (required)
+//   --join MODE         self | rs                               [self]
+//   --right PATH        S side of an R-S join; implies --join rs. Output
+//                       pairs are "r s sim" with s re-based into S's own
+//                       id space
+//   --rs PATH           alias for --join rs --right PATH
 //   --theta X           similarity threshold in (0, 1]        [0.8]
 //   --function NAME     jaccard | dice | cosine               [jaccard]
 //   --tokenizer NAME    word | whitespace | qgramN (e.g. qgram3) [word]
@@ -68,7 +73,8 @@ namespace {
 
 struct CliOptions {
   std::string input;
-  std::string rs;
+  std::string join = "self";
+  std::string right;
   std::string output;
   std::string tokenizer = "word";
   std::string method = "prefix";
@@ -101,7 +107,8 @@ struct CliOptions {
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --input FILE [--rs FILE] [--theta X] "
+               "usage: %s --input FILE [--join self|rs] [--right FILE] "
+               "[--rs FILE] [--theta X] "
                "[--function jaccard|dice|cosine] [--tokenizer "
                "word|whitespace|qgramN] [--fragments N] [--horizontal N] "
                "[--method loop|index|prefix] [--auto] [--sample-rate X] "
@@ -185,10 +192,20 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Usage(argv[0]);
       opts.input = v;
-    } else if (arg == "--rs") {
+    } else if (arg == "--join") {
       const char* v = next();
       if (!v) return Usage(argv[0]);
-      opts.rs = v;
+      opts.join = v;
+    } else if (arg == "--right") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      opts.right = v;
+      if (opts.join == "self") opts.join = "rs";
+    } else if (arg == "--rs") {  // alias for --join rs --right FILE
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      opts.right = v;
+      opts.join = "rs";
     } else if (arg == "--output") {
       const char* v = next();
       if (!v) return Usage(argv[0]);
@@ -284,6 +301,16 @@ int main(int argc, char** argv) {
     }
   }
   if (opts.input.empty()) return Usage(argv[0]);
+  if (opts.join != "self" && opts.join != "rs") {
+    std::fprintf(stderr, "unknown --join mode: %s (want self|rs)\n",
+                 opts.join.c_str());
+    return Usage(argv[0]);
+  }
+  if (opts.join == "rs" && opts.right.empty()) {
+    std::fprintf(stderr, "--join rs needs --right FILE\n");
+    return Usage(argv[0]);
+  }
+  const bool rs_mode = opts.join == "rs";
 
   auto tokenizer_result = MakeTokenizer(opts.tokenizer);
   if (!tokenizer_result.ok()) {
@@ -393,8 +420,8 @@ int main(int argc, char** argv) {
 
   fsjoin::Result<fsjoin::FsJoinOutput> out =
       [&]() -> fsjoin::Result<fsjoin::FsJoinOutput> {
-    if (opts.rs.empty()) return fsjoin::FsJoin(config).Run(*r);
-    fsjoin::Result<fsjoin::Corpus> s = load(opts.rs);
+    if (!rs_mode) return fsjoin::FsJoin(config).Run(*r);
+    fsjoin::Result<fsjoin::Corpus> s = load(opts.right);
     if (!s.ok()) return s.status();
     return fsjoin::FsJoinRS(*r, *s, config);
   }();
@@ -404,7 +431,7 @@ int main(int argc, char** argv) {
   }
 
   const fsjoin::RecordId boundary =
-      opts.rs.empty() ? 0 : static_cast<fsjoin::RecordId>(r->NumRecords());
+      rs_mode ? static_cast<fsjoin::RecordId>(r->NumRecords()) : 0;
   std::FILE* sink = stdout;
   if (!opts.output.empty()) {
     sink = std::fopen(opts.output.c_str(), "w");

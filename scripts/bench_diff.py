@@ -14,6 +14,8 @@ Tracked artifacts (all written by `--json` runs of their benches):
   BENCH_runtime.json       task-runner overhead     (bench_ext_dataflow)
   BENCH_cluster.json       1/2/4-worker cluster scaling
                                                     (bench_ext_dataflow)
+  BENCH_rs.json            R-S |R|:|S| ratio x backend
+                                                    (bench_ext_dataflow)
   BENCH_ext_shuffle.json   external-shuffle spill   (bench_ext_shuffle)
   BENCH_kernels.json       kernel microbenches      (bench_micro_kernels)
   BENCH_auto.json          auto-tuning vs hand cfg  (bench_auto_tune)

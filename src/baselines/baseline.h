@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,13 @@ struct BaselineConfig {
   /// Execution substrate and engine shape (backend, task counts, threads,
   /// emission limit) — shared with FS-Join via exec::ExecConfig.
   exec::ExecConfig exec;
+
+  /// Two-collection R-S joins over a merged corpus (same contract as
+  /// FsJoinConfig::rs_boundary): records with id < rs_boundary are R, the
+  /// rest are S, and only pairs straddling the boundary are produced. Each
+  /// baseline enforces this structurally in its candidate stage — same-side
+  /// pairs are never enumerated, not enumerated-then-filtered.
+  std::optional<RecordId> rs_boundary;
 
   Status Validate() const;
 };

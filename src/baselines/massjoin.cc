@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <unordered_set>
 
 #include "core/jobs.h"
@@ -49,11 +50,18 @@ class SignatureMapper : public mr::Mapper {
     const uint64_t len = ranks.size();
     const SimilarityFunction fn = ctx_->config.function;
     const double theta = ctx_->config.theta;
+    // R-S: R records probe, S records index — one-directional, so probe
+    // buckets must cover the *whole* partner-length window (in the self
+    // join lengths above |t| are covered by the longer partner probing
+    // back; here S never probes).
+    const std::optional<RecordId> rs = ctx_->config.rs_boundary;
+    const bool emits_index = !rs.has_value() || rid >= *rs;
+    const bool emits_probes = !rs.has_value() || rid < *rs;
 
-    // Index signatures: conservative prefix (valid for any partner).
-    const uint64_t index_prefix = PrefixLength(fn, theta, len);
-    FSJOIN_RETURN_NOT_OK(ctx_->budget->Consume(index_prefix));
-    {
+    if (emits_index) {
+      // Index signatures: conservative prefix (valid for any partner).
+      const uint64_t index_prefix = PrefixLength(fn, theta, len);
+      FSJOIN_RETURN_NOT_OK(ctx_->budget->Consume(index_prefix));
       std::string value;
       value.push_back(kTagIndex);
       PutVarint32(&value, rid);
@@ -64,13 +72,16 @@ class SignatureMapper : public mr::Mapper {
         out->Emit(std::move(key), value);
       }
     }
+    if (!emits_probes) return Status::OK();
 
     // Probe signatures: one batch per candidate partner-length bucket.
     const uint64_t lmin = PartnerSizeLowerBound(fn, theta, len);
+    const uint64_t lmax =
+        rs.has_value() ? PartnerSizeUpperBound(fn, theta, len) : len;
     const uint64_t group = std::max<uint32_t>(ctx_->config.length_group, 1);
-    for (uint64_t lo = std::max<uint64_t>(lmin, 1); lo <= len;
+    for (uint64_t lo = std::max<uint64_t>(lmin, 1); lo <= lmax;
          lo += group) {
-      const uint64_t hi = std::min<uint64_t>(len, lo + group - 1);
+      const uint64_t hi = std::min<uint64_t>(lmax, lo + group - 1);
       // Prefix valid for every partner length in [lo, hi]: the smallest
       // length needs the longest prefix.
       const uint64_t alpha = MinOverlap(fn, theta, lo, len);

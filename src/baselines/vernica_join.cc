@@ -91,38 +91,74 @@ class KernelReducer : public mr::Reducer {
       group.push_back(std::move(rec));
     }
     // Length-sorted group enables the PPJoin-style sliding length window.
-    std::sort(group.begin(), group.end(),
-              [](const OrderedRecord& a, const OrderedRecord& b) {
-                if (a.Size() != b.Size()) return a.Size() < b.Size();
-                return a.id < b.id;
-              });
+    const auto by_size = [](const OrderedRecord& a, const OrderedRecord& b) {
+      if (a.Size() != b.Size()) return a.Size() < b.Size();
+      return a.id < b.id;
+    };
+    std::sort(group.begin(), group.end(), by_size);
 
     const SimilarityFunction fn = ctx_->config.function;
     const double theta = ctx_->config.theta;
     uint64_t local_candidates = 0;
-    for (size_t i = 0; i < group.size(); ++i) {
-      const OrderedRecord& s = group[i];
-      const uint64_t max_partner = PartnerSizeUpperBound(fn, theta, s.Size());
-      for (size_t j = i + 1; j < group.size(); ++j) {
-        const OrderedRecord& t = group[j];
-        if (t.Size() > max_partner) break;  // group sorted by size
-        if (s.id == t.id) continue;
-        if (FirstCommonPrefixToken(s, t) != group_token) {
-          continue;  // this pair is handled by another group (dedup rule)
+    const auto verify_emit = [&](const OrderedRecord& s,
+                                 const OrderedRecord& t) {
+      ++local_candidates;
+      const uint64_t required = MinOverlap(fn, theta, s.Size(), t.Size());
+      const uint64_t c = SortedOverlapAtLeast(s.tokens, t.tokens, required);
+      if (c == 0) return;
+      if (!PassesThreshold(fn, c, s.Size(), t.Size(), theta)) return;
+      std::string out_key, out_value;
+      PutFixed32BE(&out_key, std::min(s.id, t.id));
+      PutFixed32BE(&out_key, std::max(s.id, t.id));
+      double sim = ComputeSimilarity(fn, c, s.Size(), t.Size());
+      uint64_t bits = 0;
+      std::memcpy(&bits, &sim, sizeof(bits));
+      PutFixed64BE(&out_value, bits);
+      out->Emit(std::move(out_key), std::move(out_value));
+    };
+    if (ctx_->config.rs_boundary.has_value()) {
+      // R-S: split the group by side and slide each R probe over the S
+      // window its length filter allows. Same-side pairs are never formed;
+      // the longer record no longer follows the probe in sort order, so the
+      // window needs the lower partner bound too, not just the upper.
+      const RecordId boundary = *ctx_->config.rs_boundary;
+      std::vector<OrderedRecord> probe, build;
+      for (OrderedRecord& rec : group) {
+        (rec.id < boundary ? probe : build).push_back(std::move(rec));
+      }
+      for (const OrderedRecord& s : probe) {
+        const uint64_t min_partner = PartnerSizeLowerBound(fn, theta,
+                                                           s.Size());
+        const uint64_t max_partner = PartnerSizeUpperBound(fn, theta,
+                                                           s.Size());
+        auto it = std::lower_bound(
+            build.begin(), build.end(), min_partner,
+            [](const OrderedRecord& t, uint64_t bound) {
+              return t.Size() < bound;
+            });
+        for (; it != build.end(); ++it) {
+          const OrderedRecord& t = *it;
+          if (t.Size() > max_partner) break;  // build sorted by size
+          if (FirstCommonPrefixToken(s, t) != group_token) {
+            continue;  // this pair is handled by another group (dedup rule)
+          }
+          verify_emit(s, t);
         }
-        ++local_candidates;
-        const uint64_t required = MinOverlap(fn, theta, s.Size(), t.Size());
-        const uint64_t c = SortedOverlapAtLeast(s.tokens, t.tokens, required);
-        if (c == 0) continue;
-        if (!PassesThreshold(fn, c, s.Size(), t.Size(), theta)) continue;
-        std::string out_key, out_value;
-        PutFixed32BE(&out_key, std::min(s.id, t.id));
-        PutFixed32BE(&out_key, std::max(s.id, t.id));
-        double sim = ComputeSimilarity(fn, c, s.Size(), t.Size());
-        uint64_t bits = 0;
-        std::memcpy(&bits, &sim, sizeof(bits));
-        PutFixed64BE(&out_value, bits);
-        out->Emit(std::move(out_key), std::move(out_value));
+      }
+    } else {
+      for (size_t i = 0; i < group.size(); ++i) {
+        const OrderedRecord& s = group[i];
+        const uint64_t max_partner =
+            PartnerSizeUpperBound(fn, theta, s.Size());
+        for (size_t j = i + 1; j < group.size(); ++j) {
+          const OrderedRecord& t = group[j];
+          if (t.Size() > max_partner) break;  // group sorted by size
+          if (s.id == t.id) continue;
+          if (FirstCommonPrefixToken(s, t) != group_token) {
+            continue;  // this pair is handled by another group (dedup rule)
+          }
+          verify_emit(s, t);
+        }
       }
     }
     {

@@ -67,21 +67,37 @@ class PairEnumerationReducer : public mr::Reducer {
       FSJOIN_RETURN_NOT_OK(dec.GetVarint64(&e.size));
       entries.push_back(e);
     }
-    const uint64_t n = entries.size();
-    if (n >= 2) {
-      FSJOIN_RETURN_NOT_OK(ctx_->budget->Consume(n * (n - 1) / 2));
-    }
-    for (size_t i = 0; i < entries.size(); ++i) {
-      for (size_t j = i + 1; j < entries.size(); ++j) {
-        const Entry& a =
-            entries[i].rid <= entries[j].rid ? entries[i] : entries[j];
-        const Entry& b =
-            entries[i].rid <= entries[j].rid ? entries[j] : entries[i];
-        PartialOverlap partial{a.rid, b.rid, static_cast<uint32_t>(a.size),
-                               static_cast<uint32_t>(b.size), 1};
-        std::string out_key, out_value;
-        EncodePartialOverlap(partial, &out_key, &out_value);
-        out->Emit(std::move(out_key), std::move(out_value));
+    const auto emit_pair = [&](const Entry& x, const Entry& y) {
+      const Entry& a = x.rid <= y.rid ? x : y;
+      const Entry& b = x.rid <= y.rid ? y : x;
+      PartialOverlap partial{a.rid, b.rid, static_cast<uint32_t>(a.size),
+                             static_cast<uint32_t>(b.size), 1};
+      std::string out_key, out_value;
+      EncodePartialOverlap(partial, &out_key, &out_value);
+      out->Emit(std::move(out_key), std::move(out_value));
+    };
+    if (ctx_->config.rs_boundary.has_value()) {
+      // R-S: the posting list contributes one partial per *cross-side* pair
+      // sharing the token — the budget shrinks from n(n-1)/2 to n_r * n_s.
+      const RecordId boundary = *ctx_->config.rs_boundary;
+      std::vector<Entry> probe, build;
+      for (const Entry& e : entries) {
+        (e.rid < boundary ? probe : build).push_back(e);
+      }
+      const uint64_t cross = uint64_t{probe.size()} * build.size();
+      if (cross > 0) FSJOIN_RETURN_NOT_OK(ctx_->budget->Consume(cross));
+      for (const Entry& a : probe) {
+        for (const Entry& b : build) emit_pair(a, b);
+      }
+    } else {
+      const uint64_t n = entries.size();
+      if (n >= 2) {
+        FSJOIN_RETURN_NOT_OK(ctx_->budget->Consume(n * (n - 1) / 2));
+      }
+      for (size_t i = 0; i < entries.size(); ++i) {
+        for (size_t j = i + 1; j < entries.size(); ++j) {
+          emit_pair(entries[i], entries[j]);
+        }
       }
     }
     return Status::OK();

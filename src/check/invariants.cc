@@ -45,9 +45,17 @@ uint64_t Oracle::OverlapOf(const Corpus& corpus, RecordId a,
 }
 
 Oracle BuildOracle(const Corpus& corpus, SimilarityFunction fn, double theta) {
+  return BuildOracle(corpus, fn, theta, std::nullopt);
+}
+
+Oracle BuildOracle(const Corpus& corpus, SimilarityFunction fn, double theta,
+                   std::optional<RecordId> rs_boundary) {
   Oracle oracle;
   GlobalOrder order = GlobalOrder::FromCorpus(corpus);
-  oracle.pairs = BruteForceJoin(ApplyGlobalOrder(corpus, order), fn, theta);
+  std::vector<OrderedRecord> ordered = ApplyGlobalOrder(corpus, order);
+  oracle.pairs = rs_boundary.has_value()
+                     ? BruteForceJoinRS(ordered, *rs_boundary, fn, theta)
+                     : BruteForceJoin(ordered, fn, theta);
   return oracle;
 }
 
@@ -72,6 +80,23 @@ std::vector<std::string> CheckInvariants(const Corpus& corpus,
                        oracle.pairs[i].a, oracle.pairs[i].b,
                        oracle.pairs[i].similarity,
                        outcome.pairs[i].similarity));
+        break;
+      }
+    }
+  }
+
+  // ---- R-S: every emitted pair straddles the boundary ------------------
+  // Pairs are normalized a < b and R ids precede S ids, so straddling means
+  // exactly a < boundary <= b. A violation is a structural leak: some join
+  // loop enumerated an R×R or S×S pair the side tagging should have made
+  // impossible.
+  if (point.rs_boundary.has_value()) {
+    const RecordId boundary = *point.rs_boundary;
+    for (const SimilarPair& p : outcome.pairs) {
+      if (p.a >= boundary || p.b < boundary) {
+        fail(StrFormat("same-side pair (%u,%u) emitted in R-S mode "
+                       "(boundary %u)",
+                       p.a, p.b, boundary));
         break;
       }
     }
@@ -137,6 +162,14 @@ std::vector<std::string> CheckInvariants(const Corpus& corpus,
       }
       if (p.overlap == 0) {
         fail(StrFormat("zero partial overlap emitted for (%u,%u)", p.a, p.b));
+        partials_ok = false;
+        break;
+      }
+      if (point.rs_boundary.has_value() &&
+          (p.a >= *point.rs_boundary || p.b < *point.rs_boundary)) {
+        fail(StrFormat("same-side partial (%u,%u) emitted in R-S mode "
+                       "(boundary %u)",
+                       p.a, p.b, *point.rs_boundary));
         partials_ok = false;
         break;
       }

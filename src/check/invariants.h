@@ -2,6 +2,7 @@
 #define FSJOIN_CHECK_INVARIANTS_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,12 @@ struct Oracle {
 };
 
 Oracle BuildOracle(const Corpus& corpus, SimilarityFunction fn, double theta);
+
+/// Boundary-aware overload: with rs_boundary set the ground truth is
+/// BruteForceJoinRS (only boundary-straddling pairs); nullopt delegates to
+/// the self-join oracle.
+Oracle BuildOracle(const Corpus& corpus, SimilarityFunction fn, double theta,
+                   std::optional<RecordId> rs_boundary);
 
 /// Everything one algorithm run exposes to the invariant checker.
 struct RunOutcome {
@@ -50,6 +57,9 @@ struct RunOutcome {
 ///    exactly one terminal bucket (role/strl/segl/segi/segd/empty/emitted);
 ///  * partial-overlap conservation: for every oracle pair, Σ fragment
 ///    overlaps == the exact overlap; for any pair, Σ never exceeds it;
+///  * R-S mode (point.rs_boundary set): every emitted pair and every
+///    partial overlap straddles the boundary — a same-side pair anywhere in
+///    the dataflow is a structural leak, not a scoring error;
 ///  * JobMetrics byte accounting: map output == shuffle volume per job,
 ///    task sums match job totals, spill counters are paired.
 std::vector<std::string> CheckInvariants(const Corpus& corpus,

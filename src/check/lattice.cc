@@ -80,23 +80,26 @@ const char* AlgorithmName(Algorithm algorithm) {
 }
 
 std::string LatticePoint::Name() const {
+  const std::string rs_suffix =
+      rs_boundary.has_value() ? StrFormat(", rs=%u", *rs_boundary) : "";
   if (algorithm == Algorithm::kFsJoin) {
     const exec::ExecConfig& e = fsjoin.exec;
     return StrFormat(
         "fsjoin(%s, backend=%s, maps=%u, reduces=%u, threads=%zu, "
-        "morsel=%zu, spill=%llu, kernel=%s, runner=%s%s)",
+        "morsel=%zu, spill=%llu, kernel=%s, runner=%s%s%s)",
         fsjoin.Summary().c_str(), exec::BackendKindName(e.backend),
         e.num_map_tasks, e.num_reduce_tasks, e.num_threads,
         e.parallel_fragment_join ? e.join_morsel_size : size_t{0},
         static_cast<unsigned long long>(e.shuffle_memory_bytes),
         exec::KernelModeName(e.kernel), mr::RunnerKindName(e.runner),
         e.auto_tune ? StrFormat(", rate=%.2f", e.tune_sample_rate).c_str()
-                    : "");
+                    : "",
+        rs_suffix.c_str());
   }
   const exec::ExecConfig& e = baseline.exec;
   return StrFormat(
       "%s(theta=%.2f, fn=%s, backend=%s, maps=%u, reduces=%u, threads=%zu, "
-      "spill=%llu, runner=%s%s)",
+      "spill=%llu, runner=%s%s%s)",
       AlgorithmName(algorithm), baseline.theta,
       SimilarityFunctionName(baseline.function),
       exec::BackendKindName(e.backend), e.num_map_tasks, e.num_reduce_tasks,
@@ -104,7 +107,8 @@ std::string LatticePoint::Name() const {
       mr::RunnerKindName(e.runner),
       algorithm == Algorithm::kMassJoin
           ? StrFormat(", lg=%u", massjoin_length_group).c_str()
-          : "");
+          : "",
+      rs_suffix.c_str());
 }
 
 std::vector<LatticePoint> SampleLattice(uint64_t seed, size_t count) {

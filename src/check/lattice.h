@@ -2,6 +2,7 @@
 #define FSJOIN_CHECK_LATTICE_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,11 @@ struct LatticePoint {
   FsJoinConfig fsjoin;
   BaselineConfig baseline;
   uint32_t massjoin_length_group = 1;
+  /// R-S shape of the run (FsJoinConfig::rs_boundary contract): set by the
+  /// sweeper from the scenario, adjusted by the minimizer as records are
+  /// removed, and copied by RunPoint into whichever config the algorithm
+  /// reads. Like theta it is semantic: it changes the expected result set.
+  std::optional<RecordId> rs_boundary;
 
   double theta() const { return fsjoin.theta; }
   SimilarityFunction function() const { return fsjoin.function; }

@@ -35,8 +35,11 @@ class Shrinker {
 };
 
 /// Classic ddmin over whole records: remove ever-finer complement chunks as
-/// long as the failure survives.
-void DdminRecords(Shrinker& shrinker, const LatticePoint& point,
+/// long as the failure survives. In R-S mode removing records shifts ids
+/// across the boundary, so each candidate recomputes it as the number of
+/// surviving records that were on the R side — the minimized repro keeps a
+/// consistent two-collection shape all the way down.
+void DdminRecords(Shrinker& shrinker, LatticePoint* point,
                   std::vector<std::vector<uint32_t>>* sets) {
   size_t n = 2;
   while (sets->size() >= 2 && !shrinker.Exhausted()) {
@@ -46,12 +49,23 @@ void DdminRecords(Shrinker& shrinker, const LatticePoint& point,
     for (size_t start = 0; start < size; start += chunk) {
       std::vector<std::vector<uint32_t>> candidate;
       candidate.reserve(size - 1);
+      RecordId kept_r = 0;
       for (size_t i = 0; i < size; ++i) {
-        if (i < start || i >= start + chunk) candidate.push_back((*sets)[i]);
+        if (i < start || i >= start + chunk) {
+          if (point->rs_boundary.has_value() && i < *point->rs_boundary) {
+            ++kept_r;
+          }
+          candidate.push_back((*sets)[i]);
+        }
       }
       if (candidate.size() == size) continue;
-      if (shrinker.StillFails(candidate, point)) {
+      LatticePoint candidate_point = *point;
+      if (candidate_point.rs_boundary.has_value()) {
+        candidate_point.rs_boundary = kept_r;
+      }
+      if (shrinker.StillFails(candidate, candidate_point)) {
         *sets = std::move(candidate);
+        *point = std::move(candidate_point);
         n = std::max<size_t>(2, n - 1);
         reduced = true;
         break;
@@ -311,9 +325,20 @@ std::string MinimizedRepro::ToCppTestCase() const {
                        static_cast<unsigned long long>(cfg.seed));
     }
     EmitExecOverrides(cfg.exec, "config", &out);
+    if (point.rs_boundary.has_value()) {
+      out += StrFormat("  config.rs_boundary = %u;\n", *point.rs_boundary);
+      out += StrFormat(
+          "  const JoinResultSet expected = BruteForceJoinRS(\n"
+          "      testing::OrderedView(corpus), %u, config.function, "
+          "config.theta);\n",
+          *point.rs_boundary);
+    } else {
+      out +=
+          "  const JoinResultSet expected = BruteForceJoin(\n"
+          "      testing::OrderedView(corpus), config.function, "
+          "config.theta);\n";
+    }
     out +=
-        "  const JoinResultSet expected = BruteForceJoin(\n"
-        "      testing::OrderedView(corpus), config.function, config.theta);\n"
         "  Result<FsJoinOutput> out = FsJoin(config).Run(corpus);\n"
         "  ASSERT_TRUE(out.ok()) << out.status().ToString();\n"
         "  EXPECT_TRUE(SamePairs(expected, out->pairs))\n"
@@ -336,9 +361,20 @@ std::string MinimizedRepro::ToCppTestCase() const {
     out += StrFormat("  config.theta = %.17g;\n", theta);
     out += StrFormat("  config.function = %s;\n", FunctionLiteral(fn));
     EmitExecOverrides(point.baseline.exec, "config", &out);
+    if (point.rs_boundary.has_value()) {
+      out += StrFormat("  config.rs_boundary = %u;\n", *point.rs_boundary);
+      out += StrFormat(
+          "  const JoinResultSet expected = BruteForceJoinRS(\n"
+          "      testing::OrderedView(corpus), %u, config.function, "
+          "config.theta);\n",
+          *point.rs_boundary);
+    } else {
+      out +=
+          "  const JoinResultSet expected = BruteForceJoin(\n"
+          "      testing::OrderedView(corpus), config.function, "
+          "config.theta);\n";
+    }
     out += StrFormat(
-        "  const JoinResultSet expected = BruteForceJoin(\n"
-        "      testing::OrderedView(corpus), config.function, config.theta);\n"
         "  Result<BaselineOutput> out = %s(corpus, config);\n"
         "  ASSERT_TRUE(out.ok()) << out.status().ToString();\n"
         "  EXPECT_TRUE(SamePairs(expected, out->pairs))\n"
@@ -362,9 +398,27 @@ MinimizedRepro Minimize(const Corpus& corpus, const LatticePoint& point,
     repro.predicate_runs = shrinker.runs();
     return repro;
   }
-  DdminRecords(shrinker, repro.point, &repro.sets);
-  ShrinkTokens(shrinker, repro.point, &repro.sets);
-  ShrinkConfig(shrinker, repro.sets, &repro.point);
+  // Record removal, token removal and config simplification unlock each
+  // other: dropping a token shifts frequencies, the global ordering, and
+  // the pivots; fewer vertical partitions make the failure less
+  // pivot-sensitive, which can make a record that previously carried the
+  // failure removable (and vice versa). R-S repros are especially
+  // pivot-sensitive, so iterate the passes to a fixpoint instead of
+  // running each once.
+  for (;;) {
+    const size_t records_before = repro.sets.size();
+    size_t tokens_before = 0;
+    for (const auto& set : repro.sets) tokens_before += set.size();
+    DdminRecords(shrinker, &repro.point, &repro.sets);
+    ShrinkTokens(shrinker, repro.point, &repro.sets);
+    ShrinkConfig(shrinker, repro.sets, &repro.point);
+    size_t tokens_after = 0;
+    for (const auto& set : repro.sets) tokens_after += set.size();
+    if (shrinker.Exhausted() || (repro.sets.size() == records_before &&
+                                 tokens_after == tokens_before)) {
+      break;
+    }
+  }
   repro.predicate_runs = shrinker.runs();
   return repro;
 }

@@ -31,6 +31,7 @@ Result<RunOutcome> RunPoint(const Corpus& corpus, const LatticePoint& point) {
   switch (point.algorithm) {
     case Algorithm::kFsJoin: {
       FsJoinConfig config = point.fsjoin;
+      config.rs_boundary = point.rs_boundary;
       config.collect_partial_overlaps = true;
       FSJOIN_ASSIGN_OR_RETURN(FsJoinOutput output,
                               FsJoin(config).Run(corpus));
@@ -47,18 +48,23 @@ Result<RunOutcome> RunPoint(const Corpus& corpus, const LatticePoint& point) {
       return outcome;
     }
     case Algorithm::kVernica: {
+      BaselineConfig config = point.baseline;
+      config.rs_boundary = point.rs_boundary;
       FSJOIN_ASSIGN_OR_RETURN(BaselineOutput output,
-                              RunVernicaJoin(corpus, point.baseline));
+                              RunVernicaJoin(corpus, config));
       return FromBaseline(std::move(output));
     }
     case Algorithm::kVSmart: {
+      BaselineConfig config = point.baseline;
+      config.rs_boundary = point.rs_boundary;
       FSJOIN_ASSIGN_OR_RETURN(BaselineOutput output,
-                              RunVSmartJoin(corpus, point.baseline));
+                              RunVSmartJoin(corpus, config));
       return FromBaseline(std::move(output));
     }
     case Algorithm::kMassJoin: {
       MassJoinConfig config;
       static_cast<BaselineConfig&>(config) = point.baseline;
+      config.rs_boundary = point.rs_boundary;
       config.length_group = point.massjoin_length_group;
       FSJOIN_ASSIGN_OR_RETURN(BaselineOutput output,
                               RunMassJoin(corpus, config));

@@ -247,7 +247,29 @@ std::vector<std::vector<uint32_t>> SetsFromCorpus(const Corpus& corpus) {
   return sets;
 }
 
+std::string JoinShape::Name() const {
+  if (!rs) return "self";
+  return StrFormat("rs%u:%u", r_weight, s_weight);
+}
+
+JoinShape SampleJoinShape(uint64_t seed) {
+  Rng rng(seed * 0x2545f4914f6cdd1dull + 11);
+  JoinShape shape;
+  if (!rng.NextBool(0.5)) return shape;  // self join
+  shape.rs = true;
+  constexpr uint32_t kRatios[][2] = {{1, 1}, {1, 10}, {10, 1}, {1, 0}};
+  const uint64_t pick = rng.NextBounded(4);
+  shape.r_weight = kRatios[pick][0];
+  shape.s_weight = kRatios[pick][1];
+  return shape;
+}
+
 Scenario MakeScenario(uint64_t seed, SimilarityFunction fn, double theta) {
+  return MakeScenario(seed, fn, theta, JoinShape{});
+}
+
+Scenario MakeScenario(uint64_t seed, SimilarityFunction fn, double theta,
+                      const JoinShape& shape) {
   Scenario scenario;
   scenario.seed = seed;
   scenario.family = kFamilies[seed % kNumFamilies];
@@ -280,6 +302,7 @@ Scenario MakeScenario(uint64_t seed, SimilarityFunction fn, double theta) {
       plant_count = 4;
       break;
   }
+  const size_t base_count = sets.size();
 
   // Every family gets near-threshold pairs: the boundary sim ∈
   // {tau - eps, tau, tau + eps} is where exact-join reproductions drift.
@@ -289,7 +312,36 @@ Scenario MakeScenario(uint64_t seed, SimilarityFunction fn, double theta) {
   }
   PlantNearThresholdPairs(&sets, fn, theta, plant_count, next_token, rng);
 
-  scenario.corpus = CorpusFromSets(sets);
+  if (!shape.rs) {
+    scenario.corpus = CorpusFromSets(sets);
+    return scenario;
+  }
+
+  // Split into R and S. Planted records arrive as consecutive (a, b) pairs
+  // after base_count: a goes to R and b to S, so every near-threshold pair
+  // straddles the boundary. Base records draw their side from the ratio.
+  // s_weight == 0 keeps S empty (everything, planted pairs included, in R).
+  std::vector<std::vector<uint32_t>> r_sets, s_sets;
+  const double r_probability =
+      shape.s_weight == 0
+          ? 1.0
+          : static_cast<double>(shape.r_weight) /
+                static_cast<double>(shape.r_weight + shape.s_weight);
+  for (size_t i = 0; i < sets.size(); ++i) {
+    bool to_r;
+    if (shape.s_weight == 0) {
+      to_r = true;
+    } else if (i >= base_count) {
+      to_r = (i - base_count) % 2 == 0;
+    } else {
+      to_r = rng.NextBool(r_probability);
+    }
+    (to_r ? r_sets : s_sets).push_back(std::move(sets[i]));
+  }
+  scenario.family += "/" + shape.Name();
+  scenario.rs_boundary = static_cast<RecordId>(r_sets.size());
+  for (std::vector<uint32_t>& set : s_sets) r_sets.push_back(std::move(set));
+  scenario.corpus = CorpusFromSets(r_sets);
   return scenario;
 }
 

@@ -2,6 +2,7 @@
 #define FSJOIN_CHECK_SCENARIOS_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -19,7 +20,28 @@ struct Scenario {
   std::string family;  ///< "zipf", "uniform", "clustered", ...
   uint64_t seed = 0;
   Corpus corpus;
+  /// Set for R-S scenarios: records with id < rs_boundary are the R side
+  /// (FsJoinConfig::rs_boundary contract). nullopt = self join.
+  std::optional<RecordId> rs_boundary;
 };
+
+/// The join-mode dimension of the fuzz lattice: self join, or a
+/// two-collection R-S join with a target |R|:|S| ratio. s_weight == 0 is
+/// the |S| = 0 edge case (a non-empty R probed against nothing).
+struct JoinShape {
+  bool rs = false;
+  uint32_t r_weight = 1;
+  uint32_t s_weight = 1;
+
+  /// "self", "rs1:1", "rs1:10", "rs10:1", "rs1:0".
+  std::string Name() const;
+};
+
+/// Per-seed draw of the join shape: half the seeds run self joins (the
+/// corpus exactly as MakeScenario built it), the rest R-S with a ratio from
+/// {1:1, 1:10, 10:1, |S|=0}. Uses its own Rng stream so adding the
+/// dimension did not reshuffle which corpus a seed maps to.
+JoinShape SampleJoinShape(uint64_t seed);
 
 /// The scenario families cycled through by MakeScenario. Kept public so the
 /// fuzz driver can print what a seed maps to.
@@ -43,6 +65,16 @@ std::vector<std::string> ScenarioFamilies();
 /// boundary is where exact joins drift). Same seed, fn and theta — same
 /// corpus, byte for byte.
 Scenario MakeScenario(uint64_t seed, SimilarityFunction fn, double theta);
+
+/// Shape-aware variant. For an R-S shape the family's records are split
+/// into the two collections at the requested ratio, every planted
+/// near-threshold pair is split *across* the boundary (one record in R, one
+/// in S — the τ ± ε pairs must be cross-collection to exercise the R-S
+/// result path), and the corpus is reordered R-first with
+/// `rs_boundary = |R|`. A self shape is byte-identical to the 3-arg
+/// overload.
+Scenario MakeScenario(uint64_t seed, SimilarityFunction fn, double theta,
+                      const JoinShape& shape);
 
 /// Plants `count` record pairs with similarity just below, exactly at and
 /// just above theta into `sets` (token-id sets; appended records use fresh

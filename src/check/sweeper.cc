@@ -18,7 +18,8 @@ namespace {
 /// so shrunk inputs are judged against their own ground truth.
 bool PointFails(const Corpus& corpus, const LatticePoint& point,
                 std::string* first_message) {
-  Oracle oracle = BuildOracle(corpus, point.function(), point.theta());
+  Oracle oracle = BuildOracle(corpus, point.function(), point.theta(),
+                              point.rs_boundary);
   Result<RunOutcome> outcome = RunPoint(corpus, point);
   if (!outcome.ok()) {
     if (first_message) {
@@ -74,8 +75,15 @@ SweepReport RunSweep(const SweepOptions& options) {
     if (points.empty()) continue;
     const SimilarityFunction fn = points[0].function();
     const double theta = points[0].theta();
-    Scenario scenario = MakeScenario(seed, fn, theta);
-    Oracle oracle = BuildOracle(scenario.corpus, fn, theta);
+    // Join shape is a per-seed dimension like theta: every lattice point of
+    // the seed runs the same (self or R-S) join, so digests stay comparable.
+    const JoinShape shape = SampleJoinShape(seed);
+    Scenario scenario = MakeScenario(seed, fn, theta, shape);
+    for (LatticePoint& point : points) {
+      point.rs_boundary = scenario.rs_boundary;
+    }
+    Oracle oracle =
+        BuildOracle(scenario.corpus, fn, theta, scenario.rs_boundary);
     report.oracle_pairs += oracle.pairs.size();
     ++report.seeds_run;
 

@@ -22,6 +22,8 @@ void JoinFragmentBatch(const SegmentBatch& batch,
                        FilterCounters* counters) {
   if (batch.empty()) return;
   FSJOIN_CHECK(batch.sealed());  // bitmaps/containers back the kernels
+  // R-S joins iterate the side lists; an untagged batch would join nothing.
+  FSJOIN_CHECK(!opts.rs_boundary.has_value() || batch.side_tagged());
   // One registry lookup per fragment; the compiled pipeline carries the
   // method / filter-subset / kernel branches in its instantiation instead of
   // re-deciding them per candidate pair (core/join_pipeline.h).
@@ -31,7 +33,9 @@ void JoinFragmentBatch(const SegmentBatch& batch,
 void JoinFragment(const std::vector<SegmentRecord>& segments,
                   const FragmentJoinOptions& opts,
                   std::vector<PartialOverlap>* out, FilterCounters* counters) {
-  JoinFragmentBatch(SegmentBatch::FromRecords(segments), opts, out, counters);
+  SegmentBatch batch = SegmentBatch::FromRecords(segments);
+  if (opts.rs_boundary.has_value()) batch.TagSides(*opts.rs_boundary);
+  JoinFragmentBatch(batch, opts, out, counters);
 }
 
 }  // namespace fsjoin

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "core/fsjoin_config.h"
@@ -50,9 +51,16 @@ struct FragmentJoinOptions {
   bool use_segment_length_filter = true;
   bool use_segment_intersection_filter = true;
   bool use_segment_difference_filter = true;
-  /// Optional structural pairing rule (horizontal band role, R-S sides).
-  /// When set, pairs for which it returns false are never joined.
+  /// Optional structural pairing rule (horizontal band role). When set,
+  /// pairs for which it returns false are never joined.
   std::function<bool(const SegmentView&, const SegmentView&)> pair_allowed;
+
+  /// Two-collection joins: when set, rows with rid < rs_boundary are the
+  /// probe (R) side and the rest the build (S) side, and the join loops
+  /// enumerate only cross-side pairs — R×R/S×S pairs are never formed (and
+  /// never counted), instead of being generated and filtered out. The
+  /// batch must be side-tagged (SegmentBatch::TagSides) with this boundary.
+  std::optional<RecordId> rs_boundary;
 
   /// Morsel-parallel execution (exec::ExecConfig::parallel_fragment_join):
   /// when `morsel_pool` is set and `morsel_size` > 0, the probe loop is cut

@@ -128,6 +128,7 @@ Result<FsJoinOutput> FsJoin::Run(const Corpus& corpus) const {
     topt.num_fragments = config_.num_vertical_partitions;
     topt.function = config_.function;
     topt.theta = config_.theta;
+    topt.rs_boundary = config_.rs_boundary;
     tune::TunePlan plan = tune::PlanTuning(corpus, *shared_order, topt);
     log.sample_rate = topt.sample_rate > 0 ? topt.sample_rate
                                            : tune::kDefaultSampleRate;
@@ -276,32 +277,49 @@ Result<FsJoinOutput> FsJoin::Run(const Corpus& corpus) const {
   return output;
 }
 
+Corpus MergeJoinInput(const JoinInput& input) {
+  Corpus merged;
+  merged.records.reserve(input.r.records.size() + input.s.records.size());
+  // R's dictionary first, in token-id order: the union mapping is the
+  // identity on R, so probe-side token ids survive the merge unchanged even
+  // when the vocabularies are disjoint.
+  for (TokenId t = 0; t < static_cast<TokenId>(input.r.dictionary.size());
+       ++t) {
+    merged.dictionary.Intern(input.r.dictionary.TokenString(t));
+  }
+  for (const Record& rec : input.r.records) {
+    Record copy;
+    copy.id = static_cast<RecordId>(merged.records.size());
+    copy.tokens = rec.tokens;  // sorted unique by Corpus invariant
+    for (TokenId t : copy.tokens) merged.dictionary.AddFrequency(t, 1);
+    merged.records.push_back(std::move(copy));
+  }
+  for (const Record& rec : input.s.records) {
+    Record copy;
+    copy.id = static_cast<RecordId>(merged.records.size());
+    copy.tokens.reserve(rec.tokens.size());
+    for (TokenId t : rec.tokens) {
+      copy.tokens.push_back(
+          merged.dictionary.Intern(input.s.dictionary.TokenString(t)));
+    }
+    std::sort(copy.tokens.begin(), copy.tokens.end());
+    copy.tokens.erase(std::unique(copy.tokens.begin(), copy.tokens.end()),
+                      copy.tokens.end());
+    for (TokenId t : copy.tokens) merged.dictionary.AddFrequency(t, 1);
+    merged.records.push_back(std::move(copy));
+  }
+  return merged;
+}
+
+Result<FsJoinOutput> FsJoin::Run(const JoinInput& input) const {
+  FsJoinConfig config = config_;
+  config.rs_boundary = static_cast<RecordId>(input.r.records.size());
+  return FsJoin(std::move(config)).Run(MergeJoinInput(input));
+}
+
 Result<FsJoinOutput> FsJoinRS(const Corpus& r, const Corpus& s,
                               FsJoinConfig config) {
-  // Concatenate R and S into one corpus; S's record ids are offset by |R|.
-  Corpus merged;
-  merged.records.reserve(r.records.size() + s.records.size());
-  auto append = [&merged](const Corpus& src) {
-    for (const Record& rec : src.records) {
-      Record copy;
-      copy.id = static_cast<RecordId>(merged.records.size());
-      copy.tokens.reserve(rec.tokens.size());
-      for (TokenId t : rec.tokens) {
-        copy.tokens.push_back(
-            merged.dictionary.Intern(src.dictionary.TokenString(t)));
-      }
-      std::sort(copy.tokens.begin(), copy.tokens.end());
-      copy.tokens.erase(std::unique(copy.tokens.begin(), copy.tokens.end()),
-                        copy.tokens.end());
-      for (TokenId t : copy.tokens) merged.dictionary.AddFrequency(t, 1);
-      merged.records.push_back(std::move(copy));
-    }
-  };
-  append(r);
-  append(s);
-  config.rs_boundary = static_cast<RecordId>(r.records.size());
-  FsJoin join(std::move(config));
-  return join.Run(merged);
+  return FsJoin(std::move(config)).Run(JoinInput{r, s});
 }
 
 }  // namespace fsjoin

@@ -65,6 +65,25 @@ struct FsJoinReport {
   std::string Summary() const;
 };
 
+/// A two-collection (R-S) join input: probe collection R and build
+/// collection S. The join produces exactly the cross pairs — one record
+/// from each side — whose similarity passes theta; no R×R or S×S pair is
+/// ever formed.
+struct JoinInput {
+  const Corpus& r;
+  const Corpus& s;
+};
+
+/// Builds the merged corpus every R-S plan runs on. R's records keep both
+/// their record ids and their token ids: R's dictionary is interned first,
+/// in token-id order, so the union mapping is the identity on R and probe
+/// tokens are never remapped (the disjoint-vocabulary invariant the check
+/// harness asserts). S's tokens are interned into the union dictionary and
+/// its record ids are offset by |R|. Term frequencies are recomputed over
+/// R ∪ S, which is what makes the global token ordering shared by both
+/// sides. The R/S boundary of the result is input.r.records.size().
+Corpus MergeJoinInput(const JoinInput& input);
+
 /// The result pairs plus the full report.
 struct FsJoinOutput {
   JoinResultSet pairs;
@@ -97,6 +116,11 @@ class FsJoin {
   /// Runs the self-join (or R-S join when config.rs_boundary is set) over
   /// `corpus`. Deterministic for a fixed corpus and config.
   Result<FsJoinOutput> Run(const Corpus& corpus) const;
+
+  /// Runs the two-collection join R ⋈_θ S: merges the input through
+  /// MergeJoinInput, sets rs_boundary = |R| and executes the same plans.
+  /// Result pairs have `a` in R's id space and `b` offset by |R|.
+  Result<FsJoinOutput> Run(const JoinInput& input) const;
 
   const FsJoinConfig& config() const { return config_; }
 

@@ -143,6 +143,12 @@ class FilteringReducer : public mr::Reducer {
 
     FragmentJoinOptions opts;
     const FsJoinConfig& cfg = ctx_->config;
+    if (cfg.rs_boundary.has_value()) {
+      // Side-tag the fragment so the join loops enumerate only cross-side
+      // pairs (probe R rows against build S rows; see DESIGN.md §5k).
+      batch.TagSides(*cfg.rs_boundary);
+      opts.rs_boundary = cfg.rs_boundary;
+    }
     opts.function = cfg.function;
     opts.theta = cfg.theta;
     opts.method = cfg.join_method;
@@ -165,6 +171,14 @@ class FilteringReducer : public mr::Reducer {
         shape.max_segment_len = std::max(shape.max_segment_len,
                                          batch.length(i));
       }
+      if (batch.side_tagged()) {
+        // R-S fragments are asymmetric: the cost model sees probe x build,
+        // not n-choose-2 (tune/decision.h).
+        shape.probe_segments =
+            static_cast<uint32_t>(batch.probe_rows().size());
+        shape.build_segments =
+            static_cast<uint32_t>(batch.build_rows().size());
+      }
       const tune::FragmentPlan plan =
           tune::ChooseFragmentPlan(shape, ctx_->policy);
       if (ctx_->auto_choose_method) opts.method = plan.method;
@@ -176,20 +190,17 @@ class FilteringReducer : public mr::Reducer {
     }
 
     const HorizontalScheme* horizontal = &ctx_->horizontal;
-    const std::optional<RecordId> rs_boundary = cfg.rs_boundary;
     // Light fragments under skew-triggered splitting carry one length
     // group, so every pair is joined where it lands (see FilteringMapper).
+    // Same-side R-S pairs need no rule here: the side-tagged join loops
+    // never enumerate them in the first place.
     const bool use_scheme =
         ctx_->split_fragment.empty() ||
         (fragment < ctx_->split_fragment.size() &&
          ctx_->split_fragment[fragment] != 0);
-    opts.pair_allowed = [group, horizontal, rs_boundary, use_scheme](
+    opts.pair_allowed = [group, horizontal, use_scheme](
                             const SegmentView& a, const SegmentView& b) {
       if (a.rid == b.rid) return false;
-      if (rs_boundary.has_value() &&
-          (a.rid < *rs_boundary) == (b.rid < *rs_boundary)) {
-        return false;  // R-S join: pairs must straddle the boundary
-      }
       if (!use_scheme) return true;
       return horizontal->ShouldJoinInGroup(group, a.record_size,
                                            b.record_size);

@@ -286,6 +286,36 @@ PrefixIndex BuildPrefixIndex(const SegmentBatch& batch, LenFn prefix_len) {
   return index;
 }
 
+/// R-S variant: indexes only the given rows (the build/S side). The probe
+/// side is never inserted, so the index is static and every probe sees the
+/// full build side — there is no position-<-probe cut like the self-join
+/// formulation needs to avoid double enumeration.
+template <typename LenFn>
+PrefixIndex BuildPrefixIndexOverRows(const SegmentBatch& batch,
+                                     const std::vector<uint32_t>& rows,
+                                     LenFn prefix_len) {
+  PrefixIndex index;
+  index.order = rows;
+  std::sort(index.order.begin(), index.order.end(),
+            [&](uint32_t a, uint32_t b) {
+              if (batch.record_size(a) != batch.record_size(b)) {
+                return batch.record_size(a) < batch.record_size(b);
+              }
+              return batch.rid(a) < batch.rid(b);
+            });
+  index.prefix_len.resize(index.order.size());
+  for (uint32_t oi = 0; oi < index.order.size(); ++oi) {
+    const uint32_t row = index.order[oi];
+    const uint32_t px = static_cast<uint32_t>(prefix_len(row));
+    index.prefix_len[oi] = px;
+    const TokenRank* tokens = batch.tokens(row);
+    for (uint32_t p = 0; p < px; ++p) {
+      index.postings[tokens[p]].push_back(oi);
+    }
+  }
+  return index;
+}
+
 /// Per-morsel candidate-dedup scratch: probe-stamp arrays recycled across
 /// morsels. Stamps are order positions, unique per probe within one batch
 /// join, so a recycled array never needs resetting.
@@ -325,6 +355,23 @@ void LoopJoinRangeT(const SegmentBatch& batch, const FragmentJoinOptions& opts,
   const uint32_t n = batch.size();
   for (uint32_t i = begin; i < end; ++i) {
     for (uint32_t j = i + 1; j < n; ++j) {
+      ProcessPairT<Mask, K>(batch, i, j, opts, out, counters);
+    }
+  }
+}
+
+/// R-S nested loop: probe rows [begin, end) of the side-tagged probe list
+/// against every build row. Same-side pairs are never enumerated.
+template <uint32_t Mask, KernelMode K>
+void RsLoopJoinRangeT(const SegmentBatch& batch,
+                      const FragmentJoinOptions& opts, uint32_t begin,
+                      uint32_t end, std::vector<PartialOverlap>* out,
+                      FilterCounters* counters) {
+  const std::vector<uint32_t>& probes = batch.probe_rows();
+  const std::vector<uint32_t>& builds = batch.build_rows();
+  for (uint32_t pi = begin; pi < end; ++pi) {
+    const uint32_t i = probes[pi];
+    for (uint32_t j : builds) {
       ProcessPairT<Mask, K>(batch, i, j, opts, out, counters);
     }
   }
@@ -372,10 +419,81 @@ void IndexedProbeRangeT(const SegmentBatch& batch,
   }
 }
 
-/// Compiled pipeline, nested-loop shape.
+/// R-S indexed probe: probe rows [begin, end) of the probe list against a
+/// prefix index built over the build side only. Unlike the self-join
+/// formulation the index holds records both shorter AND longer than the
+/// probe, so the candidate window is bounded by the partner-size bounds on
+/// both ends (record sizes ascend along every posting list — two binary
+/// searches). `probe_prefix` holds the probe rows' own prefix lengths,
+/// computed with the same per-row policy as the index side, which keeps the
+/// prefix-sharing soundness argument pairwise identical to the self-join.
+template <uint32_t Mask, KernelMode K>
+void RsIndexedProbeRangeT(const SegmentBatch& batch,
+                          const FragmentJoinOptions& opts,
+                          const PrefixIndex& index,
+                          const std::vector<uint32_t>& probe_prefix,
+                          uint32_t begin, uint32_t end,
+                          std::vector<uint32_t>* last_probe,
+                          std::vector<PartialOverlap>* out,
+                          FilterCounters* counters) {
+  const std::vector<uint32_t>& probes = batch.probe_rows();
+  for (uint32_t pi = begin; pi < end; ++pi) {
+    const uint32_t xi = probes[pi];
+    const uint32_t px = probe_prefix[pi];
+    uint64_t min_partner = 0;
+    uint64_t max_partner = std::numeric_limits<uint64_t>::max();
+    if constexpr ((Mask & kPipelineStrL) != 0) {
+      min_partner = PartnerSizeLowerBound(opts.function, opts.theta,
+                                          batch.record_size(xi));
+      max_partner = PartnerSizeUpperBound(opts.function, opts.theta,
+                                          batch.record_size(xi));
+    }
+    const TokenRank* tokens = batch.tokens(xi);
+    for (uint32_t p = 0; p < px; ++p) {
+      auto it = index.postings.find(tokens[p]);
+      if (it == index.postings.end()) continue;
+      const std::vector<uint32_t>& list = it->second;
+      auto first = list.begin();
+      auto last = list.end();
+      if constexpr ((Mask & kPipelineStrL) != 0) {
+        first = std::lower_bound(
+            list.begin(), list.end(), min_partner,
+            [&](uint32_t e, uint64_t bound) {
+              return batch.record_size(index.order[e]) < bound;
+            });
+        last = std::upper_bound(
+            first, list.end(), max_partner, [&](uint64_t bound, uint32_t e) {
+              return bound < batch.record_size(index.order[e]);
+            });
+      }
+      for (auto e = first; e != last; ++e) {
+        const uint32_t j = index.order[*e];
+        if ((*last_probe)[j] == pi) continue;  // already a candidate
+        (*last_probe)[j] = pi;
+        ProcessPairT<Mask, K>(batch, j, xi, opts, out, counters);
+      }
+    }
+  }
+}
+
+/// Compiled pipeline, nested-loop shape. Self vs. R-S is a run-time branch
+/// taken once per fragment — doubling the template instantiations for it
+/// would buy nothing (the side lists are loop bounds, not per-pair work).
 template <uint32_t Mask, KernelMode K>
 void LoopPipeline(const SegmentBatch& batch, const FragmentJoinOptions& opts,
                   std::vector<PartialOverlap>* out, FilterCounters* counters) {
+  if (opts.rs_boundary.has_value()) {
+    RunMorsels(
+        static_cast<uint32_t>(batch.probe_rows().size()), opts,
+        [&](uint32_t begin, uint32_t end,
+            std::vector<PartialOverlap>* range_out,
+            FilterCounters* range_counters) {
+          RsLoopJoinRangeT<Mask, K>(batch, opts, begin, end, range_out,
+                                    range_counters);
+        },
+        out, counters);
+    return;
+  }
   RunMorsels(
       batch.size(), opts,
       [&](uint32_t begin, uint32_t end, std::vector<PartialOverlap>* range_out,
@@ -395,17 +513,42 @@ void IndexedPipeline(const SegmentBatch& batch,
                      const FragmentJoinOptions& opts,
                      std::vector<PartialOverlap>* out,
                      FilterCounters* counters) {
-  const PrefixIndex index =
-      BuildPrefixIndex(batch, [&](uint32_t row) -> uint64_t {
-        if (opts.method == JoinMethod::kIndex) return batch.length(row);
-        if (opts.aggressive_segment_prefix) {
-          // Paper §V-A: each segment filtered like an independent mini-join
-          // at threshold θ. Fast but can drop partial counts (see
-          // FsJoinConfig::aggressive_segment_prefix).
-          return PrefixLength(opts.function, opts.theta, batch.length(row));
-        }
-        return SegmentPrefixLength(opts.function, opts.theta, batch.View(row));
-      });
+  const auto prefix_len = [&](uint32_t row) -> uint64_t {
+    if (opts.method == JoinMethod::kIndex) return batch.length(row);
+    if (opts.aggressive_segment_prefix) {
+      // Paper §V-A: each segment filtered like an independent mini-join
+      // at threshold θ. Fast but can drop partial counts (see
+      // FsJoinConfig::aggressive_segment_prefix).
+      return PrefixLength(opts.function, opts.theta, batch.length(row));
+    }
+    return SegmentPrefixLength(opts.function, opts.theta, batch.View(row));
+  };
+  if (opts.rs_boundary.has_value()) {
+    // Index the build (S) side only; probe with the R side. Probes are
+    // never inserted, so same-side pairs are structurally impossible.
+    const PrefixIndex index =
+        BuildPrefixIndexOverRows(batch, batch.build_rows(), prefix_len);
+    const std::vector<uint32_t>& probes = batch.probe_rows();
+    std::vector<uint32_t> probe_prefix(probes.size());
+    for (uint32_t pi = 0; pi < probes.size(); ++pi) {
+      probe_prefix[pi] = static_cast<uint32_t>(prefix_len(probes[pi]));
+    }
+    StampPool stamps(batch.size());
+    RunMorsels(
+        static_cast<uint32_t>(probes.size()), opts,
+        [&](uint32_t begin, uint32_t end,
+            std::vector<PartialOverlap>* range_out,
+            FilterCounters* range_counters) {
+          auto scratch = stamps.Acquire();
+          RsIndexedProbeRangeT<Mask, K>(batch, opts, index, probe_prefix,
+                                        begin, end, scratch.get(), range_out,
+                                        range_counters);
+          stamps.Release(std::move(scratch));
+        },
+        out, counters);
+    return;
+  }
+  const PrefixIndex index = BuildPrefixIndex(batch, prefix_len);
   StampPool stamps(batch.size());
   RunMorsels(
       batch.size(), opts,

@@ -160,6 +160,25 @@ void SegmentBatch::Seal() {
     }
   }
   sealed_ = true;
+  side_tagged_ = false;
+  probe_side_.clear();
+  probe_rows_.clear();
+  build_rows_.clear();
+}
+
+void SegmentBatch::TagSides(RecordId boundary) {
+  probe_side_.assign(size(), 0);
+  probe_rows_.clear();
+  build_rows_.clear();
+  for (uint32_t i = 0; i < size(); ++i) {
+    if (rids_[i] < boundary) {
+      probe_side_[i] = 1;
+      probe_rows_.push_back(i);
+    } else {
+      build_rows_.push_back(i);
+    }
+  }
+  side_tagged_ = true;
 }
 
 SegmentBatch SegmentBatch::FromRecords(

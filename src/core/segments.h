@@ -138,6 +138,18 @@ class SegmentBatch {
                        length(i)};
   }
 
+  /// R-S joins: tags every row with its side (probe R = rid < boundary,
+  /// build S = rid >= boundary) and caches the two row-index lists the
+  /// side-aware join loops iterate — probes never meet probes, builds never
+  /// meet builds, so no same-side pair is ever formed. Call after Seal();
+  /// appending afterwards clears the tagging along with the seal.
+  void TagSides(RecordId boundary);
+  bool side_tagged() const { return side_tagged_; }
+  /// True iff row i is on the probe (R) side. Valid once side-tagged.
+  bool is_probe(uint32_t i) const { return probe_side_[i] != 0; }
+  const std::vector<uint32_t>& probe_rows() const { return probe_rows_; }
+  const std::vector<uint32_t>& build_rows() const { return build_rows_; }
+
   /// Builds and seals a batch from row-oriented segments.
   static SegmentBatch FromRecords(const std::vector<SegmentRecord>& records);
 
@@ -159,7 +171,13 @@ class SegmentBatch {
   std::vector<TokenRun> runs_arena_;
   std::vector<uint32_t> run_offsets_;
   std::vector<uint32_t> run_counts_;
+  // Side columns, filled by TagSides() for R-S fragments; empty on
+  // self-join batches (the side machinery costs nothing unless asked for).
+  std::vector<uint8_t> probe_side_;
+  std::vector<uint32_t> probe_rows_;
+  std::vector<uint32_t> build_rows_;
   bool sealed_ = false;
+  bool side_tagged_ = false;
 };
 
 /// A record's split into segments: segment `v` spans ranks

@@ -1,7 +1,11 @@
 #include <atomic>
 #include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #ifndef _WIN32
@@ -44,6 +48,23 @@ Status WriteFileBytes(const std::string& path, const std::string& bytes) {
     std::fflush(file);
   }
   _exit(3);
+}
+
+/// Wall-clock ceiling on one child attempt. A fork-mode child can inherit a
+/// COW-copied allocator lock from a parent thread that was mid-malloc at
+/// fork() time (ProcessForkMutex serializes fork against context merges, not
+/// against allocation on other scheduler threads) and deadlock before its
+/// first task instruction; a blocking waitpid would then wedge the whole job.
+/// Past the ceiling the child is killed and the attempt fails over to the
+/// scheduler's retry budget — the subprocess twin of the cluster runner's
+/// heartbeat death detection.
+int64_t AttemptTimeoutMs() {
+  const char* env = std::getenv("FSJOIN_TASK_TIMEOUT_MS");
+  if (env != nullptr && *env != '\0') {
+    const long long ms = std::atoll(env);
+    if (ms > 0) return static_cast<int64_t>(ms);
+  }
+  return 60'000;
 }
 
 std::string DescribeWaitStatus(int status) {
@@ -161,13 +182,36 @@ Status SubprocessRunner::RunAttempt(const TaskSpec& spec_in,
                             "': " + std::strerror(errno));
   }
 
+  const int64_t timeout_ms = AttemptTimeoutMs();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
   int status = 0;
-  pid_t waited;
-  do {
-    waited = waitpid(pid, &status, 0);
-  } while (waited < 0 && errno == EINTR);
+  pid_t waited = 0;
+  bool timed_out = false;
+  for (int64_t poll_us = 200;;) {
+    waited = waitpid(pid, &status, WNOHANG);
+    if (waited < 0 && errno == EINTR) continue;
+    if (waited != 0) break;  // Reaped, or a real waitpid error.
+    if (std::chrono::steady_clock::now() >= deadline) {
+      timed_out = true;
+      kill(pid, SIGKILL);
+      do {
+        waited = waitpid(pid, &status, 0);
+      } while (waited < 0 && errno == EINTR);
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(poll_us));
+    if (poll_us < 20'000) poll_us *= 2;
+  }
   if (waited < 0) {
     return Status::Internal("waitpid failed: " + std::string(std::strerror(errno)));
+  }
+  if (timed_out) {
+    return Status::Internal(
+        "task '" + spec.job_name + "/" + TaskKindName(spec.kind) +
+        std::to_string(spec.task_index) + "' attempt " +
+        std::to_string(spec.attempt) + " timed out after " +
+        std::to_string(timeout_ms) + " ms; child killed");
   }
 
   if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {

@@ -27,6 +27,28 @@ JoinResultSet BruteForceJoin(const std::vector<OrderedRecord>& records,
   return result;
 }
 
+JoinResultSet BruteForceJoinRS(const std::vector<OrderedRecord>& records,
+                               RecordId rs_boundary, SimilarityFunction fn,
+                               double theta) {
+  JoinResultSet result;
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (records[i].id >= rs_boundary) continue;  // probe side only
+    for (size_t j = 0; j < records.size(); ++j) {
+      if (records[j].id < rs_boundary) continue;  // build side only
+      uint64_t c = SortedOverlap(records[i].tokens, records[j].tokens);
+      if (c == 0) continue;
+      if (PassesThreshold(fn, c, records[i].Size(), records[j].Size(),
+                          theta)) {
+        result.push_back(SimilarPair{
+            records[i].id, records[j].id,
+            ComputeSimilarity(fn, c, records[i].Size(), records[j].Size())});
+      }
+    }
+  }
+  NormalizeResult(&result);
+  return result;
+}
+
 namespace {
 
 struct Posting {

@@ -22,6 +22,14 @@ struct SerialJoinStats {
 JoinResultSet BruteForceJoin(const std::vector<OrderedRecord>& records,
                              SimilarityFunction fn, double theta);
 
+/// Exact R-S oracle over a merged id space: records with id < rs_boundary
+/// are the R side, the rest are S, and only pairs that straddle the
+/// boundary are produced (so every pair has a < rs_boundary <= b). The
+/// ground truth for every two-collection join in the repository.
+JoinResultSet BruteForceJoinRS(const std::vector<OrderedRecord>& records,
+                               RecordId rs_boundary, SimilarityFunction fn,
+                               double theta);
+
 /// Serial AllPairs (Bayardo et al.): prefix-filter index + length filter +
 /// merge verification. Used as the in-memory reference join and inside the
 /// RIDPairsPPJoin baseline's reducers.

@@ -12,7 +12,18 @@ FragmentPlan ChooseFragmentPlan(const FragmentShape& shape,
       n == 0 ? 0
              : static_cast<uint32_t>(shape.total_tokens / n);
 
-  if (n <= policy.loop_max_segments) {
+  // Pair space the nested loop would enumerate: n-choose-2 for self-join
+  // fragments, probe x build for side-tagged R-S fragments. Comparing pair
+  // counts (rather than n) keeps the self-join crossover exactly where the
+  // calibration put it — n <= L iff n(n-1)/2 <= L(L-1)/2 — while letting a
+  // lopsided R-S fragment (many probes, few builds) stay on the loop path
+  // its real cost belongs to.
+  const uint64_t m = policy.loop_max_segments;
+  const uint64_t loop_max_pairs = m * (m - 1) / 2;
+  const uint64_t pair_space =
+      shape.IsRs() ? uint64_t{shape.probe_segments} * shape.build_segments
+                   : uint64_t{n} * (n - 1) / 2;
+  if (pair_space <= loop_max_pairs) {
     plan.method = JoinMethod::kLoop;
   } else if (avg_len <= policy.index_max_avg_len) {
     plan.method = JoinMethod::kIndex;

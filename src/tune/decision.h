@@ -16,6 +16,16 @@ struct FragmentShape {
   uint32_t num_segments = 0;
   uint64_t total_tokens = 0;
   uint32_t max_segment_len = 0;
+  /// R-S fragments only (both zero on self-join fragments): how
+  /// num_segments splits across the probe (R) and build (S) sides. The
+  /// pair space of an R-S fragment is probe x build, not n-choose-2, so a
+  /// lopsided split (many probes, few builds) joins far fewer pairs than a
+  /// self-join fragment of the same size — the method crossover must see
+  /// that asymmetry.
+  uint32_t probe_segments = 0;
+  uint32_t build_segments = 0;
+
+  bool IsRs() const { return probe_segments + build_segments > 0; }
 };
 
 /// Calibrated crossover constants of the per-fragment cost model. The

@@ -15,6 +15,23 @@ bool SampleIncludesRecord(uint64_t seed, RecordId rid, double rate) {
 
 SampleStats SampleCorpusStats(const Corpus& corpus, double rate,
                               uint64_t seed) {
+  return SampleCorpusStatsRS(corpus, rate, seed, std::nullopt);
+}
+
+namespace {
+
+/// The fixed per-record uniform behind SampleIncludesRecord, exposed so the
+/// R-S pass can pick a side's most-likely-sampled record deterministically.
+double RecordUniform(uint64_t seed, RecordId rid) {
+  const uint64_t h = Mix64(seed ^ Mix64(static_cast<uint64_t>(rid) + 1));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+SampleStats SampleCorpusStatsRS(const Corpus& corpus, double rate,
+                                uint64_t seed,
+                                std::optional<RecordId> rs_boundary) {
   SampleStats stats;
   if (rate <= 0.0) rate = kDefaultSampleRate;
   if (rate > 1.0) rate = 1.0;
@@ -22,12 +39,45 @@ SampleStats SampleCorpusStats(const Corpus& corpus, double rate,
   stats.seed = seed;
   stats.total_records = corpus.records.size();
   stats.sampled_frequency.assign(corpus.dictionary.size(), 0);
-  for (const Record& rec : corpus.records) {
-    if (!SampleIncludesRecord(seed, rec.id, rate)) continue;
+  const auto accumulate = [&](const Record& rec, bool probe_side) {
     ++stats.sampled_records;
+    if (rs_boundary.has_value()) {
+      if (probe_side) {
+        ++stats.sampled_probe;
+      } else {
+        ++stats.sampled_build;
+      }
+    }
     stats.sampled_tokens += rec.tokens.size();
     stats.sampled_lengths.push_back(static_cast<uint32_t>(rec.tokens.size()));
     for (TokenId t : rec.tokens) ++stats.sampled_frequency[t];
+  };
+  // Per side: the record with the smallest fixed uniform — the one any
+  // higher sampling rate would include first — as the stratification
+  // fallback when the Bernoulli draw leaves the side empty.
+  const Record* min_u_rec[2] = {nullptr, nullptr};
+  double min_u[2] = {2.0, 2.0};
+  bool side_sampled[2] = {false, false};
+  for (const Record& rec : corpus.records) {
+    const bool probe_side = !rs_boundary.has_value() || rec.id < *rs_boundary;
+    if (SampleIncludesRecord(seed, rec.id, rate)) {
+      accumulate(rec, probe_side);
+      side_sampled[probe_side ? 0 : 1] = true;
+    } else if (rs_boundary.has_value()) {
+      const double u = RecordUniform(seed, rec.id);
+      const int side = probe_side ? 0 : 1;
+      if (u < min_u[side]) {
+        min_u[side] = u;
+        min_u_rec[side] = &rec;
+      }
+    }
+  }
+  if (rs_boundary.has_value()) {
+    for (int side = 0; side < 2; ++side) {
+      if (!side_sampled[side] && min_u_rec[side] != nullptr) {
+        accumulate(*min_u_rec[side], side == 0);
+      }
+    }
   }
   return stats;
 }

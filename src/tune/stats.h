@@ -2,6 +2,7 @@
 #define FSJOIN_TUNE_STATS_H_
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "text/corpus.h"
@@ -34,6 +35,10 @@ struct SampleStats {
   uint64_t sampled_records = 0;
   uint64_t total_records = 0;
   uint64_t sampled_tokens = 0;  ///< set elements across sampled records
+  /// R-S sampling only (both zero on self-join passes): how the sample
+  /// splits across the probe (R) and build (S) sides of the boundary.
+  uint64_t sampled_probe = 0;
+  uint64_t sampled_build = 0;
 
   /// Raw per-token occurrence counts within the sample (size = vocab).
   std::vector<uint64_t> sampled_frequency;
@@ -52,6 +57,19 @@ struct SampleStats {
 /// above. Deterministic for a fixed corpus, rate and seed.
 SampleStats SampleCorpusStats(const Corpus& corpus, double rate,
                               uint64_t seed);
+
+/// R-S variant over a merged corpus: samples both sides of `rs_boundary`
+/// with the same seeded membership, then guarantees every *non-empty* side
+/// contributes at least one record by force-including the side's
+/// smallest-uniform record when the Bernoulli draw left it empty. Without
+/// the guarantee a tiny S (or R) would routinely sample to nothing and the
+/// tuner would plan pivots for a one-sided token distribution. The forced
+/// inclusion is deterministic (same hash the membership test uses), so the
+/// pass stays reproducible across backends and runners. With rs_boundary
+/// unset this is exactly SampleCorpusStats above.
+SampleStats SampleCorpusStatsRS(const Corpus& corpus, double rate,
+                                uint64_t seed,
+                                std::optional<RecordId> rs_boundary);
 
 }  // namespace fsjoin::tune
 

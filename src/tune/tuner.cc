@@ -32,8 +32,8 @@ uint32_t CountLengthWindows(std::vector<uint32_t> lengths,
 TunePlan PlanTuning(const Corpus& corpus, const GlobalOrder& order,
                     const TuneOptions& options) {
   TunePlan plan;
-  const SampleStats stats =
-      SampleCorpusStats(corpus, options.sample_rate, options.seed);
+  const SampleStats stats = SampleCorpusStatsRS(
+      corpus, options.sample_rate, options.seed, options.rs_boundary);
   plan.sampled_records = stats.sampled_records;
   plan.total_records = stats.total_records;
   plan.log_lines.push_back(StrFormat(
@@ -41,6 +41,13 @@ TunePlan PlanTuning(const Corpus& corpus, const GlobalOrder& order,
       static_cast<unsigned long long>(stats.sampled_records),
       static_cast<unsigned long long>(stats.total_records),
       static_cast<unsigned long long>(stats.sampled_tokens)));
+  if (options.rs_boundary.has_value()) {
+    plan.log_lines.push_back(StrFormat(
+        "rs: boundary=%u, sampled %llu probe (R) + %llu build (S) records",
+        static_cast<unsigned>(*options.rs_boundary),
+        static_cast<unsigned long long>(stats.sampled_probe),
+        static_cast<unsigned long long>(stats.sampled_build)));
+  }
 
   PivotPlan pivot_plan = RefinePivots(corpus, order, stats,
                                       options.num_fragments,

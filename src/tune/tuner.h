@@ -2,6 +2,7 @@
 #define FSJOIN_TUNE_TUNER_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,12 @@ struct TuneOptions {
   double skew_factor = 2.0;
   /// Cap on the auto-chosen horizontal t.
   uint32_t max_horizontal = 4;
+  /// Two-collection joins: the R/S boundary of the merged corpus. The
+  /// sample pass stratifies across it (both sides always contribute — see
+  /// SampleCorpusStatsRS), so pivots and horizontal t are planned for the
+  /// union token distribution, not whichever side the Bernoulli draw
+  /// happened to hit.
+  std::optional<RecordId> rs_boundary;
 };
 
 /// Everything the driver needs to configure the run: refined pivots, the

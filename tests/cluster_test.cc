@@ -36,6 +36,7 @@
 #include "net/frame.h"
 #include "net/socket.h"
 #include "net/stream.h"
+#include "sim/serial_join.h"
 #include "test_util.h"
 #include "util/endpoint.h"
 #include "util/status.h"
@@ -206,7 +207,8 @@ TEST(ClusterRunnerTest, CreateRejectsBadTopologyAndHeartbeat) {
 // ---- Digest identity: cluster vs inline, both backends, 4 algorithms --
 
 JoinResultSet RunAlgorithm(int algorithm, const Corpus& corpus,
-                           const exec::ExecConfig& exec_config) {
+                           const exec::ExecConfig& exec_config,
+                           std::optional<RecordId> rs_boundary = std::nullopt) {
   const double theta = 0.6;
   switch (algorithm) {
     case 0: {
@@ -214,6 +216,7 @@ JoinResultSet RunAlgorithm(int algorithm, const Corpus& corpus,
       config.theta = theta;
       config.num_vertical_partitions = 4;
       config.num_horizontal_partitions = 1;
+      config.rs_boundary = rs_boundary;
       config.exec = exec_config;
       auto out = FsJoin(config).Run(corpus);
       EXPECT_TRUE(out.ok()) << out.status().ToString();
@@ -223,6 +226,7 @@ JoinResultSet RunAlgorithm(int algorithm, const Corpus& corpus,
       BaselineConfig config;
       config.theta = theta;
       config.exec = exec_config;
+      config.rs_boundary = rs_boundary;
       auto out = RunVernicaJoin(corpus, config);
       EXPECT_TRUE(out.ok()) << out.status().ToString();
       return out.ok() ? std::move(out->pairs) : JoinResultSet{};
@@ -231,6 +235,7 @@ JoinResultSet RunAlgorithm(int algorithm, const Corpus& corpus,
       BaselineConfig config;
       config.theta = theta;
       config.exec = exec_config;
+      config.rs_boundary = rs_boundary;
       auto out = RunVSmartJoin(corpus, config);
       EXPECT_TRUE(out.ok()) << out.status().ToString();
       return out.ok() ? std::move(out->pairs) : JoinResultSet{};
@@ -239,6 +244,7 @@ JoinResultSet RunAlgorithm(int algorithm, const Corpus& corpus,
       MassJoinConfig config;
       config.theta = theta;
       config.exec = exec_config;
+      config.rs_boundary = rs_boundary;
       config.length_group = 2;
       auto out = RunMassJoin(corpus, config);
       EXPECT_TRUE(out.ok()) << out.status().ToString();
@@ -263,6 +269,40 @@ TEST(ClusterRunnerTest, DigestsIdenticalToInlineAcrossBackendsAlgorithms) {
       const JoinResultSet pairs = RunAlgorithm(
           algorithm, corpus, SmallExec(backend, RunnerKind::kCluster));
       EXPECT_EQ(check::ResultDigest(pairs), reference_digest)
+          << names[algorithm]
+          << " backend=" << exec::BackendKindName(backend);
+      EXPECT_EQ(pairs.size(), reference.size());
+    }
+  }
+}
+
+// R-S mode over the socket workers: the side-tagged fragment joins must
+// survive network shuffle byte-identically. The inline reference is itself
+// pinned to the serial BruteForceJoinRS oracle so a cluster/inline match
+// can't hide a shared wrong answer.
+TEST(ClusterRunnerTest, RsDigestsIdenticalToInlineAcrossBackendsAlgorithms) {
+  const Corpus corpus = testing::RandomCorpus(48, 60, 0.8, 8.0, 11);
+  const RecordId boundary = 20;
+  const char* names[] = {"fsjoin", "vernica", "vsmart", "massjoin"};
+  constexpr exec::BackendKind kBothBackends[] = {
+      exec::BackendKind::kMapReduce, exec::BackendKind::kFusedFlow};
+  const uint32_t oracle_digest = check::ResultDigest(BruteForceJoinRS(
+      testing::OrderedView(corpus), boundary, SimilarityFunction::kJaccard,
+      0.6));
+
+  for (int algorithm = 0; algorithm < 4; ++algorithm) {
+    const JoinResultSet reference = RunAlgorithm(
+        algorithm, corpus,
+        SmallExec(exec::BackendKind::kMapReduce, RunnerKind::kInline),
+        boundary);
+    ASSERT_GT(reference.size(), 0u) << names[algorithm];
+    EXPECT_EQ(check::ResultDigest(reference), oracle_digest)
+        << names[algorithm];
+    for (exec::BackendKind backend : kBothBackends) {
+      const JoinResultSet pairs = RunAlgorithm(
+          algorithm, corpus, SmallExec(backend, RunnerKind::kCluster),
+          boundary);
+      EXPECT_EQ(check::ResultDigest(pairs), oracle_digest)
           << names[algorithm]
           << " backend=" << exec::BackendKindName(backend);
       EXPECT_EQ(pairs.size(), reference.size());

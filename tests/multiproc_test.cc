@@ -11,6 +11,8 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <chrono>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <optional>
@@ -478,6 +480,43 @@ TEST(MultiprocTest, ChildProcessCannotRemoveParentScratch) {
   const std::string path = dir->path();
   dir->RemoveNow();
   EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+// A fork-mode child that wedges before reaching task code — the real-world
+// case is a COW-copied allocator lock inherited from a parent thread that
+// was mid-malloc at fork() time — must not hang the job behind a blocking
+// waitpid. The runner kills the child at the attempt deadline and surfaces
+// a retryable error for the scheduler's budget to absorb.
+TEST(SubprocessRunnerTest, WedgedForkChildIsKilledAtAttemptDeadline) {
+  auto dir = store::TempSpillDir::Create("", "fsjoin-multiproc");
+  ASSERT_TRUE(dir.ok()) << dir.status().ToString();
+
+  ASSERT_EQ(setenv("FSJOIN_TASK_TIMEOUT_MS", "300", /*overwrite=*/1), 0);
+
+  mr::TaskSpec spec;
+  spec.job_name = "wedged";
+  spec.kind = mr::TaskKind::kMap;
+  spec.output_base = dir->path() + "/task-t0";
+  // No factory name: forces fork mode, so the child runs this closure.
+  const mr::TaskBody body = [](const mr::TaskSpec&, mr::TaskOutput*) -> Status {
+    while (true) ::pause();
+    return Status::OK();  // unreachable
+  };
+
+  mr::SubprocessRunner runner(/*num_threads=*/0);
+  mr::TaskOutput out;
+  const auto start = std::chrono::steady_clock::now();
+  const Status st = runner.RunAttempt(spec, body, mr::TaskSideChannel{}, &out);
+  const auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+  ASSERT_EQ(unsetenv("FSJOIN_TASK_TIMEOUT_MS"), 0);
+
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("timed out"), std::string::npos)
+      << st.ToString();
+  EXPECT_LT(elapsed_ms, 10'000)
+      << "runner waited past the deadline on a wedged child";
 }
 
 }  // namespace

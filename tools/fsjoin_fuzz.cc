@@ -1,12 +1,16 @@
 // fsjoin_fuzz — differential fuzz driver for the FS-Join repository.
 //
-// For every seed it builds an adversarial scenario corpus, computes the
-// serial brute-force oracle, samples a lattice of configurations across all
-// four algorithms (FS-Join, Vernica, V-Smart-Join, MassJoin), runs each and
-// checks every invariant (result == oracle, partial-overlap conservation,
+// For every seed it builds an adversarial scenario corpus, draws a join
+// shape (self join, or an R-S two-collection join with |R|:|S| ratio in
+// {1:1, 1:10, 10:1, |S|=0} — cross-collection near-threshold pairs planted
+// across the boundary), computes the serial brute-force oracle, samples a
+// lattice of configurations across all four algorithms (FS-Join, Vernica,
+// V-Smart-Join, MassJoin), runs each and checks every invariant (result ==
+// oracle, partial-overlap conservation, no same-side pair in R-S mode,
 // filter-counter balance, JobMetrics accounting, cross-config digest
 // identity). Failures are delta-debugged into a minimal repro printed as a
-// ready-to-paste C++ test case.
+// ready-to-paste C++ test case; in R-S mode the minimizer shrinks both
+// collections, recomputing the boundary as records fall away.
 //
 // All output is deterministic: same flags — byte-identical stdout and the
 // same exit code (0 clean, 1 failures found, 2 usage error).
